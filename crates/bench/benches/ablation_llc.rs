@@ -1,0 +1,81 @@
+//! Ablation (design choice) — LLC reliability under injected faults and
+//! the credit-depth sweep.
+//!
+//! The paper sizes the Rx ingress queues "to avoid credit starvation at
+//! the Tx side" and recovers losses with in-order frame replay. This
+//! harness quantifies both choices: goodput vs fault rate, and the
+//! starvation cliff when the credit pool is too shallow.
+
+use bench::{banner, header, row};
+use criterion::{criterion_group, criterion_main, Criterion};
+use llc::link::LlcLink;
+use llc::LlcConfig;
+use netsim::fault::FaultSpec;
+
+type Msg = (u32, usize);
+
+fn msgs(n: u32) -> Vec<Msg> {
+    (0..n).map(|i| (i, 1 + (i as usize % 5))).collect()
+}
+
+fn reproduce() {
+    banner("Ablation — LLC replay under faults / credit-depth sweep");
+    println!("replay overhead vs fault rate (500 messages):");
+    header(&["drop+corrupt %", "frames sent", "replayed", "time us"]);
+    for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let mut link = LlcLink::new(
+            LlcConfig::default(),
+            FaultSpec::new(rate / 2.0, rate / 2.0),
+            42,
+        );
+        let got = link.run_to_completion(msgs(500));
+        assert_eq!(got.len(), 500, "reliability must hold at {rate}");
+        row(
+            &format!("{:.0}%", rate * 100.0),
+            &[
+                rate * 100.0,
+                link.tx_a().frames_sent() as f64,
+                link.total_replays() as f64,
+                link.now().as_us_f64(),
+            ],
+        );
+    }
+    println!("\ncredit-depth sweep (lossless, 500 messages):");
+    header(&["rx queue frames", "starvations", "time us"]);
+    for depth in [2usize, 4, 8, 16, 32, 64] {
+        let config = LlcConfig {
+            rx_queue_frames: depth,
+            replay_window: depth.max(64),
+            ..LlcConfig::default()
+        };
+        let mut link = LlcLink::new(config, FaultSpec::LOSSLESS, 7);
+        let got = link.run_to_completion(msgs(500));
+        assert_eq!(got.len(), 500);
+        row(
+            &depth.to_string(),
+            &[
+                depth as f64,
+                link.tx_a().credits().starvation_events() as f64,
+                link.now().as_us_f64(),
+            ],
+        );
+    }
+    println!("\nshape: goodput holds at every fault rate (exactly-once, in-order);\nshallow credit pools stall the transmitter, deep ones don't.");
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    reproduce();
+    c.bench_function("ablation/llc_lossless_500", |b| {
+        b.iter(|| {
+            let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::LOSSLESS, 1);
+            std::hint::black_box(link.run_to_completion(msgs(500)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = criterion_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Fig. 1 — data-centre utilization: conventional vs disaggregated.
+//!
+//! Replays a synthetic ClusterData-like trace through both models with
+//! an online best-fit scheduler and reports the average fragmentation
+//! index (lower is better) and the resources that could be switched off
+//! (higher is better). Scaled to 800 units (the paper uses 12 555) —
+//! both metrics are intensive quantities.
+
+use bench::{banner, compare};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcsim::metrics::Figure1;
+use dcsim::model::{DataCentre, DisaggregatedDataCentre, FixedDataCentre};
+use dcsim::scheduler::{params_for_utilization, run_trace};
+use dcsim::trace::TraceGenerator;
+
+const UNITS: usize = 800;
+const TASKS: usize = 60_000;
+
+fn reproduce() -> f64 {
+    banner("Fig. 1 — data-centre utilization, fixed vs disaggregated");
+    let params = params_for_utilization(UNITS, 0.88, 0.71);
+    let mut gen = TraceGenerator::new(params.clone(), 1);
+    let mut fixed = FixedDataCentre::new(UNITS);
+    let (f, facc) = run_trace(&mut fixed, &mut gen, TASKS, 0.5, 40);
+    let mut gen = TraceGenerator::new(params, 1);
+    let mut disagg = DisaggregatedDataCentre::new(UNITS);
+    let (d, dacc) = run_trace(&mut disagg, &mut gen, TASKS, 0.5, 40);
+    let paper = Figure1::paper();
+    println!("(percentages; {UNITS} units, {TASKS} tasks, best-fit, no overcommit)\n");
+    compare("fixed CPU fragmentation", paper.fixed.cpu_frag * 100.0, f.cpu_frag * 100.0, "%");
+    compare("fixed MEM fragmentation", paper.fixed.mem_frag * 100.0, f.mem_frag * 100.0, "%");
+    compare("fixed servers off", paper.fixed.cpu_off * 100.0, f.cpu_off * 100.0, "%");
+    compare("disagg CPU fragmentation", paper.disaggregated.cpu_frag * 100.0, d.cpu_frag * 100.0, "%");
+    compare("disagg MEM fragmentation", paper.disaggregated.mem_frag * 100.0, d.mem_frag * 100.0, "%");
+    compare("disagg CPU modules off", paper.disaggregated.cpu_off * 100.0, d.cpu_off * 100.0, "%");
+    compare("disagg MEM modules off", paper.disaggregated.mem_off * 100.0, d.mem_off * 100.0, "%");
+    println!(
+        "\nrejections: fixed {:.2}%, disaggregated {:.2}%",
+        facc.rejection_ratio() * 100.0,
+        dacc.rejection_ratio() * 100.0
+    );
+    // Shape assertions: a regression flipping the paper's conclusion
+    // fails the bench run.
+    assert!(d.cpu_frag < f.cpu_frag, "disaggregation must cut CPU frag");
+    assert!(d.mem_frag < f.mem_frag, "disaggregation must cut MEM frag");
+    assert!(d.mem_off > f.mem_off, "disaggregation must power memory off");
+    d.mem_frag
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    let _ = reproduce();
+    c.bench_function("fig1/best_fit_allocate", |b| {
+        let params = params_for_utilization(200, 0.8, 0.7);
+        let mut gen = TraceGenerator::new(params, 2);
+        let mut dc = FixedDataCentre::new(200);
+        b.iter(|| {
+            let ev = gen.next_event();
+            std::hint::black_box(dc.allocate(&ev));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = criterion_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 6 — VoltDB profiling: package IPC and utilized CPU cores across
+//! YCSB workloads A–F and partition counts {4, 16, 32, 64}, local vs
+//! single-disaggregated.
+
+use bench::{banner, header, row};
+use criterion::{criterion_group, criterion_main, Criterion};
+use thymesisflow_core::config::SystemConfig;
+use workloads::runner::WorkloadRunner;
+use workloads::voltdb::VoltDb;
+use workloads::ycsb::YcsbWorkload;
+
+fn reproduce() {
+    banner("Fig. 6 — VoltDB IPC / utilized cores (local vs single-disaggregated)");
+    let runner = WorkloadRunner::new();
+    for config in [SystemConfig::Local, SystemConfig::SingleDisaggregated] {
+        println!("\n-- {config} --");
+        header(&["workload", "parts", "pkg IPC", "UCC", "stall %"]);
+        for w in YcsbWorkload::ALL {
+            for parts in [4u32, 16, 32, 64] {
+                let p = VoltDb::new(runner.model(config), parts).profile(w);
+                row(
+                    &format!("{}@{parts}", w.label()),
+                    &[
+                        parts as f64,
+                        p.package_ipc,
+                        p.ucc,
+                        p.backend_stall_fraction * 100.0,
+                    ],
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper: disaggregation raises back-end stalls 55.5% -> 80.9%, lowers\n\
+         thread IPC, and raises UCC (threads yield less while stalled);\n\
+         biggest IPC gain comes from 4 -> 16 partitions."
+    );
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    reproduce();
+    let runner = WorkloadRunner::new();
+    c.bench_function("fig6/profile_eval", |b| {
+        let db = VoltDb::new(runner.model(SystemConfig::SingleDisaggregated), 32);
+        b.iter(|| std::hint::black_box(db.profile(YcsbWorkload::A)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = criterion_benches
+}
+criterion_main!(benches);

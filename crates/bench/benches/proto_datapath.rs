@@ -1,0 +1,74 @@
+//! §V prototype numbers — measured on the flit-level datapath.
+//!
+//! The paper reports a hardware datapath flit RTT of ~950 ns (four FPGA
+//! stack crossings + six serDES crossings), a 12.5 GB/s per-channel
+//! ceiling, and a memory-side C1 limit near 16 GiB/s with the POWER9's
+//! 128 B transactions. This harness *measures* all three on the
+//! discrete-event datapath instead of assuming them.
+
+use bench::{banner, compare};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::time::SimTime;
+use thymesisflow_core::datapath::Datapath;
+use thymesisflow_core::params::DatapathParams;
+
+fn reproduce() {
+    banner("§V prototype — flit RTT, channel saturation, C1 ceiling");
+    let params = DatapathParams::prototype();
+    compare(
+        "analytic flit RTT",
+        950.0,
+        params.flit_rtt().as_ns_f64(),
+        "ns",
+    );
+    let mut dp = Datapath::new(params.clone(), 1, 256 << 20);
+    let load = dp.measure_load_latency();
+    compare(
+        "measured load-to-use (RTT+DRAM)",
+        950.0 + params.dram_latency_ns as f64,
+        load.as_ns_f64(),
+        "ns",
+    );
+    let mut dp = Datapath::new(params.clone(), 1, 256 << 20);
+    let single = dp
+        .measure_stream_bandwidth(8, 32, SimTime::from_us(200))
+        .as_gib_per_sec();
+    compare("single-channel read stream", 11.64, single, "GiB/s");
+    let mut dp = Datapath::new(params.clone(), 2, 256 << 20);
+    let bonded = dp
+        .measure_stream_bandwidth(16, 32, SimTime::from_us(200))
+        .as_gib_per_sec();
+    compare("bonded read stream (C1 cap)", 16.0, bonded, "GiB/s");
+    compare(
+        "C1 sustained @128B",
+        16.0,
+        params.c1_sustained_rate().as_gib_per_sec(),
+        "GiB/s",
+    );
+    compare(
+        "bonding gain",
+        1.30,
+        bonded / single,
+        "x",
+    );
+    assert!((900.0..=1000.0).contains(&params.flit_rtt().as_ns_f64()));
+    assert!(bonded > single * 1.15, "bonding must help");
+    assert!(bonded < 17.0, "C1 cap must bite");
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    reproduce();
+    c.bench_function("proto/single_load_rtt_sim", |b| {
+        b.iter(|| {
+            let mut dp = Datapath::new(DatapathParams::prototype(), 1, 256 << 20);
+            std::hint::black_box(dp.measure_load_latency())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = criterion_benches
+}
+criterion_main!(benches);

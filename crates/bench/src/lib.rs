@@ -1,0 +1,61 @@
+//! Shared formatting helpers for the figure/table harnesses.
+//!
+//! Every bench binary in `benches/` regenerates one of the paper's
+//! evaluation artifacts: it prints the reproduced series (next to the
+//! paper's reported values where the paper gives them) and then runs a
+//! short Criterion measurement of the underlying kernel so `cargo bench`
+//! also tracks regressions.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Prints a table header row.
+pub fn header(cols: &[&str]) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>18}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(19 * cols.len()));
+}
+
+/// Prints one table row of floats with a label.
+pub fn row(label: &str, values: &[f64]) {
+    let mut out = format!("{label:>18}");
+    for v in values {
+        out.push_str(&format!(" {v:>18.2}"));
+    }
+    println!("{out}");
+}
+
+/// Prints one table row of strings.
+pub fn row_str(label: &str, values: &[String]) {
+    let mut out = format!("{label:>18}");
+    for v in values {
+        out.push_str(&format!(" {v:>18}"));
+    }
+    println!("{out}");
+}
+
+/// Prints a paper-vs-measured comparison line.
+pub fn compare(metric: &str, paper: f64, measured: f64, unit: &str) {
+    let delta = if paper != 0.0 {
+        format!("{:+.1}%", (measured / paper - 1.0) * 100.0)
+    } else {
+        "n/a".to_string()
+    };
+    println!("{metric:>34}: paper {paper:>10.2} {unit:<8} measured {measured:>10.2} {unit:<8} ({delta})");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_do_not_panic() {
+        super::banner("t");
+        super::header(&["a", "b"]);
+        super::row("x", &[1.0, 2.0]);
+        super::row_str("y", &["p".into()]);
+        super::compare("m", 10.0, 11.0, "GiB/s");
+        super::compare("z", 0.0, 1.0, "ops");
+    }
+}

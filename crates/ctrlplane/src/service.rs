@@ -1,0 +1,618 @@
+//! The control-plane service: state, attach/detach orchestration, the
+//! JSON entry point and the audit trail.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{
+    AttachSpec, ComputeConfig, MemoryConfig, Request, Response, SectionProgram,
+};
+use crate::auth::{sign_config, AccessControl, AuthError, Token};
+use crate::graph::{Graph, VertexId, VertexKind};
+use crate::path::{find_path, release_path, reserve_path, PathReservation};
+
+/// Section granularity (must match the RMMU/hotplug section size).
+pub const SECTION_BYTES: u64 = 256 << 20;
+
+/// Bandwidth one ThymesisFlow channel needs, Gbit/s.
+pub const CHANNEL_GBPS: f64 = 100.0;
+
+/// Handle of a live attachment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowHandle(pub u64);
+
+impl fmt::Display for FlowHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// Control-plane errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpError {
+    /// Authorization failed.
+    Auth(AuthError),
+    /// Unknown host.
+    UnknownHost(String),
+    /// Bytes must be a positive multiple of the section size.
+    BadSize(u64),
+    /// The donor lacks unreserved memory.
+    DonorExhausted {
+        /// The donor host.
+        host: String,
+        /// Bytes available.
+        available: u64,
+    },
+    /// No network path with enough capacity exists.
+    NoPath,
+    /// Bonding requested but only one disjoint path exists.
+    NoSecondPath,
+    /// Unknown flow handle.
+    UnknownFlow(FlowHandle),
+}
+
+impl fmt::Display for CpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpError::Auth(e) => write!(f, "authorization: {e}"),
+            CpError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            CpError::BadSize(b) => write!(f, "bad size {b}"),
+            CpError::DonorExhausted { host, available } => {
+                write!(f, "donor {host} exhausted ({available} bytes left)")
+            }
+            CpError::NoPath => write!(f, "no network path with enough capacity"),
+            CpError::NoSecondPath => write!(f, "no disjoint second path for bonding"),
+            CpError::UnknownFlow(h) => write!(f, "unknown {h}"),
+        }
+    }
+}
+
+impl std::error::Error for CpError {}
+
+impl From<AuthError> for CpError {
+    fn from(e: AuthError) -> Self {
+        CpError::Auth(e)
+    }
+}
+
+/// What an approved attachment hands back: the configurations to push to
+/// the two agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowGrant {
+    /// The flow handle for later detachment.
+    pub flow: FlowHandle,
+    /// Configuration for the compute-side agent.
+    pub compute_config: ComputeConfig,
+    /// Configuration for the memory-side agent.
+    pub memory_config: MemoryConfig,
+    /// Reserved network paths (1, or 2 when bonded).
+    pub paths: Vec<PathReservation>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HostRecord {
+    compute_v: VertexId,
+    memory_v: VertexId,
+    transceivers: Vec<VertexId>,
+    donor_total: u64,
+    donor_reserved: u64,
+    next_ea: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FlowRecord {
+    compute: String,
+    memory: String,
+    bytes: u64,
+    paths: Vec<PathReservation>,
+}
+
+/// One audit-trail entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub event: String,
+}
+
+/// The control-plane service.
+#[derive(Debug)]
+pub struct ControlPlane {
+    secret: String,
+    graph: Graph,
+    auth: AccessControl,
+    hosts: HashMap<String, HostRecord>,
+    flows: HashMap<FlowHandle, FlowRecord>,
+    next_flow: u64,
+    next_network: u32,
+    next_pasid: u32,
+    audit: Vec<AuditEntry>,
+}
+
+impl ControlPlane {
+    /// Creates a control plane with the given config-signing secret.
+    pub fn new(secret: &str) -> Self {
+        ControlPlane {
+            secret: secret.to_string(),
+            graph: Graph::new(),
+            auth: AccessControl::new(),
+            hosts: HashMap::new(),
+            flows: HashMap::new(),
+            next_flow: 1,
+            next_network: 1,
+            next_pasid: 1,
+            audit: Vec::new(),
+        }
+    }
+
+    /// The access-control registry.
+    pub fn auth_mut(&mut self) -> &mut AccessControl {
+        &mut self.auth
+    }
+
+    /// The system-state graph (read-only).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    fn log(&mut self, event: String) {
+        let seq = self.audit.len() as u64;
+        self.audit.push(AuditEntry { seq, event });
+    }
+
+    /// Registers a host with `transceivers` network-facing transceivers
+    /// and `donor_bytes` of memory it may donate.
+    pub fn register_host(&mut self, name: &str, transceivers: u32, donor_bytes: u64) {
+        let compute_v = self.graph.add_vertex(VertexKind::ComputeEndpoint {
+            host: name.to_string(),
+        });
+        let memory_v = self.graph.add_vertex(VertexKind::MemoryEndpoint {
+            host: name.to_string(),
+        });
+        let mut txs = Vec::new();
+        for i in 0..transceivers {
+            let t = self.graph.add_vertex(VertexKind::Transceiver {
+                host: name.to_string(),
+                index: i,
+            });
+            // Host-internal hops: endpoints reach every transceiver.
+            self.graph
+                .add_edge(compute_v, t, CHANNEL_GBPS * transceivers as f64)
+                .expect("fresh vertices");
+            self.graph
+                .add_edge(memory_v, t, CHANNEL_GBPS * transceivers as f64)
+                .expect("fresh vertices");
+            txs.push(t);
+        }
+        self.hosts.insert(
+            name.to_string(),
+            HostRecord {
+                compute_v,
+                memory_v,
+                transceivers: txs,
+                donor_total: donor_bytes,
+                donor_reserved: 0,
+                next_ea: 0x7000_0000_0000,
+            },
+        );
+        self.log(format!("register_host {name} txs={transceivers}"));
+    }
+
+    /// Connects transceiver `tx_a` of `host_a` to transceiver `tx_b` of
+    /// `host_b` with a direct-attach cable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown hosts or transceiver indices.
+    pub fn add_cable(&mut self, host_a: &str, tx_a: u32, host_b: &str, tx_b: u32, gbps: f64) {
+        let a = self.hosts[host_a].transceivers[tx_a as usize];
+        let b = self.hosts[host_b].transceivers[tx_b as usize];
+        self.graph.add_edge(a, b, gbps).expect("vertices exist");
+        self.log(format!("add_cable {host_a}:{tx_a} <-> {host_b}:{tx_b} @{gbps}"));
+    }
+
+    /// Adds a circuit switch and cables the listed host transceivers to
+    /// its ports (port i ↔ i-th listed transceiver).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown hosts or transceiver indices.
+    pub fn add_switch(&mut self, name: &str, attached: &[(&str, u32)], port_gbps: f64) {
+        let hub = self.graph.add_vertex(VertexKind::SwitchPort {
+            switch: name.to_string(),
+            port: u32::MAX,
+        });
+        for (i, (host, tx)) in attached.iter().enumerate() {
+            let port = self.graph.add_vertex(VertexKind::SwitchPort {
+                switch: name.to_string(),
+                port: i as u32,
+            });
+            let t = self.hosts[*host].transceivers[*tx as usize];
+            self.graph.add_edge(t, port, port_gbps).expect("vertices");
+            self.graph.add_edge(port, hub, port_gbps).expect("vertices");
+        }
+        self.log(format!("add_switch {name} ports={}", attached.len()));
+    }
+
+    /// Attaches `spec.bytes` of `spec.memory_host`'s memory to
+    /// `spec.compute_host`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on authorization, capacity, or path-search failures; on
+    /// failure no resource remains reserved.
+    pub fn attach(&mut self, token: &Token, spec: AttachSpec) -> Result<FlowGrant, CpError> {
+        self.auth
+            .authorize_attach(token, &spec.compute_host, &spec.memory_host)?;
+        if spec.bytes == 0 || spec.bytes % SECTION_BYTES != 0 {
+            return Err(CpError::BadSize(spec.bytes));
+        }
+        let (compute_v, memory_v) = {
+            let c = self
+                .hosts
+                .get(&spec.compute_host)
+                .ok_or_else(|| CpError::UnknownHost(spec.compute_host.clone()))?;
+            let m = self
+                .hosts
+                .get(&spec.memory_host)
+                .ok_or_else(|| CpError::UnknownHost(spec.memory_host.clone()))?;
+            if m.donor_total - m.donor_reserved < spec.bytes {
+                return Err(CpError::DonorExhausted {
+                    host: spec.memory_host.clone(),
+                    available: m.donor_total - m.donor_reserved,
+                });
+            }
+            (c.compute_v, m.memory_v)
+        };
+
+        // Reserve one path, or two for bonding.
+        let mut paths: Vec<PathReservation> = Vec::new();
+        let edges =
+            find_path(&self.graph, compute_v, memory_v, CHANNEL_GBPS).ok_or(CpError::NoPath)?;
+        paths.push(
+            reserve_path(&mut self.graph, &edges, CHANNEL_GBPS)
+                .map_err(|_| CpError::NoPath)?,
+        );
+        if spec.bonded {
+            match find_path(&self.graph, compute_v, memory_v, CHANNEL_GBPS) {
+                Some(second) => {
+                    match reserve_path(&mut self.graph, &second, CHANNEL_GBPS) {
+                        Ok(r) => paths.push(r),
+                        Err(_) => {
+                            release_path(&mut self.graph, &paths[0]).expect("held");
+                            return Err(CpError::NoSecondPath);
+                        }
+                    }
+                }
+                None => {
+                    release_path(&mut self.graph, &paths[0]).expect("held");
+                    return Err(CpError::NoSecondPath);
+                }
+            }
+        }
+
+        // Carve the donor region and mint configurations.
+        let donor = self
+            .hosts
+            .get_mut(&spec.memory_host)
+            .expect("checked above");
+        donor.donor_reserved += spec.bytes;
+        let ea_base = donor.next_ea;
+        donor.next_ea += spec.bytes;
+        let pasid = self.next_pasid;
+        self.next_pasid += 1;
+        let network = self.next_network;
+        self.next_network += 1;
+
+        let sections: Vec<SectionProgram> = (0..spec.bytes / SECTION_BYTES)
+            .map(|i| SectionProgram {
+                index: i,
+                remote_ea_base: ea_base + i * SECTION_BYTES,
+                network,
+                bonded: spec.bonded,
+            })
+            .collect();
+        let mut compute_config = ComputeConfig {
+            window_bytes: spec.bytes,
+            sections,
+            signature: 0,
+        };
+        compute_config.signature = sign_config(&self.secret, &compute_config.payload());
+        let mut memory_config = MemoryConfig {
+            pasid,
+            ea_base,
+            len: spec.bytes,
+            signature: 0,
+        };
+        memory_config.signature = sign_config(&self.secret, &memory_config.payload());
+
+        let flow = FlowHandle(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            flow,
+            FlowRecord {
+                compute: spec.compute_host.clone(),
+                memory: spec.memory_host.clone(),
+                bytes: spec.bytes,
+                paths: paths.clone(),
+            },
+        );
+        self.log(format!(
+            "attach {flow}: {} <- {} {} bytes bonded={} paths={}",
+            spec.compute_host,
+            spec.memory_host,
+            spec.bytes,
+            spec.bonded,
+            paths.len()
+        ));
+        Ok(FlowGrant {
+            flow,
+            compute_config,
+            memory_config,
+            paths,
+        })
+    }
+
+    /// Tears a flow down, releasing network and donor reservations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on authorization failure or unknown flows.
+    pub fn detach(&mut self, token: &Token, flow: FlowHandle) -> Result<(), CpError> {
+        let record = self
+            .flows
+            .get(&flow)
+            .ok_or(CpError::UnknownFlow(flow))?
+            .clone();
+        self.auth
+            .authorize_attach(token, &record.compute, &record.memory)?;
+        for p in &record.paths {
+            release_path(&mut self.graph, p).expect("reserved at attach");
+        }
+        self.hosts
+            .get_mut(&record.memory)
+            .expect("host existed at attach")
+            .donor_reserved -= record.bytes;
+        self.flows.remove(&flow);
+        self.log(format!("detach {flow}"));
+        Ok(())
+    }
+
+    /// Number of live flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Handles one request.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Attach { token, spec } => match self.attach(&token, spec) {
+                Ok(grant) => Response::Attached {
+                    flow: grant.flow.0,
+                    bytes: grant.memory_config.len,
+                    channels: grant.paths.len() as u32,
+                },
+                Err(e) => error_response(e),
+            },
+            Request::Detach { token, flow } => {
+                match self.detach(&token, FlowHandle(flow)) {
+                    Ok(()) => Response::Detached { flow },
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Status { token } => {
+                if self.auth.role(&token).is_none() {
+                    return error_response(CpError::Auth(AuthError::UnknownToken));
+                }
+                Response::Status {
+                    flows: self.flows.len() as u64,
+                    hosts: self.hosts.len() as u64,
+                }
+            }
+        }
+    }
+
+    /// The REST-style JSON entry point.
+    pub fn handle_json(&mut self, json: &str) -> String {
+        let resp = match serde_json::from_str::<Request>(json) {
+            Ok(req) => self.handle(req),
+            Err(e) => Response::Error {
+                code: "bad_request".into(),
+                message: e.to_string(),
+            },
+        };
+        serde_json::to_string(&resp).expect("responses always serialize")
+    }
+
+    /// The signing secret (for wiring trusted agents in tests/assembly).
+    pub fn secret(&self) -> &str {
+        &self.secret
+    }
+}
+
+fn error_response(e: CpError) -> Response {
+    let code = match &e {
+        CpError::Auth(AuthError::UnknownToken) => "unauthorized",
+        CpError::Auth(AuthError::Forbidden) => "forbidden",
+        CpError::UnknownHost(_) => "unknown_host",
+        CpError::BadSize(_) => "bad_size",
+        CpError::DonorExhausted { .. } => "donor_exhausted",
+        CpError::NoPath | CpError::NoSecondPath => "no_path",
+        CpError::UnknownFlow(_) => "unknown_flow",
+    };
+    Response::Error {
+        code: code.into(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::Role;
+    use simkit::units::GIB;
+
+    fn plane() -> (ControlPlane, Token) {
+        let mut cp = ControlPlane::new("s3cret");
+        let admin = cp.auth_mut().issue_token(Role::Admin);
+        cp.register_host("c1", 2, 512 * GIB);
+        cp.register_host("m1", 2, 512 * GIB);
+        cp.add_cable("c1", 0, "m1", 0, 100.0);
+        cp.add_cable("c1", 1, "m1", 1, 100.0);
+        (cp, admin)
+    }
+
+    fn spec(bytes: u64, bonded: bool) -> AttachSpec {
+        AttachSpec {
+            compute_host: "c1".into(),
+            memory_host: "m1".into(),
+            bytes,
+            bonded,
+        }
+    }
+
+    #[test]
+    fn attach_produces_signed_configs() {
+        let (mut cp, admin) = plane();
+        let grant = cp.attach(&admin, spec(1 * GIB, false)).unwrap();
+        assert_eq!(grant.compute_config.sections.len(), 4); // 4 x 256 MiB
+        assert_eq!(grant.memory_config.len, 1 * GIB);
+        assert_eq!(grant.paths.len(), 1);
+        assert!(crate::auth::verify_config(
+            "s3cret",
+            &grant.compute_config.payload(),
+            grant.compute_config.signature
+        ));
+        assert!(crate::auth::verify_config(
+            "s3cret",
+            &grant.memory_config.payload(),
+            grant.memory_config.signature
+        ));
+        assert_eq!(cp.flow_count(), 1);
+    }
+
+    #[test]
+    fn bonding_reserves_two_paths() {
+        let (mut cp, admin) = plane();
+        let grant = cp.attach(&admin, spec(1 * GIB, true)).unwrap();
+        assert_eq!(grant.paths.len(), 2);
+        // Both 100G cables are now full: a second bonded attach fails
+        // with everything rolled back.
+        let err = cp.attach(&admin, spec(1 * GIB, true)).unwrap_err();
+        assert!(matches!(err, CpError::NoPath | CpError::NoSecondPath));
+        cp.detach(&admin, grant.flow).unwrap();
+        // After detach the capacity is back.
+        assert!(cp.attach(&admin, spec(1 * GIB, true)).is_ok());
+    }
+
+    #[test]
+    fn donor_capacity_enforced() {
+        let (mut cp, admin) = plane();
+        let err = cp.attach(&admin, spec(1024 * GIB, false)).unwrap_err();
+        assert!(matches!(err, CpError::DonorExhausted { .. }));
+        // Nothing was reserved.
+        assert_eq!(cp.flow_count(), 0);
+    }
+
+    #[test]
+    fn section_alignment_enforced() {
+        let (mut cp, admin) = plane();
+        assert_eq!(
+            cp.attach(&admin, spec(100, false)),
+            Err(CpError::BadSize(100))
+        );
+    }
+
+    #[test]
+    fn tenant_cannot_touch_foreign_hosts() {
+        let (mut cp, _) = plane();
+        let tenant = cp.auth_mut().issue_token(Role::Tenant {
+            hosts: vec!["c1".into()],
+        });
+        let err = cp.attach(&tenant, spec(1 * GIB, false)).unwrap_err();
+        assert!(matches!(err, CpError::Auth(AuthError::Forbidden)));
+    }
+
+    #[test]
+    fn detach_unknown_flow_fails() {
+        let (mut cp, admin) = plane();
+        assert_eq!(
+            cp.detach(&admin, FlowHandle(77)),
+            Err(CpError::UnknownFlow(FlowHandle(77)))
+        );
+    }
+
+    #[test]
+    fn json_interface_round_trip() {
+        let (mut cp, admin) = plane();
+        let req = serde_json::to_string(&Request::Attach {
+            token: admin.clone(),
+            spec: spec(1 * GIB, false),
+        })
+        .unwrap();
+        let resp = cp.handle_json(&req);
+        let parsed: Response = serde_json::from_str(&resp).unwrap();
+        match parsed {
+            Response::Attached { flow, bytes, channels } => {
+                assert_eq!(bytes, 1 * GIB);
+                assert_eq!(channels, 1);
+                let det = serde_json::to_string(&Request::Detach { token: admin, flow })
+                    .unwrap();
+                let resp = cp.handle_json(&det);
+                assert!(resp.contains("detached"));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_clean_error() {
+        let (mut cp, _) = plane();
+        let resp = cp.handle_json("{not json");
+        assert!(resp.contains("bad_request"));
+    }
+
+    #[test]
+    fn audit_trail_records_lifecycle() {
+        let (mut cp, admin) = plane();
+        let g = cp.attach(&admin, spec(1 * GIB, false)).unwrap();
+        cp.detach(&admin, g.flow).unwrap();
+        let events: Vec<&str> = cp.audit().iter().map(|e| e.event.as_str()).collect();
+        assert!(events.iter().any(|e| e.starts_with("attach flow#1")));
+        assert!(events.iter().any(|e| e.starts_with("detach flow#1")));
+    }
+
+    #[test]
+    fn switch_provides_connectivity() {
+        let mut cp = ControlPlane::new("s");
+        let admin = cp.auth_mut().issue_token(Role::Admin);
+        cp.register_host("a", 1, 512 * GIB);
+        cp.register_host("b", 1, 512 * GIB);
+        cp.register_host("c", 1, 512 * GIB);
+        // No direct cables: everything goes through one switch.
+        cp.add_switch("sw0", &[("a", 0), ("b", 0), ("c", 0)], 100.0);
+        let g = cp
+            .attach(
+                &admin,
+                AttachSpec {
+                    compute_host: "a".into(),
+                    memory_host: "c".into(),
+                    bytes: 1 * GIB,
+                    bonded: false,
+                },
+            )
+            .unwrap();
+        // Path: compute -> tx(a) -> port -> hub -> port -> tx(c) -> memory.
+        assert!(g.paths[0].edges.len() >= 5);
+    }
+}

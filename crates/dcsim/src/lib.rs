@@ -1,0 +1,32 @@
+//! Data-centre motivation simulator (paper §II, Fig. 1).
+//!
+//! "We developed a custom tool that consumes entries from the publicly
+//! available Google ClusterData trace and simulates resource
+//! allocation/deallocation requests for two data-centre infrastructures,
+//! namely a disaggregated and a traditional ('fixed') one."
+//!
+//! * The **fixed** model has 12 555 servers (the Google trace's machine
+//!   count), each bundling CPU and memory.
+//! * The **disaggregated** model has 12 555 compute and 12 555 memory
+//!   modules offering the same total resources, each module attaching to
+//!   the fabric with 16 links, over a fully connected topology.
+//! * Both use an **online best-fit** scheduler without overcommitment.
+//!
+//! Since the original trace is not redistributable, [`trace`]
+//! synthesizes an arrival/departure stream with the published marginal
+//! properties (memory/CPU demand ratios spanning three orders of
+//! magnitude — Reiss et al.). The metrics are the paper's:
+//!
+//! * **fragmentation index** — resources that must stay powered on in
+//!   partially allocated units despite being unused (lower is better);
+//! * **resources off** — units completely unused that could be powered
+//!   down (higher is better).
+
+pub mod metrics;
+pub mod model;
+pub mod scheduler;
+pub mod trace;
+
+pub use metrics::Figure1;
+pub use model::{DisaggregatedDataCentre, FixedDataCentre};
+pub use trace::{TraceEvent, TraceGenerator, TraceParams};

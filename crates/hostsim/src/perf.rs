@@ -1,0 +1,154 @@
+//! A `perf`-style counter model.
+//!
+//! The paper's §VI-D methodology is explicit: "The average UCC is based
+//! on the *task-clock* perf event […] For the estimation of the average
+//! IPC across the whole CPU package, we used the *instructions* and
+//! *cycles* perf events. […] The average IPC across the whole CPU
+//! package is obtained multiplying the single-thread IPC by the average
+//! UCC. During our experiments, we also capture the
+//! *stalled-cycles-frontend* and *stalled-cycles-backend* perf events."
+//!
+//! [`PerfCounters`] implements exactly that accounting so workload
+//! models derive their Fig. 6 outputs the same way the paper does.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated counters for one profiled process.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// CPU cycles consumed while on-CPU.
+    pub cycles: u64,
+    /// Cycles stalled in the back end (waiting for memory or long
+    /// latency instructions).
+    pub stalled_cycles_backend: u64,
+    /// Cycles stalled in the front end.
+    pub stalled_cycles_frontend: u64,
+    /// On-CPU time in nanoseconds (the task-clock event).
+    pub task_clock_ns: u64,
+    /// Wall-clock duration of the profiled window, nanoseconds.
+    pub wall_clock_ns: u64,
+}
+
+impl PerfCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one execution burst: `instructions` retired over
+    /// `compute_cycles` of issue plus `backend_stall_cycles` of memory
+    /// stalls, at `ghz`.
+    pub fn record_burst(
+        &mut self,
+        instructions: u64,
+        compute_cycles: u64,
+        backend_stall_cycles: u64,
+        ghz: f64,
+    ) {
+        let cycles = compute_cycles + backend_stall_cycles;
+        self.instructions += instructions;
+        self.cycles += cycles;
+        self.stalled_cycles_backend += backend_stall_cycles;
+        self.task_clock_ns += (cycles as f64 / ghz) as u64;
+    }
+
+    /// Advances the wall clock (idle or busy).
+    pub fn advance_wall(&mut self, ns: u64) {
+        self.wall_clock_ns += ns;
+    }
+
+    /// Single-thread IPC: instructions / cycles.
+    pub fn thread_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average utilized CPU cores: task-clock over wall-clock ("how
+    /// parallel each task is").
+    pub fn ucc(&self) -> f64 {
+        if self.wall_clock_ns == 0 {
+            0.0
+        } else {
+            self.task_clock_ns as f64 / self.wall_clock_ns as f64
+        }
+    }
+
+    /// Package IPC: "the average IPC across the whole CPU package is
+    /// obtained multiplying the single-thread IPC by the average UCC".
+    pub fn package_ipc(&self) -> f64 {
+        self.thread_ipc() * self.ucc()
+    }
+
+    /// Fraction of on-CPU cycles stalled in the back end.
+    pub fn backend_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stalled_cycles_backend as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges another counter set (e.g. across executor threads).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.stalled_cycles_backend += other.stalled_cycles_backend;
+        self.stalled_cycles_frontend += other.stalled_cycles_frontend;
+        self.task_clock_ns += other.task_clock_ns;
+        // Wall clock is shared, not additive: keep the max window.
+        self.wall_clock_ns = self.wall_clock_ns.max(other.wall_clock_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_stalls() {
+        let mut p = PerfCounters::new();
+        // 100k instructions over 50k compute + 50k stall cycles.
+        p.record_burst(100_000, 50_000, 50_000, 4.0);
+        assert!((p.thread_ipc() - 1.0).abs() < 1e-12);
+        assert!((p.backend_stall_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(p.task_clock_ns, 25_000);
+    }
+
+    #[test]
+    fn ucc_is_task_clock_over_wall_clock() {
+        let mut p = PerfCounters::new();
+        p.record_burst(1_000, 4_000, 0, 4.0); // 1 µs on-CPU
+        p.advance_wall(2_000);
+        assert!((p.ucc() - 0.5).abs() < 1e-12);
+        // Package IPC = thread IPC (0.25) x UCC (0.5).
+        assert!((p.package_ipc() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_threads_under_one_wall_clock() {
+        let mut a = PerfCounters::new();
+        a.record_burst(1_000, 1_000, 0, 1.0);
+        a.advance_wall(10_000);
+        let mut b = PerfCounters::new();
+        b.record_burst(1_000, 1_000, 0, 1.0);
+        b.advance_wall(10_000);
+        a.merge(&b);
+        assert_eq!(a.instructions, 2_000);
+        assert_eq!(a.wall_clock_ns, 10_000);
+        // Two fully-busy... each thread was busy 1000ns of 10000: UCC 0.2.
+        assert!((a.ucc() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_zero() {
+        let p = PerfCounters::new();
+        assert_eq!(p.thread_ipc(), 0.0);
+        assert_eq!(p.ucc(), 0.0);
+        assert_eq!(p.backend_stall_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: cache-simulator invariants.
+
+use hostsim::cache::{Cache, CacheHierarchy, CacheLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Re-accessing any address immediately after touching it always
+    /// hits (temporal locality is never lost instantly).
+    #[test]
+    fn immediate_reaccess_hits(addrs in prop::collection::vec(0u64..(1 << 24), 1..200)) {
+        let mut c = Cache::new(32 * 1024, 8, 128);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "address {a:#x} evicted instantly");
+        }
+    }
+
+    /// hits + misses equals the number of accesses, and the hit ratio
+    /// stays in [0, 1].
+    #[test]
+    fn accounting_is_exact(addrs in prop::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut c = Cache::new(4 * 1024, 4, 128);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&c.hit_ratio()));
+    }
+
+    /// A working set that fits in the cache reaches a 100% hit rate on
+    /// the second pass, for any line-aligned layout.
+    #[test]
+    fn resident_working_set_always_hits(base in 0u64..(1 << 30), lines in 1u64..128) {
+        let mut c = Cache::new(32 * 1024, 8, 128); // 256 lines
+        let start = base & !127;
+        for pass in 0..2 {
+            for i in 0..lines {
+                let hit = c.access(start + i * 128);
+                if pass == 1 {
+                    prop_assert!(hit, "line {i} missed on the warm pass");
+                }
+            }
+        }
+    }
+
+    /// The hierarchy never reports a hit in a level the line could not
+    /// be in: first-ever touches always go to memory.
+    #[test]
+    fn cold_misses_reach_memory(addrs in prop::collection::hash_set(0u64..(1 << 26), 1..100)) {
+        let mut h = CacheHierarchy::power9();
+        let mut seen_lines = std::collections::HashSet::new();
+        for a in addrs {
+            let line = a / 128;
+            let level = h.access(a);
+            if seen_lines.insert(line) {
+                prop_assert_eq!(level, CacheLevel::Memory, "cold access to {:#x}", a);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Credit-based flow control.
+//!
+//! "Backpressure support using a credit-based mechanism to protect the Rx
+//! side from overflowing. […] Each credit represents an empty slot at the
+//! Rx ingress queue."
+
+use serde::{Deserialize, Serialize};
+
+/// The transmitter's view of the receiver's free ingress slots.
+///
+/// # Example
+///
+/// ```
+/// use llc::credit::CreditCounter;
+///
+/// let mut c = CreditCounter::new(4);
+/// assert!(c.try_consume());
+/// assert_eq!(c.available(), 3);
+/// c.replenish(1);
+/// assert_eq!(c.available(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CreditCounter {
+    available: u32,
+    max: u32,
+    consumed_total: u64,
+    starved_total: u64,
+}
+
+impl CreditCounter {
+    /// Creates a counter with `max` initial credits (the Rx queue depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`.
+    pub fn new(max: u32) -> Self {
+        assert!(max > 0, "credit pool cannot be empty");
+        CreditCounter {
+            available: max,
+            max,
+            consumed_total: 0,
+            starved_total: 0,
+        }
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// The pool ceiling.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Whether at least one credit is available.
+    pub fn has_credit(&self) -> bool {
+        self.available > 0
+    }
+
+    /// Consumes one credit if available; records starvation otherwise.
+    pub fn try_consume(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            self.consumed_total += 1;
+            true
+        } else {
+            self.starved_total += 1;
+            false
+        }
+    }
+
+    /// Returns `n` credits to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool would exceed its ceiling — that indicates a
+    /// protocol bug (double credit return).
+    pub fn replenish(&mut self, n: u32) {
+        assert!(
+            self.available + n <= self.max,
+            "credit overflow: {} + {n} > {}",
+            self.available,
+            self.max
+        );
+        self.available += n;
+    }
+
+    /// Total credits ever consumed.
+    pub fn consumed_total(&self) -> u64 {
+        self.consumed_total
+    }
+
+    /// Number of sends that found no credit ("credit starvation at the
+    /// Tx side" — the condition the Rx queue depth is sized to avoid).
+    pub fn starvation_events(&self) -> u64 {
+        self.starved_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_until_starved() {
+        let mut c = CreditCounter::new(2);
+        assert!(c.try_consume());
+        assert!(c.try_consume());
+        assert!(!c.try_consume());
+        assert!(!c.has_credit());
+        assert_eq!(c.starvation_events(), 1);
+        assert_eq!(c.consumed_total(), 2);
+    }
+
+    #[test]
+    fn replenish_restores() {
+        let mut c = CreditCounter::new(3);
+        c.try_consume();
+        c.try_consume();
+        c.replenish(2);
+        assert_eq!(c.available(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn over_replenish_panics() {
+        let mut c = CreditCounter::new(2);
+        c.replenish(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit pool cannot be empty")]
+    fn zero_pool_panics() {
+        CreditCounter::new(0);
+    }
+}

@@ -1,0 +1,532 @@
+//! LLC transmit/receive state machines.
+//!
+//! A full-duplex LLC link instantiates one [`LlcTx`] and one [`LlcRx`]
+//! per side. The machines are pure state — the event timing lives in
+//! [`crate::link`] (or in the `core` crate's datapath assembly), which
+//! routes data frames to the peer's `LlcRx` and control frames to the
+//! peer's `LlcTx`.
+//!
+//! Credit discipline: every *first* transmission of a data frame consumes
+//! one credit (one Rx ingress slot); the receiver returns the credit when
+//! the frame is delivered to the endpoint attachment. Replayed frames
+//! reuse the credit consumed by their original transmission, so recovery
+//! can never deadlock on an empty credit pool.
+
+use std::collections::VecDeque;
+
+use crate::credit::CreditCounter;
+use crate::flit::FlitSized;
+use crate::frame::{assemble, Control, Frame, FrameId};
+use crate::replay::ReplayBuffer;
+use crate::LlcConfig;
+
+/// How many consecutive discards the Rx tolerates before re-arming a
+/// replay request (guards against the request itself being lost).
+const REQUEST_REARM_DISCARDS: u32 = 8;
+
+/// The transmit side of one LLC link direction.
+#[derive(Debug)]
+pub struct LlcTx<T> {
+    config: LlcConfig,
+    next_id: FrameId,
+    staging: Vec<T>,
+    ready: VecDeque<Frame<T>>,
+    retransmit: VecDeque<Frame<T>>,
+    credits: CreditCounter,
+    replay: ReplayBuffer<T>,
+    credit_return_pool: u32,
+    last_replay_request: Option<FrameId>,
+    frames_sent: u64,
+    frames_replayed: u64,
+}
+
+impl<T: FlitSized + Clone> LlcTx<T> {
+    /// Creates a transmitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`LlcConfig::validate`]).
+    pub fn new(config: LlcConfig) -> Self {
+        config.validate();
+        LlcTx {
+            next_id: FrameId(config.initial_frame_id),
+            staging: Vec::new(),
+            ready: VecDeque::new(),
+            retransmit: VecDeque::new(),
+            credits: CreditCounter::new(config.rx_queue_frames as u32),
+            replay: ReplayBuffer::new(config.replay_window),
+            credit_return_pool: 0,
+            last_replay_request: None,
+            frames_sent: 0,
+            frames_replayed: 0,
+            config,
+        }
+    }
+
+    /// Stages a transaction for framing.
+    pub fn offer(&mut self, txn: T) {
+        self.staging.push(txn);
+    }
+
+    /// Flits currently staged but not yet framed (drives adaptive
+    /// batching: seal when a frame's worth accumulated, or when the
+    /// wire would otherwise go idle).
+    pub fn staged_flits(&self) -> usize {
+        self.staging.iter().map(FlitSized::flits).sum()
+    }
+
+    /// Payload flits one frame can carry.
+    pub fn frame_payload_flits(&self) -> usize {
+        self.config.frame_flits - 1
+    }
+
+    /// Assembles every staged transaction into frames, padding the final
+    /// partial frame with nops "for immediate transmission".
+    pub fn seal(&mut self) {
+        if self.staging.is_empty() {
+            return;
+        }
+        let piggyback = self.take_credit_returns();
+        let txns = std::mem::take(&mut self.staging);
+        let (frames, next) = assemble(txns, self.config.frame_flits, self.next_id, 0);
+        self.next_id = next;
+        let mut frames = frames;
+        // Piggy-back accumulated credit returns on the first frame's header.
+        if piggyback > 0 {
+            if let Some(Frame::Data {
+                piggyback_credits, ..
+            }) = frames.first_mut()
+            {
+                *piggyback_credits = piggyback;
+            }
+        }
+        self.ready.extend(frames);
+    }
+
+    /// Accumulates credits that the co-located receiver wants returned to
+    /// the peer; they ride on the next sealed frame's header.
+    pub fn stage_credit_return(&mut self, n: u32) {
+        self.credit_return_pool += n;
+    }
+
+    /// Drains the accumulated credit returns (used when an explicit
+    /// [`Control::CreditReturn`] frame must be emitted on an idle link).
+    pub fn take_credit_returns(&mut self) -> u32 {
+        std::mem::take(&mut self.credit_return_pool)
+    }
+
+    /// The next frame to put on the wire, if the protocol allows one:
+    /// retransmissions first (no new credit), then fresh frames (one
+    /// credit each, and room in the replay buffer).
+    pub fn next_transmittable(&mut self) -> Option<Frame<T>> {
+        if let Some(f) = self.retransmit.pop_front() {
+            self.frames_sent += 1;
+            self.frames_replayed += 1;
+            return Some(f);
+        }
+        if self.ready.is_empty() {
+            return None;
+        }
+        if !self.replay.has_room() || !self.credits.try_consume() {
+            return None;
+        }
+        let frame = self.ready.pop_front().expect("checked non-empty");
+        self.replay.retain(frame.clone());
+        self.frames_sent += 1;
+        Some(frame)
+    }
+
+    /// Handles an in-band control message from the peer's receiver.
+    pub fn on_control(&mut self, ctrl: Control) {
+        match ctrl {
+            Control::Ack(through) => {
+                // Credits are derived from the *cumulative* ack: every
+                // frame leaving the replay buffer frees exactly one Rx
+                // ingress slot. Cumulative state self-heals lost acks.
+                let before = self.replay.len();
+                self.replay.ack_through(through);
+                let freed = (before - self.replay.len()) as u32;
+                if freed > 0 {
+                    self.credits.replenish(freed);
+                }
+                // A new ack re-arms replay-request deduplication.
+                if self
+                    .last_replay_request
+                    .is_some_and(|req| req <= through)
+                {
+                    self.last_replay_request = None;
+                }
+            }
+            Control::ReplayRequest(from) => {
+                // Duplicate requests for the same point are served once;
+                // the receiver re-arms by requesting again after more
+                // discards, which shows up as a *different* request only
+                // after an intervening ack, so serve repeats too when the
+                // retransmit queue already drained.
+                if self.last_replay_request == Some(from) && !self.retransmit.is_empty() {
+                    return;
+                }
+                self.last_replay_request = Some(from);
+                self.retransmit = self.replay.frames_from(from).into();
+            }
+            Control::CreditReturn(n) => self.credits.replenish(n),
+        }
+    }
+
+    /// Retransmits everything unacknowledged (tail-loss recovery, driven
+    /// by the link's idle timer).
+    pub fn kick_tail_replay(&mut self) {
+        if let Some(oldest) = self.replay.oldest() {
+            if self.retransmit.is_empty() {
+                self.retransmit = self.replay.frames_from(oldest).into();
+            }
+        }
+    }
+
+    /// Whether any frame is staged, framed, retained or replaying.
+    pub fn is_idle(&self) -> bool {
+        self.staging.is_empty()
+            && self.ready.is_empty()
+            && self.retransmit.is_empty()
+            && self.replay.is_empty()
+    }
+
+    /// Whether delivery is complete (nothing unsent and nothing unacked).
+    pub fn all_acked(&self) -> bool {
+        self.is_idle()
+    }
+
+    /// The transmitter's credit view.
+    pub fn credits(&self) -> &CreditCounter {
+        &self.credits
+    }
+
+    /// Total frames put on the wire (including replays).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Frames re-transmitted by the replay machinery.
+    pub fn frames_replayed(&self) -> u64 {
+        self.frames_replayed
+    }
+
+    /// Frames framed but blocked (no credit / replay window full).
+    pub fn backlog(&self) -> usize {
+        self.ready.len() + self.retransmit.len()
+    }
+}
+
+/// What the receiver wants done after processing one arriving frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RxAction<T> {
+    /// Transactions delivered in order to the endpoint attachment.
+    pub delivered: Vec<T>,
+    /// Control messages to send back to the peer's transmitter.
+    pub replies: Vec<Control>,
+    /// Credits the peer piggy-backed for the co-located transmitter.
+    pub piggyback_credits: u32,
+}
+
+impl<T> Default for RxAction<T> {
+    fn default() -> Self {
+        RxAction {
+            delivered: Vec::new(),
+            replies: Vec::new(),
+            piggyback_credits: 0,
+        }
+    }
+}
+
+/// The receive side of one LLC link direction.
+#[derive(Debug)]
+pub struct LlcRx<T> {
+    expected: FrameId,
+    ack_every: u64,
+    discards_since_request: u32,
+    awaiting_replay: bool,
+    frames_delivered: u64,
+    duplicates: u64,
+    gaps: u64,
+    corrupt: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: FlitSized + Clone> LlcRx<T> {
+    /// Creates a receiver expecting the agreed initial frame id.
+    pub fn new(config: LlcConfig) -> Self {
+        config.validate();
+        LlcRx {
+            expected: FrameId(config.initial_frame_id),
+            ack_every: config.ack_every,
+            discards_since_request: 0,
+            awaiting_replay: false,
+            frames_delivered: 0,
+            duplicates: 0,
+            gaps: 0,
+            corrupt: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn request_replay(&mut self, replies: &mut Vec<Control>) {
+        if !self.awaiting_replay || self.discards_since_request >= REQUEST_REARM_DISCARDS {
+            replies.push(Control::ReplayRequest(self.expected));
+            self.awaiting_replay = true;
+            self.discards_since_request = 0;
+        }
+    }
+
+    /// Processes one arriving frame. `intact` is the CRC verdict decided
+    /// by the channel's fault model.
+    pub fn on_frame(&mut self, frame: Frame<T>, intact: bool) -> RxAction<T> {
+        let mut action = RxAction::default();
+        let (id, piggyback) = match &frame {
+            Frame::Data {
+                id,
+                piggyback_credits,
+                ..
+            } => (*id, *piggyback_credits),
+            Frame::Control(_) => {
+                // Control frames are routed to the Tx by the link layer;
+                // reaching here is a wiring bug.
+                panic!("control frame routed to LlcRx");
+            }
+        };
+        action.piggyback_credits = piggyback;
+        if !intact {
+            // Header cannot be trusted; ask for in-order replay.
+            self.corrupt += 1;
+            self.discards_since_request += 1;
+            self.request_replay(&mut action.replies);
+            return action;
+        }
+        if id < self.expected {
+            // Duplicate from an over-eager replay: discard, but re-ack so
+            // the transmitter can advance its buffer.
+            self.duplicates += 1;
+            action.replies.push(Control::Ack(FrameId(self.expected.0 - 1)));
+            return action;
+        }
+        if id > self.expected {
+            // Gap: an earlier frame was lost. The design replays strictly
+            // in order, so this frame is discarded and replay requested.
+            self.gaps += 1;
+            self.discards_since_request += 1;
+            self.request_replay(&mut action.replies);
+            return action;
+        }
+        // In-order delivery.
+        self.expected = self.expected.next();
+        self.awaiting_replay = false;
+        self.discards_since_request = 0;
+        self.frames_delivered += 1;
+        action.delivered = frame.into_txns();
+        // Cumulative acks coalesce: every Nth frame carries the ack for
+        // everything before it.
+        if self.frames_delivered % self.ack_every == 0 {
+            action.replies.push(Control::Ack(id));
+        }
+        action
+    }
+
+    /// The next frame id the receiver will accept.
+    pub fn expected(&self) -> FrameId {
+        self.expected
+    }
+
+    /// Frames delivered in order.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_delivered
+    }
+
+    /// Duplicates discarded.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Sequence gaps observed.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Corrupt frames discarded.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Msg = (u32, usize);
+
+    fn cfg() -> LlcConfig {
+        LlcConfig::default()
+    }
+
+    fn drain_tx(tx: &mut LlcTx<Msg>) -> Vec<Frame<Msg>> {
+        std::iter::from_fn(|| tx.next_transmittable()).collect()
+    }
+
+    #[test]
+    fn lossless_exchange_delivers_in_order() {
+        let mut tx = LlcTx::new(cfg());
+        let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
+        for i in 0..40 {
+            tx.offer((i, 3));
+        }
+        tx.seal();
+        let mut delivered = Vec::new();
+        for frame in drain_tx(&mut tx) {
+            let act = rx.on_frame(frame, true);
+            delivered.extend(act.delivered);
+            for c in act.replies {
+                tx.on_control(c);
+            }
+        }
+        assert_eq!(delivered, (0..40).map(|i| (i, 3)).collect::<Vec<_>>());
+        assert!(tx.all_acked());
+        assert_eq!(rx.gaps(), 0);
+    }
+
+    #[test]
+    fn credits_bound_inflight_frames() {
+        let mut config = cfg();
+        config.rx_queue_frames = 4;
+        config.replay_window = 8;
+        let mut tx = LlcTx::new(config);
+        for i in 0..100 {
+            tx.offer((i, 7)); // one txn per frame
+        }
+        tx.seal();
+        // Without any acks/credit returns, at most 4 frames leave.
+        let sent = drain_tx(&mut tx);
+        assert_eq!(sent.len(), 4);
+        assert!(tx.credits().starvation_events() > 0);
+    }
+
+    #[test]
+    fn dropped_frame_recovers_via_replay_request() {
+        let mut tx = LlcTx::new(cfg());
+        let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
+        for i in 0..3 {
+            tx.offer((i, 7));
+        }
+        tx.seal();
+        let frames = drain_tx(&mut tx);
+        assert_eq!(frames.len(), 3);
+        // Frame 0 delivered; frame 1 dropped; frame 2 arrives out of order.
+        let a0 = rx.on_frame(frames[0].clone(), true);
+        for c in a0.replies {
+            tx.on_control(c);
+        }
+        let a2 = rx.on_frame(frames[2].clone(), true);
+        assert!(a2.delivered.is_empty());
+        assert_eq!(a2.replies, vec![Control::ReplayRequest(FrameId(1))]);
+        for c in a2.replies {
+            tx.on_control(c);
+        }
+        // Tx replays frames 1 and 2 in order.
+        let replayed = drain_tx(&mut tx);
+        let ids: Vec<u64> = replayed.iter().map(|f| f.id().unwrap().0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        let mut got = Vec::new();
+        for f in replayed {
+            let act = rx.on_frame(f, true);
+            got.extend(act.delivered);
+            for c in act.replies {
+                tx.on_control(c);
+            }
+        }
+        assert_eq!(got, vec![(1, 7), (2, 7)]);
+        assert!(tx.all_acked());
+        assert_eq!(tx.frames_replayed(), 2);
+    }
+
+    #[test]
+    fn corrupt_frame_triggers_replay() {
+        let mut tx = LlcTx::new(cfg());
+        let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
+        tx.offer((9, 7));
+        tx.seal();
+        let f = tx.next_transmittable().unwrap();
+        let act = rx.on_frame(f.clone(), false);
+        assert!(act.delivered.is_empty());
+        assert_eq!(act.replies, vec![Control::ReplayRequest(FrameId(0))]);
+        assert_eq!(rx.corrupt(), 1);
+        tx.on_control(Control::ReplayRequest(FrameId(0)));
+        let again = tx.next_transmittable().unwrap();
+        let act = rx.on_frame(again, true);
+        assert_eq!(act.delivered, vec![(9, 7)]);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_and_reacked() {
+        let mut tx = LlcTx::new(cfg());
+        let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
+        tx.offer((1, 7));
+        tx.seal();
+        let f = tx.next_transmittable().unwrap();
+        let a1 = rx.on_frame(f.clone(), true);
+        assert_eq!(a1.delivered.len(), 1);
+        let a2 = rx.on_frame(f, true);
+        assert!(a2.delivered.is_empty());
+        assert_eq!(rx.duplicates(), 1);
+        assert!(a2.replies.contains(&Control::Ack(FrameId(0))));
+    }
+
+    #[test]
+    fn replay_requests_are_deduplicated_while_replaying() {
+        let mut tx = LlcTx::new(cfg());
+        for i in 0..4 {
+            tx.offer((i, 7));
+        }
+        tx.seal();
+        let _ = drain_tx(&mut tx);
+        tx.on_control(Control::ReplayRequest(FrameId(0)));
+        assert_eq!(tx.backlog(), 4);
+        // A second identical request while the queue is still full is
+        // ignored (no doubling).
+        tx.on_control(Control::ReplayRequest(FrameId(0)));
+        assert_eq!(tx.backlog(), 4);
+    }
+
+    #[test]
+    fn piggybacked_credits_ride_first_frame() {
+        let mut tx = LlcTx::new(cfg());
+        tx.stage_credit_return(5);
+        tx.offer((0, 1));
+        tx.offer((1, 1));
+        tx.seal();
+        let f = tx.next_transmittable().unwrap();
+        match f {
+            Frame::Data {
+                piggyback_credits, ..
+            } => assert_eq!(piggyback_credits, 5),
+            _ => panic!("expected data frame"),
+        }
+    }
+
+    #[test]
+    fn tail_replay_retransmits_unacked() {
+        let mut tx = LlcTx::new(cfg());
+        tx.offer((3, 7));
+        tx.seal();
+        let _lost = tx.next_transmittable().unwrap();
+        assert_eq!(tx.backlog(), 0);
+        tx.kick_tail_replay();
+        assert_eq!(tx.backlog(), 1);
+        let again = tx.next_transmittable().unwrap();
+        assert_eq!(again.id(), Some(FrameId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "control frame routed to LlcRx")]
+    fn control_to_rx_is_a_wiring_bug() {
+        let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
+        let _ = rx.on_frame(Frame::Control(Control::Ack(FrameId(0))), true);
+    }
+}

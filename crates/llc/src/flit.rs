@@ -1,0 +1,54 @@
+//! Flit sizing.
+//!
+//! "The ThymesisFlow LLC design features a 32 B wide datapath" — every
+//! unit crossing the network is a whole number of 32-byte flits.
+
+/// Width of the LLC datapath: one flit is 32 bytes.
+pub const FLIT_BYTES: usize = 32;
+
+/// Anything the LLC can transport: the upper layer declares how many
+/// flits each message occupies on the wire.
+///
+/// A 128 B write is 1 header flit + 4 data flits; a read request is a
+/// single header flit; a read response is 1 + 4 flits.
+pub trait FlitSized {
+    /// Number of 32 B flits this message occupies.
+    fn flits(&self) -> usize;
+}
+
+// Convenient for tests and generic harnesses: `(payload, flit_count)`.
+impl<T> FlitSized for (T, usize) {
+    fn flits(&self) -> usize {
+        self.1
+    }
+}
+
+/// Bytes occupied by `n` flits.
+pub const fn flits_to_bytes(n: usize) -> usize {
+    n * FLIT_BYTES
+}
+
+/// Flits needed to carry `bytes` of payload (rounded up).
+pub const fn bytes_to_flits(bytes: usize) -> usize {
+    bytes.div_ceil(FLIT_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(flits_to_bytes(4), 128);
+        assert_eq!(bytes_to_flits(128), 4);
+        assert_eq!(bytes_to_flits(129), 5);
+        assert_eq!(bytes_to_flits(1), 1);
+        assert_eq!(bytes_to_flits(0), 0);
+    }
+
+    #[test]
+    fn tuple_is_flit_sized() {
+        let msg = ("read", 1usize);
+        assert_eq!(msg.flits(), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! LLC frames: fixed-size groups of flits with sequential identifiers.
+//!
+//! "All transactions from active thymesisflows that reach the LLC layer
+//! of a network channel are grouped in frames composed of a pre-defined
+//! number of flits. Incomplete frames are padded with single-flit nop
+//! transaction headers for immediate transmission. In addition, special
+//! single-flit frames are used as in-band messages to transfer replay
+//! requests to the Tx side."
+
+use serde::{Deserialize, Serialize};
+
+use crate::flit::{FlitSized, FLIT_BYTES};
+
+/// Sequential frame identifier assigned by the Tx side.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FrameId(pub u64);
+
+impl FrameId {
+    /// The next identifier in sequence.
+    pub fn next(self) -> FrameId {
+        FrameId(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for FrameId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// One slot of a frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Entry<T> {
+    /// An upper-layer transaction occupying one or more flits.
+    Txn(T),
+    /// A single-flit nop used to pad incomplete frames.
+    Nop,
+}
+
+/// In-band control carried as special single-flit frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Control {
+    /// Cumulative acknowledgement: every frame up to and including the
+    /// identifier has been received intact.
+    Ack(FrameId),
+    /// Request in-order replay starting from the identifier.
+    ReplayRequest(FrameId),
+    /// Credit return: the receiver freed `count` ingress slots.
+    CreditReturn(u32),
+}
+
+/// A frame on the wire: either a data frame of flit entries or a
+/// single-flit in-band control message. Data frames piggy-back a credit
+/// return field on their header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frame<T> {
+    /// A data frame.
+    Data {
+        /// Sequential identifier.
+        id: FrameId,
+        /// Transactions plus nop padding.
+        entries: Vec<Entry<T>>,
+        /// Credits piggy-backed on the header ("exchanged by
+        /// piggy-backing them on the transaction headers").
+        piggyback_credits: u32,
+    },
+    /// A single-flit in-band control frame.
+    Control(Control),
+}
+
+impl<T: FlitSized> Frame<T> {
+    /// Total flits this frame occupies on the wire (data frames include a
+    /// CRC/header flit; control frames are a single flit).
+    pub fn flits(&self) -> usize {
+        match self {
+            Frame::Data { entries, .. } => {
+                entries
+                    .iter()
+                    .map(|e| match e {
+                        Entry::Txn(t) => t.flits(),
+                        Entry::Nop => 1,
+                    })
+                    .sum::<usize>()
+                    + 1
+            }
+            Frame::Control(_) => 1,
+        }
+    }
+
+    /// Bytes on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.flits() * FLIT_BYTES) as u64
+    }
+}
+
+impl<T> Frame<T> {
+    /// The frame identifier of a data frame.
+    pub fn id(&self) -> Option<FrameId> {
+        match self {
+            Frame::Data { id, .. } => Some(*id),
+            Frame::Control(_) => None,
+        }
+    }
+
+    /// The transactions carried, dropping nop padding.
+    pub fn into_txns(self) -> Vec<T> {
+        match self {
+            Frame::Data { entries, .. } => entries
+                .into_iter()
+                .filter_map(|e| match e {
+                    Entry::Txn(t) => Some(t),
+                    Entry::Nop => None,
+                })
+                .collect(),
+            Frame::Control(_) => Vec::new(),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), used by the frame integrity check.
+///
+/// The simulation decides corruption via fault injection, but the CRC is
+/// real: golden-value tests pin the implementation and the encode path
+/// uses it for the header flit.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// Assembles transactions into maximal data frames of `frame_flits`,
+/// nop-padding the final frame. Messages never split across frames.
+///
+/// # Panics
+///
+/// Panics if any message is larger than a whole frame payload.
+pub fn assemble<T: FlitSized>(
+    txns: Vec<T>,
+    frame_flits: usize,
+    mut next_id: FrameId,
+    credits_each: u32,
+) -> (Vec<Frame<T>>, FrameId) {
+    let payload_flits = frame_flits - 1; // header/CRC flit
+    let mut frames = Vec::new();
+    let mut entries: Vec<Entry<T>> = Vec::new();
+    let mut used = 0usize;
+    for t in txns {
+        let f = t.flits();
+        assert!(
+            f <= payload_flits,
+            "message of {f} flits exceeds frame payload of {payload_flits}"
+        );
+        if used + f > payload_flits {
+            pad(&mut entries, payload_flits - used);
+            frames.push(Frame::Data {
+                id: next_id,
+                entries: std::mem::take(&mut entries),
+                piggyback_credits: credits_each,
+            });
+            next_id = next_id.next();
+            used = 0;
+        }
+        used += f;
+        entries.push(Entry::Txn(t));
+    }
+    if !entries.is_empty() {
+        pad(&mut entries, payload_flits - used);
+        frames.push(Frame::Data {
+            id: next_id,
+            entries,
+            piggyback_credits: credits_each,
+        });
+        next_id = next_id.next();
+    }
+    (frames, next_id)
+}
+
+fn pad<T>(entries: &mut Vec<Entry<T>>, nops: usize) {
+    for _ in 0..nops {
+        entries.push(Entry::Nop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Msg = (u32, usize);
+
+    #[test]
+    fn crc32_golden_values() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn assemble_packs_and_pads() {
+        // Frame of 8 flits -> 7 payload flits. Three 2-flit messages fill
+        // 6 flits; one nop pads the 7th.
+        let txns: Vec<Msg> = vec![(1, 2), (2, 2), (3, 2)];
+        let (frames, next) = assemble(txns, 8, FrameId(0), 0);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(next, FrameId(1));
+        assert_eq!(frames[0].flits(), 8);
+        match &frames[0] {
+            Frame::Data { entries, .. } => {
+                let nops = entries.iter().filter(|e| matches!(e, Entry::Nop)).count();
+                assert_eq!(nops, 1);
+            }
+            _ => panic!("expected data frame"),
+        }
+    }
+
+    #[test]
+    fn messages_never_split_across_frames() {
+        // 7 payload flits; a 5-flit then a 4-flit message must occupy two
+        // frames (4 doesn't fit after 5).
+        let txns: Vec<Msg> = vec![(1, 5), (2, 4)];
+        let (frames, _) = assemble(txns, 8, FrameId(10), 0);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].id(), Some(FrameId(10)));
+        assert_eq!(frames[1].id(), Some(FrameId(11)));
+        assert_eq!(frames[0].clone().into_txns(), vec![(1, 5)]);
+        assert_eq!(frames[1].clone().into_txns(), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn every_assembled_frame_is_exactly_full() {
+        let txns: Vec<Msg> = (0..57).map(|i| (i, 1 + (i as usize % 5))).collect();
+        let (frames, _) = assemble(txns, 8, FrameId(0), 0);
+        for f in &frames {
+            assert_eq!(f.flits(), 8, "{f:?}");
+            assert_eq!(f.wire_bytes(), 256);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let txns: Vec<Msg> = (0..20).map(|i| (i, 7)).collect();
+        let (frames, next) = assemble(txns, 8, FrameId(5), 0);
+        assert_eq!(frames.len(), 20);
+        assert_eq!(next, FrameId(25));
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.id(), Some(FrameId(5 + i as u64)));
+        }
+    }
+
+    #[test]
+    fn control_frames_are_single_flit() {
+        let f: Frame<Msg> = Frame::Control(Control::ReplayRequest(FrameId(3)));
+        assert_eq!(f.flits(), 1);
+        assert_eq!(f.wire_bytes(), 32);
+        assert!(f.id().is_none());
+        assert!(f.into_txns().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds frame payload")]
+    fn oversized_message_panics() {
+        let _ = assemble(vec![(0u32, 9usize)], 8, FrameId(0), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The Tx-side replay buffer.
+//!
+//! Transmitted frames are retained until cumulatively acknowledged; on a
+//! replay request the Tx re-emits, **in order**, every retained frame
+//! starting from the requested identifier.
+
+use std::collections::VecDeque;
+
+use crate::frame::{Frame, FrameId};
+
+/// Retention buffer for unacknowledged frames.
+///
+/// # Example
+///
+/// ```
+/// use llc::frame::{Frame, FrameId};
+/// use llc::replay::ReplayBuffer;
+///
+/// let mut rb: ReplayBuffer<(u32, usize)> = ReplayBuffer::new(8);
+/// rb.retain(Frame::Data { id: FrameId(0), entries: vec![], piggyback_credits: 0 });
+/// rb.retain(Frame::Data { id: FrameId(1), entries: vec![], piggyback_credits: 0 });
+/// let replayed = rb.frames_from(FrameId(0));
+/// assert_eq!(replayed.len(), 2);
+/// rb.ack_through(FrameId(1));
+/// assert!(rb.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    frames: VecDeque<Frame<T>>,
+    capacity: usize,
+    replays_served: u64,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    /// Creates a buffer retaining up to `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer cannot be empty");
+        ReplayBuffer {
+            frames: VecDeque::with_capacity(capacity),
+            capacity,
+            replays_served: 0,
+        }
+    }
+
+    /// Whether another frame can be retained.
+    pub fn has_room(&self) -> bool {
+        self.frames.len() < self.capacity
+    }
+
+    /// Retains a transmitted data frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (the Tx must check [`Self::has_room`]
+    /// before transmitting) or if the frame id is not the successor of
+    /// the last retained frame.
+    pub fn retain(&mut self, frame: Frame<T>) {
+        assert!(self.has_room(), "replay buffer overflow");
+        let id = frame.id().expect("only data frames are retained");
+        if let Some(last) = self.frames.back().and_then(Frame::id) {
+            assert_eq!(id, last.next(), "non-sequential retention: {id}");
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// Drops every frame with id ≤ `through` (cumulative ack).
+    pub fn ack_through(&mut self, through: FrameId) {
+        while let Some(front) = self.frames.front().and_then(Frame::id) {
+            if front <= through {
+                self.frames.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns clones of every retained frame with id ≥ `from`, in order.
+    /// Frames older than `from` were already received and are skipped.
+    pub fn frames_from(&mut self, from: FrameId) -> Vec<Frame<T>> {
+        self.replays_served += 1;
+        self.frames
+            .iter()
+            .filter(|f| f.id().is_some_and(|id| id >= from))
+            .cloned()
+            .collect()
+    }
+
+    /// Oldest retained frame id, if any.
+    pub fn oldest(&self) -> Option<FrameId> {
+        self.frames.front().and_then(Frame::id)
+    }
+
+    /// Number of retained frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing is awaiting acknowledgement.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Replay requests served so far.
+    pub fn replays_served(&self) -> u64 {
+        self.replays_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(id: u64) -> Frame<(u32, usize)> {
+        Frame::Data {
+            id: FrameId(id),
+            entries: vec![],
+            piggyback_credits: 0,
+        }
+    }
+
+    #[test]
+    fn ack_is_cumulative() {
+        let mut rb = ReplayBuffer::new(10);
+        for i in 0..5 {
+            rb.retain(data(i));
+        }
+        rb.ack_through(FrameId(2));
+        assert_eq!(rb.len(), 2);
+        assert_eq!(rb.oldest(), Some(FrameId(3)));
+    }
+
+    #[test]
+    fn replay_from_midpoint() {
+        let mut rb = ReplayBuffer::new(10);
+        for i in 0..5 {
+            rb.retain(data(i));
+        }
+        let frames = rb.frames_from(FrameId(3));
+        let ids: Vec<u64> = frames.iter().map(|f| f.id().unwrap().0).collect();
+        assert_eq!(ids, vec![3, 4]);
+        assert_eq!(rb.replays_served(), 1);
+    }
+
+    #[test]
+    fn ack_of_unknown_id_is_noop() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.retain(data(7));
+        rb.ack_through(FrameId(3));
+        assert_eq!(rb.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay buffer overflow")]
+    fn overflow_panics() {
+        let mut rb = ReplayBuffer::new(1);
+        rb.retain(data(0));
+        rb.retain(data(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-sequential retention")]
+    fn gap_in_retention_panics() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.retain(data(0));
+        rb.retain(data(2));
+    }
+}

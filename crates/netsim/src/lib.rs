@@ -1,0 +1,78 @@
+//! Physical network substrate for the ThymesisFlow datapath.
+//!
+//! The prototype in the paper drives QSFP28 cages with Xilinx GTY
+//! transceivers: each ThymesisFlow network channel bonds **4 × 25 Gbit/s
+//! lanes** (100 Gbit/s) running an Aurora 64B/66B datalink with CRC, over
+//! direct-attached copper cables, in point-to-point or point-to-multipoint
+//! configurations. This crate models those parts:
+//!
+//! * [`lane`] — a serDES lane: raw rate, 64b/66b encoding overhead and the
+//!   per-crossing latency of the PHY stack.
+//! * [`channel`] — a bonded channel: serialization at the aggregate payload
+//!   rate, fixed propagation latency and fault injection (drops and CRC
+//!   corruption) for exercising the LLC replay machinery.
+//! * [`cable`] — direct-attach cables (propagation delay by length).
+//! * [`fault`] — deterministic fault injection.
+//! * [`switch`] — an optional circuit switch for point-to-multipoint
+//!   topologies (the "at most one switching layer" of the paper's §VII).
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::channel::ChannelBuilder;
+//! use netsim::Delivery;
+//! use simkit::time::SimTime;
+//!
+//! // One ThymesisFlow network channel: 4 x 25 Gbit/s bonded lanes.
+//! let mut ch = ChannelBuilder::thymesisflow_default().build();
+//! match ch.transmit(SimTime::ZERO, 256) {
+//!     Delivery::Delivered { at } => assert!(at > SimTime::ZERO),
+//!     other => panic!("lossless channel dropped a frame: {other:?}"),
+//! }
+//! ```
+
+pub mod cable;
+pub mod channel;
+pub mod fault;
+pub mod lane;
+pub mod switch;
+
+pub use cable::DirectAttachCable;
+pub use channel::{Channel, ChannelBuilder};
+pub use fault::{FaultInjector, FaultSpec};
+pub use lane::SerdesLane;
+pub use switch::CircuitSwitch;
+
+use simkit::time::SimTime;
+
+/// Outcome of transmitting one frame on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Frame arrives intact at `at`.
+    Delivered {
+        /// Arrival instant at the receiver.
+        at: SimTime,
+    },
+    /// Frame arrives but fails its CRC check at `at`.
+    Corrupted {
+        /// Arrival instant of the damaged frame.
+        at: SimTime,
+    },
+    /// Frame is lost in flight; the receiver sees nothing.
+    Dropped,
+}
+
+impl Delivery {
+    /// The arrival instant, if anything arrived.
+    pub fn arrival(self) -> Option<SimTime> {
+        match self {
+            Delivery::Delivered { at } | Delivery::Corrupted { at } => Some(at),
+            Delivery::Dropped => None,
+        }
+    }
+
+    /// Whether the frame arrived intact.
+    pub fn is_ok(self) -> bool {
+        matches!(self, Delivery::Delivered { .. })
+    }
+}

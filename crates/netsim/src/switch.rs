@@ -1,0 +1,259 @@
+//! A circuit switch for point-to-multipoint topologies.
+//!
+//! The paper's §VII argues that, with current technology, rack-scale
+//! disaggregation tolerates *at most one switching layer*; a circuit
+//! switch gives congestion-free paths at the price of reconfiguration
+//! latency and port-count limits. This model captures exactly those
+//! trade-offs for the control plane to reason about.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simkit::time::SimTime;
+
+/// A switch port identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PortId(pub u32);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Errors returned by switch operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The referenced port does not exist on this switch.
+    UnknownPort(PortId),
+    /// One of the ports already participates in a circuit.
+    PortBusy(PortId),
+    /// The two endpoints of a circuit must differ.
+    SelfLoop(PortId),
+    /// No circuit exists between the given ports.
+    NoCircuit(PortId),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::UnknownPort(p) => write!(f, "unknown switch port {p}"),
+            SwitchError::PortBusy(p) => write!(f, "switch port {p} already in a circuit"),
+            SwitchError::SelfLoop(p) => write!(f, "cannot connect {p} to itself"),
+            SwitchError::NoCircuit(p) => write!(f, "no circuit established on {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// A non-blocking circuit switch with a fixed port count.
+///
+/// Circuits are bidirectional port pairs. Establishing or tearing down a
+/// circuit costs [`CircuitSwitch::reconfiguration_latency`]; traversal
+/// costs [`CircuitSwitch::traversal_latency`].
+///
+/// # Example
+///
+/// ```
+/// use netsim::switch::{CircuitSwitch, PortId};
+/// use simkit::time::SimTime;
+///
+/// let mut sw = CircuitSwitch::new(8, SimTime::from_us(20), SimTime::from_ns(35));
+/// let ready = sw.connect(PortId(0), PortId(5), SimTime::ZERO)?;
+/// assert_eq!(ready.as_us(), 20);
+/// assert_eq!(sw.peer(PortId(0)), Some(PortId(5)));
+/// # Ok::<(), netsim::switch::SwitchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitSwitch {
+    ports: u32,
+    circuits: HashMap<PortId, PortId>,
+    reconfig: SimTime,
+    traversal: SimTime,
+    reconfigurations: u64,
+}
+
+impl CircuitSwitch {
+    /// Creates a switch with `ports` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports < 2`.
+    pub fn new(ports: u32, reconfiguration: SimTime, traversal: SimTime) -> Self {
+        assert!(ports >= 2, "a switch needs at least two ports");
+        CircuitSwitch {
+            ports,
+            circuits: HashMap::new(),
+            reconfig: reconfiguration,
+            traversal,
+            reconfigurations: 0,
+        }
+    }
+
+    /// An optical circuit switch with microsecond-scale reconfiguration
+    /// (the §VII discussion of ns/µs-scale all-optical switches).
+    pub fn optical(ports: u32) -> Self {
+        Self::new(ports, SimTime::from_us(25), SimTime::from_ns(30))
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> u32 {
+        self.ports
+    }
+
+    /// Latency to (re)configure a circuit.
+    pub fn reconfiguration_latency(&self) -> SimTime {
+        self.reconfig
+    }
+
+    /// Per-frame traversal latency of an established circuit.
+    pub fn traversal_latency(&self) -> SimTime {
+        self.traversal
+    }
+
+    fn check_port(&self, p: PortId) -> Result<(), SwitchError> {
+        if p.0 >= self.ports {
+            Err(SwitchError::UnknownPort(p))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Establishes a bidirectional circuit; returns the instant it is
+    /// usable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a port is unknown, busy, or `a == b`.
+    pub fn connect(&mut self, a: PortId, b: PortId, now: SimTime) -> Result<SimTime, SwitchError> {
+        self.check_port(a)?;
+        self.check_port(b)?;
+        if a == b {
+            return Err(SwitchError::SelfLoop(a));
+        }
+        if self.circuits.contains_key(&a) {
+            return Err(SwitchError::PortBusy(a));
+        }
+        if self.circuits.contains_key(&b) {
+            return Err(SwitchError::PortBusy(b));
+        }
+        self.circuits.insert(a, b);
+        self.circuits.insert(b, a);
+        self.reconfigurations += 1;
+        Ok(now + self.reconfig)
+    }
+
+    /// Tears down the circuit on `p`; returns the instant the ports are
+    /// free again.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port is unknown or has no circuit.
+    pub fn disconnect(&mut self, p: PortId, now: SimTime) -> Result<SimTime, SwitchError> {
+        self.check_port(p)?;
+        let peer = self.circuits.remove(&p).ok_or(SwitchError::NoCircuit(p))?;
+        self.circuits.remove(&peer);
+        self.reconfigurations += 1;
+        Ok(now + self.reconfig)
+    }
+
+    /// The port currently circuited to `p`, if any.
+    pub fn peer(&self, p: PortId) -> Option<PortId> {
+        self.circuits.get(&p).copied()
+    }
+
+    /// Number of established circuits.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len() / 2
+    }
+
+    /// Ports with no circuit.
+    pub fn free_ports(&self) -> Vec<PortId> {
+        (0..self.ports)
+            .map(PortId)
+            .filter(|p| !self.circuits.contains_key(p))
+            .collect()
+    }
+
+    /// Total reconfiguration operations performed.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw() -> CircuitSwitch {
+        CircuitSwitch::new(4, SimTime::from_us(10), SimTime::from_ns(30))
+    }
+
+    #[test]
+    fn connect_and_traverse() {
+        let mut s = sw();
+        let ready = s.connect(PortId(0), PortId(1), SimTime::ZERO).unwrap();
+        assert_eq!(ready.as_us(), 10);
+        assert_eq!(s.peer(PortId(0)), Some(PortId(1)));
+        assert_eq!(s.peer(PortId(1)), Some(PortId(0)));
+        assert_eq!(s.circuit_count(), 1);
+    }
+
+    #[test]
+    fn busy_port_rejected() {
+        let mut s = sw();
+        s.connect(PortId(0), PortId(1), SimTime::ZERO).unwrap();
+        assert_eq!(
+            s.connect(PortId(0), PortId(2), SimTime::ZERO),
+            Err(SwitchError::PortBusy(PortId(0)))
+        );
+        assert_eq!(
+            s.connect(PortId(3), PortId(1), SimTime::ZERO),
+            Err(SwitchError::PortBusy(PortId(1)))
+        );
+    }
+
+    #[test]
+    fn disconnect_frees_both_ports() {
+        let mut s = sw();
+        s.connect(PortId(2), PortId(3), SimTime::ZERO).unwrap();
+        s.disconnect(PortId(3), SimTime::ZERO).unwrap();
+        assert_eq!(s.peer(PortId(2)), None);
+        assert_eq!(s.circuit_count(), 0);
+        assert_eq!(s.free_ports().len(), 4);
+    }
+
+    #[test]
+    fn port_count_limits_scalability() {
+        // The §VII argument: a node can only reach as many neighbours as
+        // it has ports, unless the switch reconfigures.
+        let mut s = sw();
+        s.connect(PortId(0), PortId(1), SimTime::ZERO).unwrap();
+        s.connect(PortId(2), PortId(3), SimTime::ZERO).unwrap();
+        assert!(s.free_ports().is_empty());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            SwitchError::UnknownPort(PortId(9)).to_string(),
+            "unknown switch port port9"
+        );
+        assert_eq!(
+            sw().connect(PortId(0), PortId(9), SimTime::ZERO),
+            Err(SwitchError::UnknownPort(PortId(9)))
+        );
+        assert_eq!(
+            sw().connect(PortId(1), PortId(1), SimTime::ZERO),
+            Err(SwitchError::SelfLoop(PortId(1)))
+        );
+        assert_eq!(
+            sw().disconnect(PortId(1), SimTime::ZERO),
+            Err(SwitchError::NoCircuit(PortId(1)))
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! The device configuration space.
+//!
+//! "The ThymesisFlow configuration space is exposed to the Linux
+//! operating system as a memory-mapped I/O (MMIO) area, using the
+//! OpenCAPI generic device driver." The user-space agent pokes these
+//! registers to program the RMMU section table, enable flows and
+//! register stolen-memory regions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Well-known register offsets of the ThymesisFlow configuration space.
+pub mod regs {
+    /// Global enable bit for the endpoint datapath.
+    pub const CTRL_ENABLE: u64 = 0x0000;
+    /// Device identification (read-only).
+    pub const DEVICE_ID: u64 = 0x0008;
+    /// Base of the RMMU section-table programming window.
+    pub const SECTION_TABLE_BASE: u64 = 0x1000;
+    /// Stride between section-table entries in the window.
+    pub const SECTION_TABLE_STRIDE: u64 = 0x10;
+    /// PASID registration register (memory-stealing endpoint).
+    pub const PASID_REGISTER: u64 = 0x0100;
+    /// Stolen-region base effective address.
+    pub const STEAL_EA_BASE: u64 = 0x0108;
+    /// Stolen-region length in bytes.
+    pub const STEAL_LEN: u64 = 0x0110;
+}
+
+/// Value reported by [`regs::DEVICE_ID`].
+pub const THYMESISFLOW_DEVICE_ID: u64 = 0x7F10_2020;
+
+/// Error for out-of-window accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioError {
+    /// The offending offset.
+    pub offset: u64,
+}
+
+impl fmt::Display for MmioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mmio access outside window: {:#x}", self.offset)
+    }
+}
+
+impl std::error::Error for MmioError {}
+
+/// A sparse 64-bit register file behind an MMIO window.
+///
+/// # Example
+///
+/// ```
+/// use opencapi::mmio::{regs, MmioSpace, THYMESISFLOW_DEVICE_ID};
+///
+/// let mut mmio = MmioSpace::new(0x4000);
+/// assert_eq!(mmio.read(regs::DEVICE_ID)?, THYMESISFLOW_DEVICE_ID);
+/// mmio.write(regs::CTRL_ENABLE, 1)?;
+/// assert!(mmio.is_enabled());
+/// # Ok::<(), opencapi::mmio::MmioError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MmioSpace {
+    window: u64,
+    regs: BTreeMap<u64, u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MmioSpace {
+    /// Creates a window of `window` bytes with the identification
+    /// register pre-populated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window cannot hold the well-known registers.
+    pub fn new(window: u64) -> Self {
+        assert!(window > regs::SECTION_TABLE_BASE, "window too small");
+        let mut regs_map = BTreeMap::new();
+        regs_map.insert(regs::DEVICE_ID, THYMESISFLOW_DEVICE_ID);
+        MmioSpace {
+            window,
+            regs: regs_map,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    fn check(&self, offset: u64) -> Result<(), MmioError> {
+        if offset % 8 != 0 || offset >= self.window {
+            Err(MmioError { offset })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a register (unwritten registers read as zero).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-window offsets.
+    pub fn read(&mut self, offset: u64) -> Result<u64, MmioError> {
+        self.check(offset)?;
+        self.reads += 1;
+        Ok(self.regs.get(&offset).copied().unwrap_or(0))
+    }
+
+    /// Writes a register.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-window offsets, and on writes to the
+    /// read-only identification register.
+    pub fn write(&mut self, offset: u64, value: u64) -> Result<(), MmioError> {
+        self.check(offset)?;
+        if offset == regs::DEVICE_ID {
+            return Err(MmioError { offset });
+        }
+        self.writes += 1;
+        self.regs.insert(offset, value);
+        Ok(())
+    }
+
+    /// Whether the datapath enable bit is set.
+    pub fn is_enabled(&self) -> bool {
+        self.regs
+            .get(&regs::CTRL_ENABLE)
+            .copied()
+            .unwrap_or(0)
+            & 1
+            == 1
+    }
+
+    /// Offset of section-table entry `index` in the programming window.
+    pub fn section_entry_offset(index: u64) -> u64 {
+        regs::SECTION_TABLE_BASE + index * regs::SECTION_TABLE_STRIDE
+    }
+
+    /// Total MMIO reads served.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total MMIO writes served.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_is_read_only() {
+        let mut m = MmioSpace::new(0x4000);
+        assert_eq!(m.read(regs::DEVICE_ID).unwrap(), THYMESISFLOW_DEVICE_ID);
+        assert!(m.write(regs::DEVICE_ID, 0).is_err());
+    }
+
+    #[test]
+    fn unwritten_registers_read_zero() {
+        let mut m = MmioSpace::new(0x4000);
+        assert_eq!(m.read(regs::STEAL_LEN).unwrap(), 0);
+    }
+
+    #[test]
+    fn alignment_and_bounds_enforced() {
+        let mut m = MmioSpace::new(0x4000);
+        assert!(m.read(0x4).is_err());
+        assert!(m.read(0x4000).is_err());
+        assert!(m.write(0x3FF8, 1).is_ok());
+    }
+
+    #[test]
+    fn enable_bit() {
+        let mut m = MmioSpace::new(0x4000);
+        assert!(!m.is_enabled());
+        m.write(regs::CTRL_ENABLE, 1).unwrap();
+        assert!(m.is_enabled());
+        m.write(regs::CTRL_ENABLE, 0).unwrap();
+        assert!(!m.is_enabled());
+    }
+
+    #[test]
+    fn section_entries_are_strided() {
+        assert_eq!(MmioSpace::section_entry_offset(0), 0x1000);
+        assert_eq!(MmioSpace::section_entry_offset(2), 0x1020);
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut m = MmioSpace::new(0x4000);
+        let _ = m.read(regs::DEVICE_ID);
+        let _ = m.write(regs::CTRL_ENABLE, 1);
+        assert_eq!(m.read_count(), 1);
+        assert_eq!(m.write_count(), 1);
+    }
+}

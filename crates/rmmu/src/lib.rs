@@ -1,0 +1,67 @@
+//! The ThymesisFlow Remote Memory Management Unit (RMMU).
+//!
+//! The RMMU sits in the compute endpoint, right behind the OpenCAPI M1
+//! attachment (paper §IV-A.1, Fig. 3). An effective address emitted by a
+//! core is translated to a real address by the processor MMU; the real
+//! address reaches the device in its internal representation (starting at
+//! 0x0); the RMMU then translates the internal address into a valid
+//! effective address at the memory-stealing endpoint, and tags the
+//! transaction with the network identifier the routing layer uses.
+//!
+//! The design mirrors the Linux **sparse memory model**: the physical
+//! address space is divided into fixed-size, aligned *sections*, each
+//! independently hot-pluggable. The RMMU keeps one table entry per
+//! section containing (a) the address offset converting the transaction
+//! address from device-internal to memory-stealer effective address and
+//! (b) the network identifier added to the transaction header. A bit
+//! range of the transaction address serves as the table index, so the
+//! *section is the minimum unit of disaggregated memory that can be
+//! independently handled*.
+//!
+//! All transactions between one compute and one memory-stealing endpoint
+//! belonging to one section form an **active thymesisflow**, identified
+//! by a unique network identifier ([`flow::NetworkId`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rmmu::section::{SectionEntry, SectionTable};
+//! use rmmu::flow::NetworkId;
+//! use opencapi::m1::DeviceAddress;
+//!
+//! // 1 GiB window of 256 MiB sections -> 4 sections.
+//! let mut table = SectionTable::new(28, 4);
+//! table.program(0, SectionEntry::new(0x7000_0000_0000, NetworkId(5)))?;
+//! let t = table.translate(DeviceAddress::new(0x100))?;
+//! assert_eq!(t.remote_ea.as_u64(), 0x7000_0000_0100);
+//! assert_eq!(t.network, NetworkId(5));
+//! # Ok::<(), rmmu::section::RmmuError>(())
+//! ```
+
+pub mod flow;
+pub mod section;
+
+pub use flow::{FlowId, NetworkId};
+pub use section::{RmmuError, SectionEntry, SectionTable, Translated};
+
+/// A memory request translated by the RMMU and ready for the routing
+/// layer: the address is now the donor-side effective address and the
+/// header carries the network identifier (and the bonding flag, which is
+/// signalled "in-band by appropriate transaction header network
+/// identifiers on a per active thymesisflow basis").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedRequest {
+    /// The transaction, with `addr` rewritten to the donor's effective
+    /// address space.
+    pub req: opencapi::transaction::MemRequest,
+    /// Routing-layer forwarding identifier.
+    pub network: NetworkId,
+    /// Whether this flow uses channel bonding.
+    pub bonded: bool,
+}
+
+impl llc::flit::FlitSized for RoutedRequest {
+    fn flits(&self) -> usize {
+        self.req.flits()
+    }
+}

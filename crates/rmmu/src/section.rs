@@ -1,0 +1,377 @@
+//! The section table: one entry per Linux sparse-memory section.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use opencapi::m1::DeviceAddress;
+
+use crate::flow::NetworkId;
+
+/// Default section size: 2^28 = 256 MiB (the Linux sparse memory model
+/// section granularity used for hotplug on the prototype kernel).
+pub const DEFAULT_SECTION_BITS: u32 = 28;
+
+/// A donor-side effective address produced by RMMU translation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EffectiveAddress(u64);
+
+impl EffectiveAddress {
+    /// Wraps a raw effective address.
+    pub const fn new(addr: u64) -> Self {
+        EffectiveAddress(addr)
+    }
+
+    /// The raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EffectiveAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ea:{:#x}", self.0)
+    }
+}
+
+/// One programmed section-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectionEntry {
+    /// Donor-side effective address the section maps to ("the address
+    /// offset that must be applied to convert the transaction address
+    /// from the internal device representation to the effective address
+    /// of the memory-stealing counterpart").
+    pub remote_ea_base: u64,
+    /// Network identifier for the routing layer.
+    pub network: NetworkId,
+    /// Whether the flow uses channel bonding.
+    pub bonded: bool,
+}
+
+impl SectionEntry {
+    /// An entry mapping the section to `remote_ea_base` on flow
+    /// `network`, without bonding.
+    pub fn new(remote_ea_base: u64, network: NetworkId) -> Self {
+        SectionEntry {
+            remote_ea_base,
+            network,
+            bonded: false,
+        }
+    }
+
+    /// Enables channel bonding for this flow.
+    pub fn bonded(mut self) -> Self {
+        self.bonded = true;
+        self
+    }
+}
+
+/// RMMU errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmmuError {
+    /// The section index exceeds the table.
+    BadIndex(u64),
+    /// The entry's remote base is not cacheline aligned.
+    Misaligned(u64),
+    /// The section is already programmed.
+    Occupied(u64),
+    /// The new entry's remote range overlaps an existing one on the same
+    /// flow (would alias donor memory).
+    Aliases {
+        /// The section whose mapping would be aliased.
+        with_section: u64,
+    },
+    /// Translation hit an unprogrammed section ("fail otherwise").
+    Unmapped(u64),
+}
+
+impl fmt::Display for RmmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmmuError::BadIndex(i) => write!(f, "section index {i} out of range"),
+            RmmuError::Misaligned(a) => write!(f, "remote base {a:#x} not aligned"),
+            RmmuError::Occupied(i) => write!(f, "section {i} already programmed"),
+            RmmuError::Aliases { with_section } => {
+                write!(f, "remote range aliases section {with_section}")
+            }
+            RmmuError::Unmapped(i) => write!(f, "section {i} not programmed"),
+        }
+    }
+}
+
+impl std::error::Error for RmmuError {}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translated {
+    /// The donor-side effective address.
+    pub remote_ea: EffectiveAddress,
+    /// Forwarding identifier for the routing layer.
+    pub network: NetworkId,
+    /// Whether the flow is bonded.
+    pub bonded: bool,
+    /// The section that served the translation.
+    pub section: u64,
+}
+
+/// The RMMU section table.
+///
+/// A bit range of the device-internal address indexes the table: address
+/// bits `[section_bits ..]` select the section, the low bits are the
+/// offset within it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SectionTable {
+    section_bits: u32,
+    entries: Vec<Option<SectionEntry>>,
+    translations: u64,
+    faults: u64,
+}
+
+impl SectionTable {
+    /// Creates a table of `sections` sections of `2^section_bits` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section_bits` is outside `[20, 40]` (1 MiB – 1 TiB) or
+    /// `sections == 0`.
+    pub fn new(section_bits: u32, sections: u64) -> Self {
+        assert!(
+            (20..=40).contains(&section_bits),
+            "unreasonable section size: 2^{section_bits}"
+        );
+        assert!(sections > 0, "table needs at least one section");
+        SectionTable {
+            section_bits,
+            entries: vec![None; sections as usize],
+            translations: 0,
+            faults: 0,
+        }
+    }
+
+    /// A table with the prototype's default 256 MiB sections covering
+    /// `window_bytes` of device address space.
+    pub fn with_default_sections(window_bytes: u64) -> Self {
+        let size = 1u64 << DEFAULT_SECTION_BITS;
+        Self::new(DEFAULT_SECTION_BITS, window_bytes.div_ceil(size).max(1))
+    }
+
+    /// Section size in bytes.
+    pub fn section_size(&self) -> u64 {
+        1 << self.section_bits
+    }
+
+    /// Number of sections in the table.
+    pub fn sections(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// The section index a device address falls in.
+    pub fn index_of(&self, addr: DeviceAddress) -> u64 {
+        addr.as_u64() >> self.section_bits
+    }
+
+    /// Programs a section.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad indices, misaligned bases, occupied sections, and on
+    /// remote ranges that would alias an existing mapping on the same
+    /// network flow.
+    pub fn program(&mut self, index: u64, entry: SectionEntry) -> Result<(), RmmuError> {
+        let slot = self
+            .entries
+            .get(index as usize)
+            .ok_or(RmmuError::BadIndex(index))?;
+        if entry.remote_ea_base % 128 != 0 {
+            return Err(RmmuError::Misaligned(entry.remote_ea_base));
+        }
+        if slot.is_some() {
+            return Err(RmmuError::Occupied(index));
+        }
+        let size = self.section_size();
+        for (i, other) in self.entries.iter().enumerate() {
+            if let Some(o) = other {
+                if o.network == entry.network {
+                    let overlap = entry.remote_ea_base < o.remote_ea_base + size
+                        && o.remote_ea_base < entry.remote_ea_base + size;
+                    if overlap {
+                        return Err(RmmuError::Aliases {
+                            with_section: i as u64,
+                        });
+                    }
+                }
+            }
+        }
+        self.entries[index as usize] = Some(entry);
+        Ok(())
+    }
+
+    /// Clears a section (detach path).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the index is out of range or the section is unmapped.
+    pub fn unprogram(&mut self, index: u64) -> Result<SectionEntry, RmmuError> {
+        let slot = self
+            .entries
+            .get_mut(index as usize)
+            .ok_or(RmmuError::BadIndex(index))?;
+        slot.take().ok_or(RmmuError::Unmapped(index))
+    }
+
+    /// Translates a device-internal address to the donor-side effective
+    /// address plus forwarding information.
+    ///
+    /// # Errors
+    ///
+    /// Fails on addresses beyond the table or in unprogrammed sections —
+    /// the control plane's safety property ("allow memory transactions
+    /// forwarding only towards legal destinations, and fail otherwise").
+    pub fn translate(&mut self, addr: DeviceAddress) -> Result<Translated, RmmuError> {
+        let index = self.index_of(addr);
+        let entry = self
+            .entries
+            .get(index as usize)
+            .ok_or_else(|| {
+                self.faults += 1;
+                RmmuError::BadIndex(index)
+            })?
+            .ok_or_else(|| {
+                self.faults += 1;
+                RmmuError::Unmapped(index)
+            })?;
+        self.translations += 1;
+        let offset = addr.as_u64() & (self.section_size() - 1);
+        Ok(Translated {
+            remote_ea: EffectiveAddress::new(entry.remote_ea_base + offset),
+            network: entry.network,
+            bonded: entry.bonded,
+            section: index,
+        })
+    }
+
+    /// The entry programmed at `index`, if any.
+    pub fn entry(&self, index: u64) -> Option<SectionEntry> {
+        self.entries.get(index as usize).copied().flatten()
+    }
+
+    /// Indices of programmed sections.
+    pub fn programmed(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|_| i as u64))
+            .collect()
+    }
+
+    /// Successful translations served.
+    pub fn translations(&self) -> u64 {
+        self.translations
+    }
+
+    /// Translation faults (unmapped / out-of-range).
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SectionTable {
+        SectionTable::new(28, 4) // 4 x 256 MiB
+    }
+
+    #[test]
+    fn translation_applies_offset_and_tags() {
+        let mut t = table();
+        t.program(1, SectionEntry::new(0xA000_0000, NetworkId(9)).bonded())
+            .unwrap();
+        let size = t.section_size();
+        let got = t.translate(DeviceAddress::new(size + 0x420_00)).unwrap();
+        assert_eq!(got.remote_ea.as_u64(), 0xA000_0000 + 0x420_00);
+        assert_eq!(got.network, NetworkId(9));
+        assert!(got.bonded);
+        assert_eq!(got.section, 1);
+    }
+
+    #[test]
+    fn unmapped_section_faults() {
+        let mut t = table();
+        assert_eq!(
+            t.translate(DeviceAddress::new(0)),
+            Err(RmmuError::Unmapped(0))
+        );
+        assert_eq!(t.faults(), 1);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut t = table();
+        let beyond = t.section_size() * 4;
+        assert_eq!(
+            t.translate(DeviceAddress::new(beyond)),
+            Err(RmmuError::BadIndex(4))
+        );
+    }
+
+    #[test]
+    fn occupied_section_rejected() {
+        let mut t = table();
+        t.program(0, SectionEntry::new(0, NetworkId(0))).unwrap();
+        assert_eq!(
+            t.program(0, SectionEntry::new(1 << 30, NetworkId(1))),
+            Err(RmmuError::Occupied(0))
+        );
+    }
+
+    #[test]
+    fn aliasing_on_same_flow_rejected() {
+        let mut t = table();
+        t.program(0, SectionEntry::new(1 << 30, NetworkId(7)))
+            .unwrap();
+        // Overlapping remote range on the same network id.
+        let overlapping = (1 << 30) + t.section_size() / 2;
+        assert!(matches!(
+            t.program(1, SectionEntry::new(overlapping, NetworkId(7))),
+            Err(RmmuError::Aliases { with_section: 0 })
+        ));
+        // Same range on a *different* flow (different donor) is legal.
+        t.program(1, SectionEntry::new(1 << 30, NetworkId(8)))
+            .unwrap();
+    }
+
+    #[test]
+    fn unprogram_then_reuse() {
+        let mut t = table();
+        t.program(2, SectionEntry::new(0x4000_0000, NetworkId(1)))
+            .unwrap();
+        let e = t.unprogram(2).unwrap();
+        assert_eq!(e.remote_ea_base, 0x4000_0000);
+        assert_eq!(
+            t.translate(DeviceAddress::new(2 * t.section_size())),
+            Err(RmmuError::Unmapped(2))
+        );
+        t.program(2, SectionEntry::new(0x8000_0000, NetworkId(1)))
+            .unwrap();
+    }
+
+    #[test]
+    fn misaligned_base_rejected() {
+        let mut t = table();
+        assert_eq!(
+            t.program(0, SectionEntry::new(0x1001, NetworkId(0))),
+            Err(RmmuError::Misaligned(0x1001))
+        );
+    }
+
+    #[test]
+    fn default_sections_cover_window() {
+        let t = SectionTable::with_default_sections(3 << 30); // 3 GiB
+        assert_eq!(t.sections(), 12); // 12 x 256 MiB
+        assert_eq!(t.section_size(), 256 << 20);
+    }
+}

@@ -1,0 +1,191 @@
+//! Round-robin arbitration between flows sharing a channel.
+//!
+//! The paper notes that round-robin sharing "enables the investigation of
+//! more sophisticated channel sharing approaches that go beyond simple
+//! round-robin, and will be able to offer bandwidth allocation and QoS
+//! capabilities"; the [`RoundRobin`] arbiter here is the baseline policy,
+//! and its weighted variant ([`RoundRobin::with_weight`]) sketches that
+//! bandwidth-allocation direction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A (optionally weighted) round-robin arbiter over keys of type `K`.
+///
+/// # Example
+///
+/// ```
+/// use routing::arbiter::RoundRobin;
+///
+/// let mut rr = RoundRobin::new();
+/// rr.register("a");
+/// rr.register("b");
+/// assert_eq!(rr.next(), Some(&"a"));
+/// assert_eq!(rr.next(), Some(&"b"));
+/// assert_eq!(rr.next(), Some(&"a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundRobin<K> {
+    order: Vec<K>,
+    weights: HashMap<usize, u32>,
+    cursor: usize,
+    remaining: u32,
+    grants: u64,
+}
+
+impl<K: Eq + Hash + Clone> Default for RoundRobin<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> RoundRobin<K> {
+    /// Creates an empty arbiter.
+    pub fn new() -> Self {
+        RoundRobin {
+            order: Vec::new(),
+            weights: HashMap::new(),
+            cursor: 0,
+            remaining: 0,
+            grants: 0,
+        }
+    }
+
+    /// Registers a participant with weight 1.
+    pub fn register(&mut self, key: K) {
+        self.with_weight(key, 1);
+    }
+
+    /// Registers a participant that receives `weight` consecutive grants
+    /// per round (simple weighted round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight == 0` or the key is already registered.
+    pub fn with_weight(&mut self, key: K, weight: u32) {
+        assert!(weight > 0, "weight must be positive");
+        assert!(!self.order.contains(&key), "key already registered");
+        self.weights.insert(self.order.len(), weight);
+        self.order.push(key);
+    }
+
+    /// Removes a participant.
+    pub fn unregister(&mut self, key: &K) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            // Rebuild the dense weight map.
+            let old: Vec<u32> = (0..=self.order.len())
+                .map(|i| {
+                    if i < pos {
+                        self.weights.get(&i).copied().unwrap_or(1)
+                    } else {
+                        self.weights.get(&(i + 1)).copied().unwrap_or(1)
+                    }
+                })
+                .collect();
+            self.weights.clear();
+            for (i, w) in old.iter().take(self.order.len()).enumerate() {
+                self.weights.insert(i, *w);
+            }
+            self.cursor = 0;
+            self.remaining = 0;
+        }
+    }
+
+    /// Grants the next participant, if any are registered.
+    pub fn next(&mut self) -> Option<&K> {
+        if self.order.is_empty() {
+            return None;
+        }
+        if self.remaining == 0 {
+            self.remaining = self.weights.get(&self.cursor).copied().unwrap_or(1);
+        }
+        let idx = self.cursor;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.cursor = (self.cursor + 1) % self.order.len();
+        }
+        self.grants += 1;
+        Some(&self.order[idx])
+    }
+
+    /// Number of registered participants.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no participant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_rotation() {
+        let mut rr = RoundRobin::new();
+        for k in 0..3 {
+            rr.register(k);
+        }
+        let picks: Vec<i32> = (0..9).map(|_| *rr.next().unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_shares() {
+        let mut rr = RoundRobin::new();
+        rr.with_weight("heavy", 3);
+        rr.with_weight("light", 1);
+        let picks: Vec<&str> = (0..8).map(|_| *rr.next().unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec!["heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"]
+        );
+    }
+
+    #[test]
+    fn empty_arbiter_yields_none() {
+        let mut rr: RoundRobin<u8> = RoundRobin::new();
+        assert_eq!(rr.next(), None);
+        assert!(rr.is_empty());
+    }
+
+    #[test]
+    fn unregister_removes_participant() {
+        let mut rr = RoundRobin::new();
+        rr.register("a");
+        rr.register("b");
+        rr.register("c");
+        rr.unregister(&"b");
+        let picks: Vec<&str> = (0..4).map(|_| *rr.next().unwrap()).collect();
+        assert_eq!(picks, vec!["a", "c", "a", "c"]);
+        assert_eq!(rr.len(), 2);
+    }
+
+    #[test]
+    fn unregister_preserves_weights() {
+        let mut rr = RoundRobin::new();
+        rr.with_weight("a", 2);
+        rr.with_weight("b", 1);
+        rr.with_weight("c", 3);
+        rr.unregister(&"b");
+        let picks: Vec<&str> = (0..5).map(|_| *rr.next().unwrap()).collect();
+        assert_eq!(picks, vec!["a", "a", "c", "c", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut rr = RoundRobin::new();
+        rr.register(1);
+        rr.register(1);
+    }
+}

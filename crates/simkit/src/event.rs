@@ -1,0 +1,240 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events scheduled at the same instant are delivered in insertion order
+//! (FIFO tie-breaking), which keeps every simulation in this workspace
+//! fully deterministic for a given RNG seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: delivery instant plus a monotonically increasing
+/// sequence number used for stable tie-breaking.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue over an arbitrary event type `E`.
+///
+/// The queue tracks the current simulated instant: popping an event
+/// advances [`EventQueue::now`] to that event's scheduled time.
+///
+/// # Example
+///
+/// ```
+/// use simkit::event::EventQueue;
+/// use simkit::time::SimTime;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick, Tock }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(SimTime::from_ns(10), Ev::Tock);
+/// q.schedule_in(SimTime::from_ns(1), Ev::Tick);
+/// assert_eq!(q.pop().unwrap().1, Ev::Tick);
+/// assert_eq!(q.now(), SimTime::from_ns(1));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at instant zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant (the timestamp of the last popped
+    /// event, or zero if nothing has been popped yet).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` for delivery at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`EventQueue::now`]); a
+    /// discrete-event simulation must never travel backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` for delivery `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// delivery time. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let sch = self.heap.pop()?;
+        self.now = sch.at;
+        Some((sch.at, sch.event))
+    }
+
+    /// The delivery time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains events while `cond(next_event_time)` holds, applying `f`.
+    ///
+    /// Runs the classic event loop "until time T" pattern without the
+    /// caller owning the loop. Returns the number of events processed.
+    pub fn run_while<F, C>(&mut self, mut cond: C, mut f: F) -> u64
+    where
+        F: FnMut(&mut Self, SimTime, E),
+        C: FnMut(SimTime) -> bool,
+    {
+        let mut n = 0;
+        while let Some(t) = self.peek_time() {
+            if !cond(t) {
+                break;
+            }
+            let (t, ev) = self.pop().expect("peeked event exists");
+            f(self, t, ev);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "a");
+        q.pop();
+        q.schedule_in(SimTime::from_ns(5), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn run_while_stops_at_horizon() {
+        let mut q = EventQueue::new();
+        for i in 1..=10u64 {
+            q.schedule(SimTime::from_ns(i), i);
+        }
+        let mut seen = Vec::new();
+        let horizon = SimTime::from_ns(5);
+        let n = q.run_while(|t| t <= horizon, |_, _, e| seen.push(e));
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn run_while_can_reschedule() {
+        // A self-perpetuating ticker: each event schedules the next.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), ());
+        let horizon = SimTime::from_ns(100);
+        let n = q.run_while(
+            |t| t <= horizon,
+            |q, _, ()| {
+                q.schedule_in(SimTime::from_ns(1), ());
+            },
+        );
+        assert_eq!(n, 100);
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event simulation toolkit underpinning the ThymesisFlow model.
+//!
+//! Every other crate in the workspace builds on the primitives here:
+//!
+//! * [`time`] — picosecond-resolution simulated time ([`time::SimTime`]).
+//! * [`units`] — byte/size and frequency constants shared across crates.
+//! * [`event`] — a deterministic event queue ([`event::EventQueue`]).
+//! * [`rng`] — a seedable random source with the samplers the paper's
+//!   workloads need (zipf, exponential, log-normal, …).
+//! * [`stats`] — log-bucketed histograms, CDF extraction and online
+//!   mean/variance used by every benchmark harness.
+//! * [`bandwidth`] — serialization-delay models for links and memory ports.
+//! * [`queue`] — bounded FIFOs with occupancy accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::event::EventQueue;
+//! use simkit::time::SimTime;
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::from_ns(5), "second");
+//! q.schedule(SimTime::from_ns(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_ns(), ev), (1, "first"));
+//! ```
+
+pub mod bandwidth;
+pub mod event;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use stats::Histogram;
+pub use time::SimTime;

@@ -1,0 +1,167 @@
+//! Bounded FIFO queues with occupancy accounting.
+//!
+//! The LLC Rx ingress queues and the routing-layer arbitration points are
+//! bounded; credit-based backpressure exists precisely to keep them from
+//! overflowing. [`BoundedFifo`] counts rejects so tests can assert that a
+//! correctly credited link never drops.
+
+use std::collections::VecDeque;
+
+/// A FIFO with a hard capacity.
+///
+/// # Example
+///
+/// ```
+/// use simkit::queue::BoundedFifo;
+///
+/// let mut q = BoundedFifo::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert!(q.push(3).is_err()); // full: rejected, value handed back
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.rejected(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    rejected: u64,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            rejected: 0,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Attempts to enqueue; on a full queue the value is returned in `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is at capacity.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pushes rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total successful pushes.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Iterates over queued items front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedFifo::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_enforced_and_counted() {
+        let mut q = BoundedFifo::new(3);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.free_slots(), 0);
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.push(100), Err(100));
+        assert_eq!(q.rejected(), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = BoundedFifo::new(10);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.total_pushed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedFifo::<u8>::new(0);
+    }
+}

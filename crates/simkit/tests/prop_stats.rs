@@ -1,0 +1,94 @@
+//! Property tests: histogram and event-queue invariants.
+
+use proptest::prelude::*;
+use simkit::event::EventQueue;
+use simkit::stats::Histogram;
+use simkit::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev, "quantile regressed at {i}");
+            prev = q;
+        }
+        prop_assert!(h.quantile(0.0) >= h.min() || h.quantile(0.0) <= h.max());
+        prop_assert!(h.quantile(1.0) >= h.max() - h.max() / 16);
+    }
+
+    /// Any quantile has bounded relative error against the exact
+    /// order statistic.
+    #[test]
+    fn quantile_error_is_bounded(
+        mut values in prop::collection::vec(1u64..100_000_000, 10..300),
+        q in 0.05f64..0.95,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1] as f64;
+        let got = h.quantile(q) as f64;
+        prop_assert!(
+            (got - exact).abs() <= exact * 0.04 + 1.0,
+            "q={q}: got {got}, exact {exact}"
+        );
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concat(
+        a in prop::collection::vec(0u64..1_000_000, 1..100),
+        b in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for i in 0..=10 {
+            prop_assert_eq!(ha.quantile(i as f64 / 10.0), hc.quantile(i as f64 / 10.0));
+        }
+    }
+
+    /// The event queue delivers in non-decreasing time order with FIFO
+    /// tie-breaking, for arbitrary schedules.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated within a tie");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! A sharded search/analytics engine model (paper §VI-F, Fig. 9).
+//!
+//! Elasticsearch stores JSON documents in an index subdivided into
+//! *shards* — each a fully functional index that can live on different
+//! cores or nodes; per-node thread pools queue operations by type. The
+//! paper drives it with the ESRally "nested" track (a StackOverflow
+//! dump) and reports four challenges:
+//!
+//! * **RTQ** — questions with a random tag (posting-list scan + score);
+//! * **RNQIHBS** — questions with ≥100 answers before a random date
+//!   (nested filter join, the heaviest);
+//! * **RSTQ** — tag query with descending date sort;
+//! * **MA** — match-all (cheap).
+//!
+//! Two layers:
+//!
+//! * [`InvertedIndex`] — an actual sharded inverted index over a
+//!   synthetic StackOverflow-like corpus, with per-query touched-line
+//!   accounting (validates the cost ratios the performance model uses);
+//! * [`Elasticsearch`] — the throughput model: a work-conserving thread
+//!   pool whose per-query busy time combines CPU work and memory lines
+//!   priced by the configuration, a shard-coordination term that makes
+//!   the synchronisation-heavy challenges degrade as shards scale, and
+//!   interconnect bandwidth caps that bite the streaming RTQ challenge.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simkit::rng::{DetRng, ZipfSampler};
+use thymesisflow_core::config::SystemConfig;
+use thymesisflow_core::memmodel::MemoryModel;
+
+/// A document: a StackOverflow-style question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Doc {
+    /// Document id.
+    pub id: u32,
+    /// Tag (term) id.
+    pub tag: u32,
+    /// Number of answers.
+    pub answers: u32,
+    /// Creation date (days since epoch).
+    pub date: u32,
+}
+
+/// A sharded inverted index with touched-line accounting.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    shards: Vec<Shard>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    postings: HashMap<u32, Vec<u32>>, // tag -> doc ids
+    docs: Vec<Doc>,
+}
+
+/// What one query touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryWork {
+    /// Documents examined.
+    pub docs_examined: u64,
+    /// Matches returned.
+    pub matches: u64,
+    /// Cache lines touched (postings + doc metadata + sort buffers).
+    pub lines: u64,
+}
+
+impl InvertedIndex {
+    /// Builds a synthetic corpus: `docs` documents over `tags` tags with
+    /// zipf-distributed tag popularity, spread over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn synthesize(docs: u32, tags: u32, shards: u32, seed: u64) -> Self {
+        assert!(docs > 0 && tags > 0 && shards > 0, "empty corpus");
+        let mut rng = DetRng::new(seed);
+        let zipf = ZipfSampler::new(tags as u64, 1.0);
+        let mut shard_vec: Vec<Shard> = (0..shards).map(|_| Shard::default()).collect();
+        for id in 0..docs {
+            let tag = zipf.sample(&mut rng) as u32;
+            let answers = (rng.lognormal(1.0, 1.2) as u32).min(500);
+            let date = rng.range(0, 5_000) as u32;
+            let doc = Doc {
+                id,
+                tag,
+                answers,
+                date,
+            };
+            let s = &mut shard_vec[(id % shards) as usize];
+            s.postings.entry(tag).or_default().push(doc.id);
+            s.docs.push(doc);
+        }
+        InvertedIndex { shards: shard_vec }
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total documents.
+    pub fn doc_count(&self) -> usize {
+        self.shards.iter().map(|s| s.docs.len()).sum()
+    }
+
+    /// RTQ: all questions with a tag.
+    pub fn random_tag_query(&self, tag: u32) -> QueryWork {
+        let mut w = QueryWork::default();
+        for s in &self.shards {
+            if let Some(list) = s.postings.get(&tag) {
+                w.docs_examined += list.len() as u64;
+                w.matches += list.len() as u64;
+                // Posting list streaming + one doc-values line per hit.
+                w.lines += list.len() as u64 / 16 + list.len() as u64;
+            }
+        }
+        w
+    }
+
+    /// RNQIHBS: questions with ≥ `min_answers` answers created before
+    /// `date` (the nested-filter join scans doc values of every doc).
+    pub fn answers_before(&self, min_answers: u32, date: u32) -> QueryWork {
+        let mut w = QueryWork::default();
+        for s in &self.shards {
+            for d in &s.docs {
+                w.docs_examined += 1;
+                // Two doc-value fields per doc examined.
+                w.lines += 2;
+                if d.answers >= min_answers && d.date < date {
+                    w.matches += 1;
+                    w.lines += 4; // fetch
+                }
+            }
+        }
+        w
+    }
+
+    /// RSTQ: tag query with a descending date sort (adds a sort-buffer
+    /// line per match).
+    pub fn sorted_tag_query(&self, tag: u32) -> QueryWork {
+        let mut w = self.random_tag_query(tag);
+        w.lines += w.matches * 2; // sort keys + heap traffic
+        w
+    }
+
+    /// MA: match-all returns the top page without scanning.
+    pub fn match_all(&self) -> QueryWork {
+        QueryWork {
+            docs_examined: 10 * self.shards.len() as u64,
+            matches: 10 * self.shards.len() as u64,
+            lines: 30 * self.shards.len() as u64,
+        }
+    }
+}
+
+/// The four "nested" track challenges the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Challenge {
+    /// Random tag query.
+    Rtq,
+    /// Random nested query: ≥100 answers before a random date.
+    Rnqihbs,
+    /// Random sorted tag query.
+    Rstq,
+    /// Match-all.
+    Ma,
+}
+
+impl Challenge {
+    /// All four, in the paper's Fig. 9 order.
+    pub const ALL: [Challenge; 4] = [
+        Challenge::Rnqihbs,
+        Challenge::Rtq,
+        Challenge::Rstq,
+        Challenge::Ma,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Challenge::Rtq => "RTQ",
+            Challenge::Rnqihbs => "RNQIHBS",
+            Challenge::Rstq => "RSTQ",
+            Challenge::Ma => "MA",
+        }
+    }
+
+    /// Whether shard scaling degrades this challenge (tight cross-shard
+    /// synchronisation): RNQIHBS, RSTQ and MA in the paper's analysis.
+    pub fn is_sync_heavy(self) -> bool {
+        !matches!(self, Challenge::Rtq)
+    }
+
+    fn cost(self) -> ChallengeCost {
+        match self {
+            Challenge::Rtq => ChallengeCost {
+                cpu_ms: 14.0,
+                mem_lines: 250_000.0,
+                coord_ms_per_shard: 0.1,
+                scale_out_efficiency: 0.70,
+                bandwidth_bound: true,
+            },
+            Challenge::Rnqihbs => ChallengeCost {
+                cpu_ms: 400.0,
+                mem_lines: 1_200_000.0,
+                coord_ms_per_shard: 2.0,
+                scale_out_efficiency: 0.55,
+                bandwidth_bound: false,
+            },
+            Challenge::Rstq => ChallengeCost {
+                cpu_ms: 250.0,
+                mem_lines: 900_000.0,
+                coord_ms_per_shard: 1.2,
+                scale_out_efficiency: 0.55,
+                bandwidth_bound: false,
+            },
+            Challenge::Ma => ChallengeCost {
+                cpu_ms: 15.0,
+                mem_lines: 10_000.0,
+                coord_ms_per_shard: 0.15,
+                scale_out_efficiency: 0.55,
+                bandwidth_bound: false,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChallengeCost {
+    cpu_ms: f64,
+    mem_lines: f64,
+    coord_ms_per_shard: f64,
+    scale_out_efficiency: f64,
+    bandwidth_bound: bool,
+}
+
+/// Engine-level model parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Search-pool threads per node.
+    pub pool_threads: u32,
+    /// Core clock, GHz.
+    pub ghz: f64,
+    /// LLC miss ratio of touched lines.
+    pub miss_ratio: f64,
+    /// Memory-level parallelism of scoring loops.
+    pub overlap: f64,
+    /// Latency-scaling exponent of the overlap (scoring has dependent
+    /// loads, so longer latencies hide less than streaming code: lower
+    /// than the 0.45 the database model uses).
+    pub overlap_exponent: f64,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            pool_threads: 32,
+            ghz: 3.8,
+            miss_ratio: 0.6,
+            overlap: 3.0,
+            overlap_exponent: 0.2,
+        }
+    }
+}
+
+/// The Fig. 9 throughput model.
+#[derive(Debug, Clone)]
+pub struct Elasticsearch {
+    params: SearchParams,
+    model: MemoryModel,
+    shards: u32,
+}
+
+impl Elasticsearch {
+    /// Creates the engine model with `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(model: MemoryModel, shards: u32) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Elasticsearch {
+            params: SearchParams::default(),
+            model,
+            shards,
+        }
+    }
+
+    /// Overrides the calibration.
+    pub fn with_params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Per-touched-line memory cost in nanoseconds for this
+    /// configuration.
+    fn line_ns(&self) -> f64 {
+        let p = &self.params;
+        let lat = self.model.avg_load_latency_ns();
+        let local = self.model.params().local_load_latency().as_ns_f64();
+        let eff_overlap = p.overlap * (lat / local).max(1.0).powf(p.overlap_exponent);
+        p.miss_ratio * lat / eff_overlap
+    }
+
+    /// Busy milliseconds of one query.
+    fn busy_ms(&self, c: Challenge) -> f64 {
+        let cost = c.cost();
+        let mut mem_ms = cost.mem_lines * self.line_ns() * 1e-6;
+        if self.model.config() == SystemConfig::BondingDisaggregated {
+            // Scans keep the channel busy; the second bonded channel
+            // relieves queueing, trimming the effective line cost.
+            mem_ms *= 0.92;
+        }
+        cost.cpu_ms + mem_ms + cost.coord_ms_per_shard * self.shards as f64
+    }
+
+    /// Interconnect bandwidth cap on query throughput, ops/s
+    /// (`infinity` when the challenge is not bandwidth bound or the
+    /// configuration is local).
+    fn bandwidth_cap(&self, c: Challenge) -> f64 {
+        let cost = c.cost();
+        if !cost.bandwidth_bound {
+            return f64::INFINITY;
+        }
+        let remote = self.model.remote_capacity_bytes();
+        if remote <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Posting-list scans stream *every* touched line over the
+        // interconnect (hardware prefetch fetches the misses' neighbours
+        // too), so the cap uses the full line footprint.
+        let bytes_per_query = cost.mem_lines * 128.0 * self.model.remote_fraction();
+        // Interleaved only moves half its lines over the channel.
+        remote / bytes_per_query.max(1.0)
+    }
+
+    /// Challenge throughput, operations per second (Fig. 9 bars).
+    pub fn throughput_ops(&self, c: Challenge) -> f64 {
+        let cost = c.cost();
+        let (threads, eff) = if self.model.config().is_scale_out() {
+            (
+                self.params.pool_threads * 2,
+                cost.scale_out_efficiency,
+            )
+        } else {
+            (self.params.pool_threads, 1.0)
+        };
+        let worker_bound = threads as f64 * eff / (self.busy_ms(c) * 1e-3);
+        worker_bound.min(self.bandwidth_cap(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thymesisflow_core::params::DatapathParams;
+
+    fn es(c: SystemConfig, shards: u32) -> Elasticsearch {
+        Elasticsearch::new(MemoryModel::new(DatapathParams::prototype(), c), shards)
+    }
+
+    #[test]
+    fn index_substrate_answers_queries() {
+        let idx = InvertedIndex::synthesize(50_000, 500, 5, 1);
+        assert_eq!(idx.doc_count(), 50_000);
+        assert_eq!(idx.shard_count(), 5);
+        // Popular tag 0 has a long posting list.
+        let hot = idx.random_tag_query(0);
+        let cold = idx.random_tag_query(499);
+        assert!(hot.matches > cold.matches);
+        assert!(hot.lines > 0);
+        // The nested filter examines every doc.
+        let nested = idx.answers_before(100, 2_500);
+        assert_eq!(nested.docs_examined, 50_000);
+        assert!(nested.matches < 5_000);
+        // Sorting costs more lines than the plain query.
+        assert!(idx.sorted_tag_query(0).lines > hot.lines);
+        // Match-all touches almost nothing.
+        assert!(idx.match_all().lines < 1_000);
+    }
+
+    #[test]
+    fn index_cost_ratios_back_the_model() {
+        // The model charges RNQIHBS >> RSTQ > RTQ >> MA; the substrate's
+        // touched-line accounting should order the same way.
+        let idx = InvertedIndex::synthesize(100_000, 300, 5, 2);
+        let rtq = idx.random_tag_query(0).lines;
+        let nested = idx.answers_before(100, 4_000).lines;
+        let sorted = idx.sorted_tag_query(0).lines;
+        let ma = idx.match_all().lines;
+        assert!(nested > sorted && sorted > rtq && rtq > ma);
+    }
+
+    #[test]
+    fn fig9_rtq_scale_out_wins_and_single_collapses() {
+        let t = |c| es(c, 32).throughput_ops(Challenge::Rtq);
+        let local = t(SystemConfig::Local);
+        let scale = t(SystemConfig::ScaleOut);
+        let single = t(SystemConfig::SingleDisaggregated);
+        let bonding = t(SystemConfig::BondingDisaggregated);
+        let inter = t(SystemConfig::Interleaved);
+        // "For the RTQ challenge and scale-out configuration,
+        // Elasticsearch benefits from the extra computational resources
+        // and outperforms any other configuration, including local."
+        assert!(scale > local, "scale-out {scale} vs local {local}");
+        // All ThymesisFlow configurations fall well below local
+        // (paper: −58.33%, −42.65%, −75.65%).
+        for (name, v) in [("interleaved", inter), ("bonding", bonding), ("single", single)] {
+            let drop = 1.0 - v / local;
+            assert!(drop > 0.35, "{name} only dropped {drop}");
+        }
+        // Single-disaggregated is the worst (paper: −75.65%).
+        assert!(single < bonding && single < inter);
+        let drop = 1.0 - single / local;
+        assert!((0.6..=0.9).contains(&drop), "single drop {drop}");
+    }
+
+    #[test]
+    fn fig9_sync_heavy_ordering() {
+        // "The scale-out configuration outperforms the interleaved,
+        // bonding-disaggregated and single-disaggregated configurations
+        // by 17.95%, 41.26%, 60.61% on average."
+        for ch in [Challenge::Rnqihbs, Challenge::Rstq] {
+            let t = |c| es(c, 32).throughput_ops(ch);
+            let scale = t(SystemConfig::ScaleOut);
+            let inter = t(SystemConfig::Interleaved);
+            let bonding = t(SystemConfig::BondingDisaggregated);
+            let single = t(SystemConfig::SingleDisaggregated);
+            assert!(scale > inter && inter > bonding && bonding > single, "{ch:?}");
+            let adv = |x: f64| (scale / x - 1.0) * 100.0;
+            assert!(adv(inter) < adv(bonding) && adv(bonding) < adv(single), "{ch:?}");
+        }
+    }
+
+    #[test]
+    fn fig9_match_all_is_config_insensitive() {
+        // "For the MA challenge, the configurations that utilise our
+        // architecture offer similar performance with the local and
+        // scale-out ones."
+        let t = |c| es(c, 32).throughput_ops(Challenge::Ma);
+        let local = t(SystemConfig::Local);
+        for c in SystemConfig::ALL {
+            let rel = (t(c) - local).abs() / local;
+            assert!(rel < 0.25, "{c}: deviates {rel}");
+        }
+    }
+
+    #[test]
+    fn shard_scaling_degrades_sync_heavy_challenges() {
+        for ch in Challenge::ALL {
+            let five = es(SystemConfig::Local, 5).throughput_ops(ch);
+            let many = es(SystemConfig::Local, 32).throughput_ops(ch);
+            if ch.is_sync_heavy() {
+                assert!(many < five, "{ch:?}: {many} !< {five}");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_magnitudes_match_fig9_axes() {
+        // Fig. 9 axes: RNQIHBS tops ~75, RTQ ~1k, RSTQ ~150, MA ~2.1k.
+        let t = |ch| es(SystemConfig::Local, 5).throughput_ops(ch);
+        assert!((30.0..=120.0).contains(&t(Challenge::Rnqihbs)));
+        assert!((400.0..=3000.0).contains(&t(Challenge::Rtq)));
+        assert!((60.0..=250.0).contains(&t(Challenge::Rstq)));
+        assert!((800.0..=4000.0).contains(&t(Challenge::Ma)));
+    }
+}

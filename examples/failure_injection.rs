@@ -1,0 +1,61 @@
+//! Failure injection: drive the LLC reliability machinery over an
+//! increasingly lossy link and watch the credit/replay protocol keep the
+//! channel exactly-once and in-order, then demonstrate the wire format's
+//! CRC catching real bit damage.
+//!
+//! ```text
+//! cargo run --example failure_injection
+//! ```
+
+use thymesisflow::llc::frame::{assemble, FrameId};
+use thymesisflow::llc::link::LlcLink;
+use thymesisflow::llc::wire::{decode, encode, WireError};
+use thymesisflow::llc::{Frame, LlcConfig};
+use thymesisflow::netsim::fault::FaultSpec;
+
+type Msg = (u32, usize);
+
+fn main() {
+    println!("== LLC under injected faults (1000 messages per run) ==");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "drop %", "corrupt %", "frames sent", "replayed", "finish (us)"
+    );
+    let msgs: Vec<Msg> = (0..1000).map(|i| (i, 1 + (i as usize % 5))).collect();
+    for (drop, corrupt) in [(0.0, 0.0), (0.01, 0.01), (0.05, 0.05), (0.10, 0.10), (0.15, 0.25)] {
+        let mut link = LlcLink::new(
+            LlcConfig::default(),
+            FaultSpec::new(drop, corrupt),
+            2026,
+        );
+        let delivered = link.run_to_completion(msgs.clone());
+        assert_eq!(delivered, msgs, "reliability violated");
+        println!(
+            "{:>12.1} {:>12.1} {:>12} {:>12} {:>12.1}",
+            drop * 100.0,
+            corrupt * 100.0,
+            link.tx_a().frames_sent(),
+            link.total_replays(),
+            link.now().as_us_f64(),
+        );
+    }
+    println!("every run delivered all 1000 messages exactly once, in order\n");
+
+    println!("== wire-format CRC vs bit damage ==");
+    let (frames, _) = assemble(vec![(7u32, 3usize), (9, 2)], 8, FrameId(0), 0);
+    let clean = encode(&frames[0]);
+    let ok: Frame<Msg> = decode(&clean).expect("clean frame decodes");
+    println!("clean frame: {} bytes -> {:?}", clean.len(), ok.id());
+    let mut caught = 0;
+    let total = clean.len() * 8;
+    for bit in 0..total {
+        let mut damaged = clean.clone();
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        match decode::<Msg>(&damaged) {
+            Err(WireError::BadCrc { .. }) | Err(WireError::BadMagic) | Err(_) => caught += 1,
+            Ok(f) if f == frames[0] => {} // damage in dead padding
+            Ok(_) => panic!("undetected corruption at bit {bit}"),
+        }
+    }
+    println!("flipped each of {total} bits once: {caught} rejected, 0 silent corruptions");
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: the full attach → allocate → migrate →
+//! detach lifecycle across rack, control plane, agents and host OS.
+
+use thymesisflow::core::attach::AttachRequest;
+use thymesisflow::core::rack::{NodeConfig, Rack, RackBuilder};
+use thymesisflow::hostsim::migration::{MigrationDaemon, PagePlacement};
+use thymesisflow::hostsim::mmu::PAGE_BYTES;
+use thymesisflow::hostsim::numa::{AllocPolicy, NumaNodeId};
+use thymesisflow::simkit::units::GIB;
+
+fn two_node_rack() -> Rack {
+    RackBuilder::new()
+        .node(NodeConfig::ac922("borrower"))
+        .node(NodeConfig::ac922("donor"))
+        .cable("borrower", "donor")
+        .build()
+        .expect("rack builds")
+}
+
+#[test]
+fn attach_exposes_cpuless_numa_node_and_allocates() {
+    let mut rack = two_node_rack();
+    let lease = rack
+        .attach(AttachRequest::new("borrower", "donor", 32 * GIB))
+        .expect("attach");
+    let host = rack.host_mut("borrower").expect("host exists");
+    let node = lease.numa_node();
+    assert!(host.numa().node(node).expect("numa node").is_cpuless());
+    assert_eq!(
+        host.numa().node(node).unwrap().total_pages(),
+        32 * GIB / PAGE_BYTES
+    );
+    // Bind an application's working set to the disaggregated node (the
+    // single-disaggregated configuration).
+    let pages = 4 * GIB / PAGE_BYTES;
+    let placed = host
+        .numa_mut()
+        .allocate(&AllocPolicy::Bind(node), NumaNodeId(0), pages)
+        .expect("allocation fits");
+    assert_eq!(placed[&node], pages);
+    // Cannot detach while pages are live.
+    assert!(rack.detach(lease.id()).is_err());
+    rack.host_mut("borrower")
+        .unwrap()
+        .numa_mut()
+        .free(node, pages)
+        .unwrap();
+    rack.detach(lease.id()).expect("detach after freeing");
+    assert_eq!(rack.host("borrower").unwrap().remote_bytes(), 0);
+}
+
+#[test]
+fn interleave_policy_splits_pages_between_local_and_remote() {
+    let mut rack = two_node_rack();
+    let lease = rack
+        .attach(AttachRequest::new("borrower", "donor", 16 * GIB))
+        .unwrap();
+    let host = rack.host_mut("borrower").unwrap();
+    let remote = lease.numa_node();
+    let placed = host
+        .numa_mut()
+        .allocate(
+            &AllocPolicy::Interleave(vec![NumaNodeId(0), remote]),
+            NumaNodeId(0),
+            1000,
+        )
+        .unwrap();
+    assert_eq!(placed[&NumaNodeId(0)], 500);
+    assert_eq!(placed[&remote], 500);
+}
+
+#[test]
+fn page_migration_pulls_hot_pages_off_the_remote_node() {
+    let mut rack = two_node_rack();
+    let lease = rack
+        .attach(AttachRequest::new("borrower", "donor", 16 * GIB))
+        .unwrap();
+    let remote = lease.numa_node();
+    let host = rack.host_mut("borrower").unwrap();
+    host.numa_mut()
+        .allocate(&AllocPolicy::Bind(remote), NumaNodeId(0), 64)
+        .unwrap();
+    let mut placement = PagePlacement::new();
+    for p in 0..64 {
+        placement.place(p, remote);
+    }
+    let mut daemon = MigrationDaemon::new(NumaNodeId(0), 2);
+    for _ in 0..8 {
+        daemon.record_access(7);
+        daemon.record_access(9);
+    }
+    let moved = daemon.scan(host.numa_mut(), &mut placement);
+    assert_eq!(moved, 2);
+    assert_eq!(placement.node_of(7), Some(NumaNodeId(0)));
+    assert_eq!(placement.node_of(9), Some(NumaNodeId(0)));
+    assert_eq!(placement.pages_on(remote), 62);
+}
+
+#[test]
+fn many_leases_across_three_nodes_then_full_teardown() {
+    let mut rack = RackBuilder::new()
+        .node(NodeConfig::ac922("a"))
+        .node(NodeConfig::ac922("b"))
+        .node(NodeConfig::ac922("c"))
+        .cable("a", "b")
+        .cable("b", "c")
+        .cable("a", "c")
+        .build()
+        .unwrap();
+    let mut leases = Vec::new();
+    for (compute, memory) in [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")] {
+        leases.push(
+            rack.attach(AttachRequest::new(compute, memory, 8 * GIB))
+                .unwrap_or_else(|e| panic!("{compute}<-{memory}: {e}")),
+        );
+    }
+    assert_eq!(rack.leases().count(), 4);
+    assert_eq!(rack.host("a").unwrap().remote_bytes(), 16 * GIB);
+    for lease in leases {
+        rack.detach(lease.id()).unwrap();
+    }
+    for n in ["a", "b", "c"] {
+        assert_eq!(rack.host(n).unwrap().remote_bytes(), 0, "{n}");
+        assert_eq!(rack.host(n).unwrap().numa().nodes().len(), 2, "{n}");
+    }
+}
+
+#[test]
+fn bonded_lease_reports_bonding() {
+    let mut rack = two_node_rack();
+    let lease = rack
+        .attach(AttachRequest::new("borrower", "donor", 8 * GIB).bonded())
+        .unwrap();
+    assert!(lease.is_bonded());
+    assert_eq!(lease.bytes(), 8 * GIB);
+    assert_eq!(lease.compute(), "borrower");
+    assert_eq!(lease.memory(), "donor");
+}

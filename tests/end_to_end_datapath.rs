@@ -1,0 +1,114 @@
+//! Cross-crate integration: the flit-level datapath against the
+//! analytic calibration, and the endpoint pipeline's legality checks.
+
+use thymesisflow::core::datapath::Datapath;
+use thymesisflow::core::endpoint::{ComputeEndpoint, EndpointError, MemoryStealingEndpoint};
+use thymesisflow::core::params::DatapathParams;
+use thymesisflow::opencapi::pasid::{Pasid, Region};
+use thymesisflow::opencapi::transaction::MemRequest;
+use thymesisflow::rmmu::flow::NetworkId;
+use thymesisflow::rmmu::section::SectionEntry;
+use thymesisflow::routing::ChannelId;
+use thymesisflow::simkit::time::SimTime;
+
+const WINDOW: u64 = 0x1000_0000_0000;
+const DONOR: u64 = 0x7000_0000_0000;
+const SECTION: u64 = 256 << 20;
+
+#[test]
+fn measured_rtt_tracks_the_analytic_budget_across_calibrations() {
+    for params in [DatapathParams::prototype(), DatapathParams::asic_integrated()] {
+        let analytic = params.remote_load_latency();
+        let mut dp = Datapath::new(params, 1, SECTION);
+        let measured = dp.measure_load_latency();
+        let delta = measured.as_ns() as i64 - analytic.as_ns() as i64;
+        assert!(
+            delta.abs() < 150,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn asic_integration_cuts_latency_roughly_in_half() {
+    let mut proto = Datapath::new(DatapathParams::prototype(), 1, SECTION);
+    let mut asic = Datapath::new(DatapathParams::asic_integrated(), 1, SECTION);
+    let p = proto.measure_load_latency();
+    let a = asic.measure_load_latency();
+    assert!(
+        a.as_ns() * 2 < p.as_ns() + 300,
+        "asic {a} vs prototype {p}"
+    );
+}
+
+#[test]
+fn saturation_ordering_single_vs_bonded() {
+    let mut single = Datapath::new(DatapathParams::prototype(), 1, SECTION);
+    let mut bonded = Datapath::new(DatapathParams::prototype(), 2, SECTION);
+    let s = single
+        .measure_stream_bandwidth(8, 32, SimTime::from_us(100))
+        .as_gib_per_sec();
+    let b = bonded
+        .measure_stream_bandwidth(8, 32, SimTime::from_us(100))
+        .as_gib_per_sec();
+    assert!(b > s, "bonded {b} vs single {s}");
+    assert!(b < 17.0, "C1 ceiling respected: {b}");
+}
+
+#[test]
+fn full_pipeline_enforces_legality_end_to_end() {
+    // The §IV-C security property: "compute endpoint configurations
+    // allow memory transactions forwarding only towards legal
+    // destinations, and fail otherwise" — at every stage.
+    let mut compute = ComputeEndpoint::new(WINDOW, 2 * SECTION);
+    compute
+        .program_section(
+            0,
+            SectionEntry::new(DONOR, NetworkId(1)),
+            vec![ChannelId(0)],
+        )
+        .unwrap();
+    // Section 1 deliberately left unprogrammed.
+    let mut memory = MemoryStealingEndpoint::new(SimTime::from_ns(105));
+    memory
+        .register(
+            Pasid(1),
+            Region {
+                ea_base: DONOR,
+                len: SECTION,
+            },
+        )
+        .unwrap();
+
+    // Legal: programmed section, registered donor region.
+    let (routed, ch) = compute
+        .process(&MemRequest::read(0, WINDOW + 0x80))
+        .expect("legal transaction");
+    assert_eq!(ch, ChannelId(0));
+    assert!(memory.serve(SimTime::ZERO, &routed, Pasid(1)).is_ok());
+
+    // Illegal at the RMMU: unprogrammed section.
+    assert!(matches!(
+        compute.process(&MemRequest::read(0, WINDOW + SECTION + 0x80)),
+        Err(EndpointError::Rmmu(_))
+    ));
+
+    // Illegal at the M1 window: outside the firmware-assigned range.
+    assert!(matches!(
+        compute.process(&MemRequest::read(0, 0x80)),
+        Err(EndpointError::M1(_))
+    ));
+
+    // Illegal at the donor: wrong PASID.
+    assert!(memory.serve(SimTime::ZERO, &routed, Pasid(9)).is_err());
+}
+
+#[test]
+fn datapath_latency_histogram_is_tight_when_uncontended() {
+    let mut dp = Datapath::new(DatapathParams::prototype(), 1, SECTION);
+    let _ = dp.measure_stream_bandwidth(1, 1, SimTime::from_us(100));
+    let h = dp.completions();
+    assert!(h.count() > 10);
+    let spread = h.quantile(0.99) as f64 / h.quantile(0.5) as f64;
+    assert!(spread < 1.3, "uncontended spread {spread}");
+}

@@ -1,0 +1,95 @@
+//! Property tests across the whole stack: arbitrary attach/detach
+//! sequences never leak or double-book resources.
+
+use proptest::prelude::*;
+use thymesisflow::core::attach::AttachRequest;
+use thymesisflow::core::rack::{NodeConfig, Rack, RackBuilder};
+use thymesisflow::simkit::units::GIB;
+
+fn rack() -> Rack {
+    RackBuilder::new()
+        .node(NodeConfig::ac922("a"))
+        .node(NodeConfig::ac922("b"))
+        .cable("a", "b")
+        .build()
+        .expect("rack builds")
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Attach { sections: u64, bonded: bool, flip: bool },
+    DetachOldest,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..16, any::<bool>(), any::<bool>()).prop_map(|(sections, bonded, flip)| {
+            Action::Attach {
+                sections,
+                bonded,
+                flip,
+            }
+        }),
+        Just(Action::DetachOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn attach_detach_sequences_conserve_resources(
+        actions in prop::collection::vec(action_strategy(), 1..24)
+    ) {
+        let mut rack = rack();
+        let mut live: Vec<(thymesisflow::core::attach::LeaseId, u64, String)> = Vec::new();
+        for action in actions {
+            match action {
+                Action::Attach { sections, bonded, flip } => {
+                    let bytes = sections * (256 << 20);
+                    let (c, m) = if flip { ("b", "a") } else { ("a", "b") };
+                    let mut req = AttachRequest::new(c, m, bytes);
+                    if bonded {
+                        req = req.bonded();
+                    }
+                    match rack.attach(req) {
+                        Ok(lease) => live.push((lease.id(), bytes, c.to_string())),
+                        Err(_) => {} // capacity/path exhaustion is legal
+                    }
+                }
+                Action::DetachOldest => {
+                    if !live.is_empty() {
+                        let (id, _, _) = live.remove(0);
+                        rack.detach(id).expect("live lease detaches");
+                    }
+                }
+            }
+            // Invariant: each host's remote bytes equal the sum of its
+            // live leases.
+            for host in ["a", "b"] {
+                let expect: u64 = live
+                    .iter()
+                    .filter(|(_, _, c)| c == host)
+                    .map(|(_, b, _)| *b)
+                    .sum();
+                prop_assert_eq!(
+                    rack.host(host).expect("host").remote_bytes(),
+                    expect,
+                    "host {} leaks",
+                    host
+                );
+            }
+        }
+        // Full teardown always succeeds and restores the pristine state.
+        for (id, _, _) in live {
+            rack.detach(id).expect("teardown");
+        }
+        for host in ["a", "b"] {
+            let h = rack.host(host).expect("host");
+            prop_assert_eq!(h.remote_bytes(), 0);
+            prop_assert_eq!(h.numa().nodes().len(), 2);
+            prop_assert_eq!(h.local_bytes(), 512 * GIB);
+        }
+        prop_assert_eq!(rack.leases().count(), 0);
+    }
+}
