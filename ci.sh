@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification pipeline: build, tests, domain lints, sanitizers.
+# Everything here must pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> tflint (domain-aware static analysis)"
+cargo run -q -p tflint -- check
+
+echo "==> sanitize feature (runtime conservation checkers)"
+cargo test --features sanitize -p llc -p simkit -q
+
+echo "ci: all gates passed"

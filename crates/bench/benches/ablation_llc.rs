@@ -28,7 +28,9 @@ fn reproduce() {
             FaultSpec::new(rate / 2.0, rate / 2.0),
             42,
         );
-        let got = link.run_to_completion(msgs(500));
+        let got = link
+            .run_to_completion(msgs(500))
+            .expect("link makes progress");
         assert_eq!(got.len(), 500, "reliability must hold at {rate}");
         row(
             &format!("{:.0}%", rate * 100.0),
@@ -49,7 +51,9 @@ fn reproduce() {
             ..LlcConfig::default()
         };
         let mut link = LlcLink::new(config, FaultSpec::LOSSLESS, 7);
-        let got = link.run_to_completion(msgs(500));
+        let got = link
+            .run_to_completion(msgs(500))
+            .expect("link makes progress");
         assert_eq!(got.len(), 500);
         row(
             &depth.to_string(),
@@ -68,7 +72,7 @@ fn criterion_benches(c: &mut Criterion) {
     c.bench_function("ablation/llc_lossless_500", |b| {
         b.iter(|| {
             let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::LOSSLESS, 1);
-            std::hint::black_box(link.run_to_completion(msgs(500)))
+            std::hint::black_box(link.run_to_completion(msgs(500)).expect("lossless"))
         })
     });
 }

@@ -39,7 +39,7 @@ pub fn row_str(label: &str, values: &[String]) {
 
 /// Prints a paper-vs-measured comparison line.
 pub fn compare(metric: &str, paper: f64, measured: f64, unit: &str) {
-    let delta = if paper != 0.0 {
+    let delta = if paper.abs() > 0.0 {
         format!("{:+.1}%", (measured / paper - 1.0) * 100.0)
     } else {
         "n/a".to_string()

@@ -1,0 +1,10 @@
+//! Static-analysis gate: `cargo test` fails if this crate violates any
+//! tflint rule. Run `cargo run -p tflint -- check` for the whole
+//! workspace at once.
+
+#[test]
+fn crate_passes_tflint() {
+    let diags = tflint::check_crate(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crate source readable");
+    assert!(diags.is_empty(), "\n{}", tflint::render(&diags));
+}

@@ -263,7 +263,7 @@ impl Datapath {
                 Dir::ToMemory => &mut self.to_mem[chan],
                 Dir::ToCompute => &mut self.to_cpu[chan],
             };
-            let frame = match pair.tx.next_transmittable() {
+            let frame = match pair.tx.next_transmittable().expect("LLC invariant violated") {
                 Some(f) => f,
                 None => break,
             };
@@ -321,19 +321,21 @@ impl Datapath {
             } => match frame {
                 Frame::Control(c) => {
                     if intact {
-                        match dir {
+                        (match dir {
                             Dir::ToMemory => self.to_mem[chan].tx.on_control(c),
                             Dir::ToCompute => self.to_cpu[chan].tx.on_control(c),
-                        }
+                        })
+                        .expect("LLC invariant violated");
                         self.pump(chan, dir);
                     }
                 }
                 data @ Frame::Data { .. } => {
                     let now = self.queue.now();
-                    let action = match dir {
+                    let action = (match dir {
                         Dir::ToMemory => self.to_mem[chan].rx.on_frame(data, intact),
                         Dir::ToCompute => self.to_cpu[chan].rx.on_frame(data, intact),
-                    };
+                    })
+                    .expect("LLC invariant violated");
                     for c in action.replies {
                         self.transmit(chan, dir, Frame::Control(c), now);
                     }

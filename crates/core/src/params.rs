@@ -90,7 +90,7 @@ impl DatapathParams {
 
     /// The serDES lane the channels are built from.
     pub fn lane(&self) -> SerdesLane {
-        SerdesLane::gty_25g().with_crossing_ns(self.serdes_crossing_ns)
+        SerdesLane::gty_25g().with_crossing(SimTime::from_ns(self.serdes_crossing_ns))
     }
 
     /// Analytic hardware-datapath flit RTT: 6 serDES crossings, 4 FPGA

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::LlcError;
+
 /// The transmitter's view of the receiver's free ingress slots.
 ///
 /// # Example
@@ -16,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let mut c = CreditCounter::new(4);
 /// assert!(c.try_consume());
 /// assert_eq!(c.available(), 3);
-/// c.replenish(1);
+/// c.replenish(1).unwrap();
 /// assert_eq!(c.available(), 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +26,7 @@ pub struct CreditCounter {
     available: u32,
     max: u32,
     consumed_total: u64,
+    replenished_total: u64,
     starved_total: u64,
 }
 
@@ -39,6 +42,7 @@ impl CreditCounter {
             available: max,
             max,
             consumed_total: 0,
+            replenished_total: 0,
             starved_total: 0,
         }
     }
@@ -60,30 +64,38 @@ impl CreditCounter {
 
     /// Consumes one credit if available; records starvation otherwise.
     pub fn try_consume(&mut self) -> bool {
-        if self.available > 0 {
+        let granted = if self.available > 0 {
             self.available -= 1;
             self.consumed_total += 1;
             true
         } else {
             self.starved_total += 1;
             false
-        }
+        };
+        #[cfg(feature = "sanitize")]
+        self.assert_conserved();
+        granted
     }
 
     /// Returns `n` credits to the pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the pool would exceed its ceiling — that indicates a
-    /// protocol bug (double credit return).
-    pub fn replenish(&mut self, n: u32) {
-        assert!(
-            self.available + n <= self.max,
-            "credit overflow: {} + {n} > {}",
-            self.available,
-            self.max
-        );
+    /// [`LlcError::CreditOverflow`] when the pool would exceed its
+    /// ceiling — a protocol bug (double credit return).
+    pub fn replenish(&mut self, n: u32) -> Result<(), LlcError> {
+        if self.available.saturating_add(n) > self.max {
+            return Err(LlcError::CreditOverflow {
+                available: self.available,
+                returned: n,
+                max: self.max,
+            });
+        }
         self.available += n;
+        self.replenished_total += u64::from(n);
+        #[cfg(feature = "sanitize")]
+        self.assert_conserved();
+        Ok(())
     }
 
     /// Total credits ever consumed.
@@ -91,10 +103,42 @@ impl CreditCounter {
         self.consumed_total
     }
 
+    /// Total credits ever returned to the pool.
+    pub fn replenished_total(&self) -> u64 {
+        self.replenished_total
+    }
+
     /// Number of sends that found no credit ("credit starvation at the
     /// Tx side" — the condition the Rx queue depth is sized to avoid).
     pub fn starvation_events(&self) -> u64 {
         self.starved_total
+    }
+
+    /// Credit conservation: every credit ever issued was either returned
+    /// or is still outstanding, and outstanding credits never exceed the
+    /// pool capacity. Checked after every state change when the
+    /// `sanitize` feature is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when conservation is violated (a counter was mutated
+    /// outside the consume/replenish protocol).
+    #[cfg(feature = "sanitize")]
+    pub fn assert_conserved(&self) {
+        let outstanding = u64::from(self.max - self.available);
+        assert!(
+            self.consumed_total == self.replenished_total + outstanding,
+            "sanitize: credit conservation violated: consumed {} != returned {} + outstanding {}",
+            self.consumed_total,
+            self.replenished_total,
+            outstanding
+        );
+        assert!(
+            outstanding <= u64::from(self.max),
+            "sanitize: outstanding credits {} exceed pool capacity {}",
+            outstanding,
+            self.max
+        );
     }
 }
 
@@ -118,15 +162,25 @@ mod tests {
         let mut c = CreditCounter::new(3);
         c.try_consume();
         c.try_consume();
-        c.replenish(2);
+        c.replenish(2).unwrap();
         assert_eq!(c.available(), 3);
+        assert_eq!(c.replenished_total(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "credit overflow")]
-    fn over_replenish_panics() {
+    fn over_replenish_is_an_error() {
         let mut c = CreditCounter::new(2);
-        c.replenish(1);
+        assert_eq!(
+            c.replenish(1),
+            Err(LlcError::CreditOverflow {
+                available: 2,
+                returned: 1,
+                max: 2
+            })
+        );
+        // The failed return must not leak into the pool.
+        assert_eq!(c.available(), 2);
+        assert_eq!(c.replenished_total(), 0);
     }
 
     #[test]

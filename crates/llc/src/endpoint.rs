@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use crate::credit::CreditCounter;
+use crate::error::LlcError;
 use crate::flit::FlitSized;
 use crate::frame::{assemble, Control, Frame, FrameId};
 use crate::replay::ReplayBuffer;
@@ -38,6 +39,8 @@ pub struct LlcTx<T> {
     last_replay_request: Option<FrameId>,
     frames_sent: u64,
     frames_replayed: u64,
+    txns_offered: usize,
+    txns_acked: usize,
 }
 
 impl<T: FlitSized + Clone> LlcTx<T> {
@@ -54,18 +57,21 @@ impl<T: FlitSized + Clone> LlcTx<T> {
             staging: Vec::new(),
             ready: VecDeque::new(),
             retransmit: VecDeque::new(),
-            credits: CreditCounter::new(config.rx_queue_frames as u32),
+            credits: CreditCounter::new(config.rx_queue_credits()),
             replay: ReplayBuffer::new(config.replay_window),
             credit_return_pool: 0,
             last_replay_request: None,
             frames_sent: 0,
             frames_replayed: 0,
+            txns_offered: 0,
+            txns_acked: 0,
             config,
         }
     }
 
     /// Stages a transaction for framing.
     pub fn offer(&mut self, txn: T) {
+        self.txns_offered += 1;
         self.staging.push(txn);
     }
 
@@ -102,6 +108,8 @@ impl<T: FlitSized + Clone> LlcTx<T> {
             }
         }
         self.ready.extend(frames);
+        #[cfg(feature = "sanitize")]
+        self.assert_flit_conservation();
     }
 
     /// Accumulates credits that the co-located receiver wants returned to
@@ -119,36 +127,50 @@ impl<T: FlitSized + Clone> LlcTx<T> {
     /// The next frame to put on the wire, if the protocol allows one:
     /// retransmissions first (no new credit), then fresh frames (one
     /// credit each, and room in the replay buffer).
-    pub fn next_transmittable(&mut self) -> Option<Frame<T>> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates retention failures — unreachable while the room check
+    /// above holds, but surfaced rather than swallowed.
+    pub fn next_transmittable(&mut self) -> Result<Option<Frame<T>>, LlcError> {
         if let Some(f) = self.retransmit.pop_front() {
             self.frames_sent += 1;
             self.frames_replayed += 1;
-            return Some(f);
+            return Ok(Some(f));
         }
         if self.ready.is_empty() {
-            return None;
+            return Ok(None);
         }
         if !self.replay.has_room() || !self.credits.try_consume() {
-            return None;
+            return Ok(None);
         }
-        let frame = self.ready.pop_front().expect("checked non-empty");
-        self.replay.retain(frame.clone());
+        let Some(frame) = self.ready.pop_front() else {
+            return Ok(None);
+        };
+        self.replay.retain(frame.clone())?;
         self.frames_sent += 1;
-        Some(frame)
+        #[cfg(feature = "sanitize")]
+        self.assert_flit_conservation();
+        Ok(Some(frame))
     }
 
     /// Handles an in-band control message from the peer's receiver.
-    pub fn on_control(&mut self, ctrl: Control) {
+    ///
+    /// # Errors
+    ///
+    /// [`LlcError::CreditOverflow`] when an ack or credit return would
+    /// push the credit pool past its ceiling (double return).
+    pub fn on_control(&mut self, ctrl: Control) -> Result<(), LlcError> {
         match ctrl {
             Control::Ack(through) => {
                 // Credits are derived from the *cumulative* ack: every
                 // frame leaving the replay buffer frees exactly one Rx
                 // ingress slot. Cumulative state self-heals lost acks.
                 let before = self.replay.len();
-                self.replay.ack_through(through);
-                let freed = (before - self.replay.len()) as u32;
+                self.txns_acked += self.replay.ack_through(through);
+                let freed = u32::try_from(before - self.replay.len()).unwrap_or(u32::MAX);
                 if freed > 0 {
-                    self.credits.replenish(freed);
+                    self.credits.replenish(freed)?;
                 }
                 // A new ack re-arms replay-request deduplication.
                 if self
@@ -165,13 +187,16 @@ impl<T: FlitSized + Clone> LlcTx<T> {
                 // after an intervening ack, so serve repeats too when the
                 // retransmit queue already drained.
                 if self.last_replay_request == Some(from) && !self.retransmit.is_empty() {
-                    return;
+                    return Ok(());
                 }
                 self.last_replay_request = Some(from);
                 self.retransmit = self.replay.frames_from(from).into();
             }
-            Control::CreditReturn(n) => self.credits.replenish(n),
+            Control::CreditReturn(n) => self.credits.replenish(n)?,
         }
+        #[cfg(feature = "sanitize")]
+        self.assert_flit_conservation();
+        Ok(())
     }
 
     /// Retransmits everything unacknowledged (tail-loss recovery, driven
@@ -212,9 +237,51 @@ impl<T: FlitSized + Clone> LlcTx<T> {
         self.frames_replayed
     }
 
+    /// Transactions ever offered for transmission.
+    pub fn txns_offered(&self) -> usize {
+        self.txns_offered
+    }
+
+    /// Transactions whose frames have been cumulatively acknowledged.
+    pub fn txns_acked(&self) -> usize {
+        self.txns_acked
+    }
+
     /// Frames framed but blocked (no credit / replay window full).
     pub fn backlog(&self) -> usize {
         self.ready.len() + self.retransmit.len()
+    }
+
+    /// Flit conservation: every transaction ever offered is staged,
+    /// framed, retained awaiting ack, or acknowledged — none vanish and
+    /// none are invented. Retransmissions are clones of retained frames,
+    /// so they never double-count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a transaction leaked (e.g. a frame silently dropped
+    /// from the replay buffer without being acknowledged).
+    #[cfg(feature = "sanitize")]
+    pub fn assert_flit_conservation(&self) {
+        let in_ready: usize = self.ready.iter().map(Frame::txn_count).sum();
+        let retained = self.replay.txn_count();
+        let accounted = self.staging.len() + in_ready + retained + self.txns_acked;
+        assert!(
+            self.txns_offered == accounted,
+            "sanitize: flit conservation violated: offered {} != staged {} + ready {} + retained {} + acked {}",
+            self.txns_offered,
+            self.staging.len(),
+            in_ready,
+            retained,
+            self.txns_acked
+        );
+    }
+
+    /// Sanitizer test hook: leaks one frame out of the replay buffer so
+    /// tests can prove [`Self::assert_flit_conservation`] catches it.
+    #[cfg(feature = "sanitize")]
+    pub fn leak_replay_frame(&mut self) {
+        let _ = self.replay.leak_one();
     }
 }
 
@@ -280,7 +347,12 @@ impl<T: FlitSized + Clone> LlcRx<T> {
 
     /// Processes one arriving frame. `intact` is the CRC verdict decided
     /// by the channel's fault model.
-    pub fn on_frame(&mut self, frame: Frame<T>, intact: bool) -> RxAction<T> {
+    ///
+    /// # Errors
+    ///
+    /// [`LlcError::ControlFrameInDataPath`] when a control frame reaches
+    /// the receiver — the link layer must route those to the Tx.
+    pub fn on_frame(&mut self, frame: Frame<T>, intact: bool) -> Result<RxAction<T>, LlcError> {
         let mut action = RxAction::default();
         let (id, piggyback) = match &frame {
             Frame::Data {
@@ -291,7 +363,7 @@ impl<T: FlitSized + Clone> LlcRx<T> {
             Frame::Control(_) => {
                 // Control frames are routed to the Tx by the link layer;
                 // reaching here is a wiring bug.
-                panic!("control frame routed to LlcRx");
+                return Err(LlcError::ControlFrameInDataPath);
             }
         };
         action.piggyback_credits = piggyback;
@@ -300,14 +372,14 @@ impl<T: FlitSized + Clone> LlcRx<T> {
             self.corrupt += 1;
             self.discards_since_request += 1;
             self.request_replay(&mut action.replies);
-            return action;
+            return Ok(action);
         }
         if id < self.expected {
             // Duplicate from an over-eager replay: discard, but re-ack so
             // the transmitter can advance its buffer.
             self.duplicates += 1;
             action.replies.push(Control::Ack(FrameId(self.expected.0 - 1)));
-            return action;
+            return Ok(action);
         }
         if id > self.expected {
             // Gap: an earlier frame was lost. The design replays strictly
@@ -315,7 +387,7 @@ impl<T: FlitSized + Clone> LlcRx<T> {
             self.gaps += 1;
             self.discards_since_request += 1;
             self.request_replay(&mut action.replies);
-            return action;
+            return Ok(action);
         }
         // In-order delivery.
         self.expected = self.expected.next();
@@ -328,7 +400,7 @@ impl<T: FlitSized + Clone> LlcRx<T> {
         if self.frames_delivered % self.ack_every == 0 {
             action.replies.push(Control::Ack(id));
         }
-        action
+        Ok(action)
     }
 
     /// The next frame id the receiver will accept.
@@ -368,7 +440,7 @@ mod tests {
     }
 
     fn drain_tx(tx: &mut LlcTx<Msg>) -> Vec<Frame<Msg>> {
-        std::iter::from_fn(|| tx.next_transmittable()).collect()
+        std::iter::from_fn(|| tx.next_transmittable().expect("protocol invariant")).collect()
     }
 
     #[test]
@@ -381,15 +453,17 @@ mod tests {
         tx.seal();
         let mut delivered = Vec::new();
         for frame in drain_tx(&mut tx) {
-            let act = rx.on_frame(frame, true);
+            let act = rx.on_frame(frame, true).unwrap();
             delivered.extend(act.delivered);
             for c in act.replies {
-                tx.on_control(c);
+                tx.on_control(c).unwrap();
             }
         }
         assert_eq!(delivered, (0..40).map(|i| (i, 3)).collect::<Vec<_>>());
         assert!(tx.all_acked());
         assert_eq!(rx.gaps(), 0);
+        assert_eq!(tx.txns_offered(), 40);
+        assert_eq!(tx.txns_acked(), 40);
     }
 
     #[test]
@@ -419,15 +493,15 @@ mod tests {
         let frames = drain_tx(&mut tx);
         assert_eq!(frames.len(), 3);
         // Frame 0 delivered; frame 1 dropped; frame 2 arrives out of order.
-        let a0 = rx.on_frame(frames[0].clone(), true);
+        let a0 = rx.on_frame(frames[0].clone(), true).unwrap();
         for c in a0.replies {
-            tx.on_control(c);
+            tx.on_control(c).unwrap();
         }
-        let a2 = rx.on_frame(frames[2].clone(), true);
+        let a2 = rx.on_frame(frames[2].clone(), true).unwrap();
         assert!(a2.delivered.is_empty());
         assert_eq!(a2.replies, vec![Control::ReplayRequest(FrameId(1))]);
         for c in a2.replies {
-            tx.on_control(c);
+            tx.on_control(c).unwrap();
         }
         // Tx replays frames 1 and 2 in order.
         let replayed = drain_tx(&mut tx);
@@ -435,10 +509,10 @@ mod tests {
         assert_eq!(ids, vec![1, 2]);
         let mut got = Vec::new();
         for f in replayed {
-            let act = rx.on_frame(f, true);
+            let act = rx.on_frame(f, true).unwrap();
             got.extend(act.delivered);
             for c in act.replies {
-                tx.on_control(c);
+                tx.on_control(c).unwrap();
             }
         }
         assert_eq!(got, vec![(1, 7), (2, 7)]);
@@ -452,14 +526,14 @@ mod tests {
         let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
         tx.offer((9, 7));
         tx.seal();
-        let f = tx.next_transmittable().unwrap();
-        let act = rx.on_frame(f.clone(), false);
+        let f = tx.next_transmittable().unwrap().unwrap();
+        let act = rx.on_frame(f.clone(), false).unwrap();
         assert!(act.delivered.is_empty());
         assert_eq!(act.replies, vec![Control::ReplayRequest(FrameId(0))]);
         assert_eq!(rx.corrupt(), 1);
-        tx.on_control(Control::ReplayRequest(FrameId(0)));
-        let again = tx.next_transmittable().unwrap();
-        let act = rx.on_frame(again, true);
+        tx.on_control(Control::ReplayRequest(FrameId(0))).unwrap();
+        let again = tx.next_transmittable().unwrap().unwrap();
+        let act = rx.on_frame(again, true).unwrap();
         assert_eq!(act.delivered, vec![(9, 7)]);
     }
 
@@ -469,10 +543,10 @@ mod tests {
         let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
         tx.offer((1, 7));
         tx.seal();
-        let f = tx.next_transmittable().unwrap();
-        let a1 = rx.on_frame(f.clone(), true);
+        let f = tx.next_transmittable().unwrap().unwrap();
+        let a1 = rx.on_frame(f.clone(), true).unwrap();
         assert_eq!(a1.delivered.len(), 1);
-        let a2 = rx.on_frame(f, true);
+        let a2 = rx.on_frame(f, true).unwrap();
         assert!(a2.delivered.is_empty());
         assert_eq!(rx.duplicates(), 1);
         assert!(a2.replies.contains(&Control::Ack(FrameId(0))));
@@ -486,11 +560,11 @@ mod tests {
         }
         tx.seal();
         let _ = drain_tx(&mut tx);
-        tx.on_control(Control::ReplayRequest(FrameId(0)));
+        tx.on_control(Control::ReplayRequest(FrameId(0))).unwrap();
         assert_eq!(tx.backlog(), 4);
         // A second identical request while the queue is still full is
         // ignored (no doubling).
-        tx.on_control(Control::ReplayRequest(FrameId(0)));
+        tx.on_control(Control::ReplayRequest(FrameId(0))).unwrap();
         assert_eq!(tx.backlog(), 4);
     }
 
@@ -501,7 +575,7 @@ mod tests {
         tx.offer((0, 1));
         tx.offer((1, 1));
         tx.seal();
-        let f = tx.next_transmittable().unwrap();
+        let f = tx.next_transmittable().unwrap().unwrap();
         match f {
             Frame::Data {
                 piggyback_credits, ..
@@ -515,18 +589,25 @@ mod tests {
         let mut tx = LlcTx::new(cfg());
         tx.offer((3, 7));
         tx.seal();
-        let _lost = tx.next_transmittable().unwrap();
+        let _lost = tx.next_transmittable().unwrap().unwrap();
         assert_eq!(tx.backlog(), 0);
         tx.kick_tail_replay();
         assert_eq!(tx.backlog(), 1);
-        let again = tx.next_transmittable().unwrap();
+        let again = tx.next_transmittable().unwrap().unwrap();
         assert_eq!(again.id(), Some(FrameId(0)));
     }
 
     #[test]
-    #[should_panic(expected = "control frame routed to LlcRx")]
-    fn control_to_rx_is_a_wiring_bug() {
+    fn control_to_rx_is_a_wiring_error() {
         let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
-        let _ = rx.on_frame(Frame::Control(Control::Ack(FrameId(0))), true);
+        let got = rx.on_frame(Frame::Control(Control::Ack(FrameId(0))), true);
+        assert_eq!(got, Err(LlcError::ControlFrameInDataPath));
+    }
+
+    #[test]
+    fn double_credit_return_is_an_error() {
+        let mut tx: LlcTx<Msg> = LlcTx::new(cfg());
+        let got = tx.on_control(Control::CreditReturn(1));
+        assert!(matches!(got, Err(LlcError::CreditOverflow { .. })));
     }
 }

@@ -91,6 +91,7 @@ impl<T: FlitSized> Frame<T> {
 
     /// Bytes on the wire.
     pub fn wire_bytes(&self) -> u64 {
+        // tflint::allow(TF005): usize → u64 widens on every supported target.
         (self.flits() * FLIT_BYTES) as u64
     }
 }
@@ -101,6 +102,17 @@ impl<T> Frame<T> {
         match self {
             Frame::Data { id, .. } => Some(*id),
             Frame::Control(_) => None,
+        }
+    }
+
+    /// Number of transaction entries carried (excluding nop padding).
+    pub fn txn_count(&self) -> usize {
+        match self {
+            Frame::Data { entries, .. } => entries
+                .iter()
+                .filter(|e| matches!(e, Entry::Txn(_)))
+                .count(),
+            Frame::Control(_) => 0,
         }
     }
 
@@ -128,7 +140,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     const POLY: u32 = 0xEDB8_8320;
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc ^= b as u32;
+        crc ^= u32::from(b);
         for _ in 0..8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (POLY & mask);

@@ -33,12 +33,13 @@
 //! // A lossy link still delivers every message exactly once, in order.
 //! let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::new(0.05, 0.05), 42);
 //! let msgs: Vec<(u32, usize)> = (0..100).map(|i| (i, 1)).collect();
-//! let delivered = link.run_to_completion(msgs.clone());
+//! let delivered = link.run_to_completion(msgs.clone()).unwrap();
 //! assert_eq!(delivered, msgs);
 //! ```
 
 pub mod credit;
 pub mod endpoint;
+pub mod error;
 pub mod flit;
 pub mod frame;
 pub mod link;
@@ -47,6 +48,7 @@ pub mod wire;
 
 pub use credit::CreditCounter;
 pub use endpoint::{LlcRx, LlcTx, RxAction};
+pub use error::LlcError;
 pub use frame::{Frame, FrameId};
 
 use serde::{Deserialize, Serialize};
@@ -85,7 +87,14 @@ impl Default for LlcConfig {
 impl LlcConfig {
     /// Frame payload size in bytes (`frame_flits × 32 B`).
     pub fn frame_bytes(&self) -> u64 {
+        // tflint::allow(TF005): usize → u64 widens on every supported target.
         (self.frame_flits * flit::FLIT_BYTES) as u64
+    }
+
+    /// The initial credit pool: one credit per Rx ingress slot, clamped
+    /// to the `u32` credit space the wire format carries.
+    pub fn rx_queue_credits(&self) -> u32 {
+        u32::try_from(self.rx_queue_frames).unwrap_or(u32::MAX)
     }
 
     /// Validates internal consistency.
@@ -96,6 +105,10 @@ impl LlcConfig {
     /// than the credit pool (which could deadlock recovery).
     pub fn validate(&self) {
         assert!(self.frame_flits > 0, "frames need at least one flit");
+        assert!(
+            self.frame_flits <= 256,
+            "frame entry count must fit the wire header's u8"
+        );
         assert!(self.rx_queue_frames > 0, "rx queue cannot be empty");
         assert!(
             self.replay_window >= self.rx_queue_frames,

@@ -15,9 +15,14 @@ use simkit::event::EventQueue;
 use simkit::time::SimTime;
 
 use crate::endpoint::{LlcRx, LlcTx};
+use crate::error::LlcError;
 use crate::flit::FlitSized;
 use crate::frame::Frame;
 use crate::LlcConfig;
+
+/// Idle-timer replay kicks attempted before the link declares
+/// [`LlcError::NoProgress`] — only reachable under total loss.
+const MAX_REPLAY_KICKS: u32 = 10_000;
 
 /// Which endpoint of the link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,13 +111,17 @@ impl<T: FlitSized + Clone> LlcLink<T> {
     }
 
     /// Stages messages for transmission from `side` and pumps the wire.
-    pub fn send(&mut self, side: Side, msgs: impl IntoIterator<Item = T>) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates LLC protocol violations from the transmitter.
+    pub fn send(&mut self, side: Side, msgs: impl IntoIterator<Item = T>) -> Result<(), LlcError> {
         let tx = self.tx_mut(side);
         for m in msgs {
             tx.offer(m);
         }
         tx.seal();
-        self.pump(side);
+        self.pump(side)
     }
 
     fn tx_mut(&mut self, side: Side) -> &mut LlcTx<T> {
@@ -123,15 +132,12 @@ impl<T: FlitSized + Clone> LlcLink<T> {
     }
 
     /// Puts every transmittable frame of `side` on the wire.
-    fn pump(&mut self, side: Side) {
+    fn pump(&mut self, side: Side) -> Result<(), LlcError> {
         let now = self.queue.now();
-        loop {
-            let frame = match self.tx_mut(side).next_transmittable() {
-                Some(f) => f,
-                None => break,
-            };
+        while let Some(frame) = self.tx_mut(side).next_transmittable()? {
             self.transmit(side, frame, now);
         }
+        Ok(())
     }
 
     fn transmit(&mut self, from: Side, frame: Frame<T>, now: SimTime) {
@@ -161,11 +167,12 @@ impl<T: FlitSized + Clone> LlcLink<T> {
         }
     }
 
-    /// Processes a single event; returns `false` when the queue is empty.
-    fn step(&mut self) -> bool {
+    /// Processes a single event; returns `Ok(false)` when the queue is
+    /// empty.
+    fn step(&mut self) -> Result<bool, LlcError> {
         let (_, ev) = match self.queue.pop() {
             Some(x) => x,
-            None => return false,
+            None => return Ok(false),
         };
         let Ev::Arrive { to, frame, intact } = ev;
         match frame {
@@ -173,21 +180,21 @@ impl<T: FlitSized + Clone> LlcLink<T> {
                 // Control frames are single-flit; a corrupted control
                 // frame is simply discarded (the protocol re-arms).
                 if intact {
-                    self.tx_mut(to).on_control(c);
-                    self.pump(to);
+                    self.tx_mut(to).on_control(c)?;
+                    self.pump(to)?;
                 }
             }
             data @ Frame::Data { .. } => {
                 let at = self.queue.now();
                 let action = match to {
-                    Side::A => self.rx_a.on_frame(data, intact),
-                    Side::B => self.rx_b.on_frame(data, intact),
+                    Side::A => self.rx_a.on_frame(data, intact)?,
+                    Side::B => self.rx_b.on_frame(data, intact)?,
                 };
                 if action.piggyback_credits > 0 {
                     self.tx_mut(to)
                         .on_control(crate::frame::Control::CreditReturn(
                             action.piggyback_credits,
-                        ));
+                        ))?;
                 }
                 for msg in action.delivered {
                     self.delivered.push(Delivered { to, msg, at });
@@ -195,45 +202,53 @@ impl<T: FlitSized + Clone> LlcLink<T> {
                 for c in action.replies {
                     self.transmit(to, Frame::Control(c), at);
                 }
-                self.pump(to);
+                self.pump(to)?;
             }
         }
-        true
+        Ok(true)
     }
 
     /// Runs until both transmitters have everything acknowledged,
     /// kicking tail replays when the wire goes quiet.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics after 10 000 idle-timer kicks — only reachable when the
-    /// channel drops literally everything.
-    pub fn run_until_quiescent(&mut self) {
+    /// [`LlcError::NoProgress`] after 10 000 idle-timer kicks — only
+    /// reachable when the channel drops literally everything — plus any
+    /// protocol violation surfaced by the state machines.
+    pub fn run_until_quiescent(&mut self) -> Result<(), LlcError> {
         let mut kicks = 0;
         loop {
-            while self.step() {}
+            while self.step()? {}
             if self.tx_a.all_acked() && self.tx_b.all_acked() {
-                return;
+                return Ok(());
             }
             kicks += 1;
-            assert!(kicks < 10_000, "link cannot make progress");
+            if kicks >= MAX_REPLAY_KICKS {
+                return Err(LlcError::NoProgress { kicks });
+            }
             self.tx_a.kick_tail_replay();
             self.tx_b.kick_tail_replay();
-            self.pump(Side::A);
-            self.pump(Side::B);
+            self.pump(Side::A)?;
+            self.pump(Side::B)?;
         }
     }
 
     /// Convenience: sends `msgs` from A, runs to quiescence and returns
     /// the payloads delivered at B, in order.
-    pub fn run_to_completion(&mut self, msgs: Vec<T>) -> Vec<T> {
-        self.send(Side::A, msgs);
-        self.run_until_quiescent();
-        self.delivered
+    ///
+    /// # Errors
+    ///
+    /// See [`LlcLink::run_until_quiescent`].
+    pub fn run_to_completion(&mut self, msgs: Vec<T>) -> Result<Vec<T>, LlcError> {
+        self.send(Side::A, msgs)?;
+        self.run_until_quiescent()?;
+        Ok(self
+            .delivered
             .iter()
             .filter(|d| d.to == Side::B)
             .map(|d| d.msg.clone())
-            .collect()
+            .collect())
     }
 
     /// Everything delivered so far, with timestamps.
@@ -255,6 +270,27 @@ impl<T: FlitSized + Clone> LlcLink<T> {
     pub fn rx_b(&self) -> &LlcRx<T> {
         &self.rx_b
     }
+
+    /// Asserts flit conservation on both transmitters and credit
+    /// conservation on both credit pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either invariant is violated.
+    #[cfg(feature = "sanitize")]
+    pub fn assert_conservation(&self) {
+        self.tx_a.assert_flit_conservation();
+        self.tx_b.assert_flit_conservation();
+        self.tx_a.credits().assert_conserved();
+        self.tx_b.credits().assert_conserved();
+    }
+
+    /// Sanitizer test hook: leaks one retained frame on `side`'s
+    /// transmitter (see [`LlcTx::leak_replay_frame`]).
+    #[cfg(feature = "sanitize")]
+    pub fn leak_replay_frame(&mut self, side: Side) {
+        self.tx_mut(side).leak_replay_frame();
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +307,7 @@ mod tests {
     fn lossless_link_delivers_everything_in_order() {
         let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::LOSSLESS, 1);
         let sent = msgs(500);
-        let got = link.run_to_completion(sent.clone());
+        let got = link.run_to_completion(sent.clone()).unwrap();
         assert_eq!(got, sent);
         assert_eq!(link.total_replays(), 0);
     }
@@ -282,7 +318,7 @@ mod tests {
             let mut link =
                 LlcLink::new(LlcConfig::default(), FaultSpec::new(0.08, 0.08), seed);
             let sent = msgs(300);
-            let got = link.run_to_completion(sent.clone());
+            let got = link.run_to_completion(sent.clone()).unwrap();
             assert_eq!(got, sent, "seed {seed}");
             assert!(link.total_replays() > 0, "seed {seed} saw no replays");
         }
@@ -291,9 +327,9 @@ mod tests {
     #[test]
     fn bidirectional_traffic() {
         let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::new(0.05, 0.0), 9);
-        link.send(Side::A, msgs(100));
-        link.send(Side::B, msgs(100));
-        link.run_until_quiescent();
+        link.send(Side::A, msgs(100)).unwrap();
+        link.send(Side::B, msgs(100)).unwrap();
+        link.run_until_quiescent().unwrap();
         let to_b: Vec<Msg> = link
             .deliveries()
             .iter()
@@ -313,7 +349,7 @@ mod tests {
     #[test]
     fn delivery_times_are_monotone_per_side() {
         let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::new(0.1, 0.1), 3);
-        link.run_to_completion(msgs(200));
+        link.run_to_completion(msgs(200)).unwrap();
         let times: Vec<_> = link
             .deliveries()
             .iter()
@@ -328,7 +364,7 @@ mod tests {
     #[test]
     fn first_delivery_latency_includes_flight_time() {
         let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::LOSSLESS, 1);
-        link.run_to_completion(vec![(0u32, 1usize)]);
+        link.run_to_completion(vec![(0u32, 1usize)]).unwrap();
         let first = &link.deliveries()[0];
         // One serDES crossing + cable + one 256 B frame serialization.
         assert!(first.at.as_ns() > 100, "{}", first.at);
@@ -336,9 +372,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot make progress")]
     fn total_loss_is_detected() {
         let mut link = LlcLink::new(LlcConfig::default(), FaultSpec::new(1.0, 0.0), 1);
-        link.run_to_completion(msgs(4));
+        let got = link.run_to_completion(msgs(4));
+        assert!(matches!(got, Err(LlcError::NoProgress { .. })), "{got:?}");
     }
 }

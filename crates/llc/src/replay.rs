@@ -6,6 +6,7 @@
 
 use std::collections::VecDeque;
 
+use crate::error::LlcError;
 use crate::frame::{Frame, FrameId};
 
 /// Retention buffer for unacknowledged frames.
@@ -17,8 +18,8 @@ use crate::frame::{Frame, FrameId};
 /// use llc::replay::ReplayBuffer;
 ///
 /// let mut rb: ReplayBuffer<(u32, usize)> = ReplayBuffer::new(8);
-/// rb.retain(Frame::Data { id: FrameId(0), entries: vec![], piggyback_credits: 0 });
-/// rb.retain(Frame::Data { id: FrameId(1), entries: vec![], piggyback_credits: 0 });
+/// rb.retain(Frame::Data { id: FrameId(0), entries: vec![], piggyback_credits: 0 }).unwrap();
+/// rb.retain(Frame::Data { id: FrameId(1), entries: vec![], piggyback_credits: 0 }).unwrap();
 /// let replayed = rb.frames_from(FrameId(0));
 /// assert_eq!(replayed.len(), 2);
 /// rb.ack_through(FrameId(1));
@@ -53,29 +54,49 @@ impl<T: Clone> ReplayBuffer<T> {
 
     /// Retains a transmitted data frame.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the buffer is full (the Tx must check [`Self::has_room`]
-    /// before transmitting) or if the frame id is not the successor of
-    /// the last retained frame.
-    pub fn retain(&mut self, frame: Frame<T>) {
-        assert!(self.has_room(), "replay buffer overflow");
-        let id = frame.id().expect("only data frames are retained");
+    /// [`LlcError::ReplayOverflow`] if the buffer is full (the Tx must
+    /// check [`Self::has_room`] before transmitting),
+    /// [`LlcError::ControlFrameInDataPath`] if the frame is not a data
+    /// frame, and [`LlcError::NonSequentialRetention`] if the frame id is
+    /// not the successor of the last retained frame.
+    pub fn retain(&mut self, frame: Frame<T>) -> Result<(), LlcError> {
+        if !self.has_room() {
+            return Err(LlcError::ReplayOverflow {
+                capacity: self.capacity,
+            });
+        }
+        let Some(id) = frame.id() else {
+            return Err(LlcError::ControlFrameInDataPath);
+        };
         if let Some(last) = self.frames.back().and_then(Frame::id) {
-            assert_eq!(id, last.next(), "non-sequential retention: {id}");
+            if id != last.next() {
+                return Err(LlcError::NonSequentialRetention {
+                    expected: last.next(),
+                    got: id,
+                });
+            }
         }
         self.frames.push_back(frame);
+        Ok(())
     }
 
-    /// Drops every frame with id ≤ `through` (cumulative ack).
-    pub fn ack_through(&mut self, through: FrameId) {
+    /// Drops every frame with id ≤ `through` (cumulative ack). Returns
+    /// the number of *transactions* the acknowledged frames carried, so
+    /// the Tx can account for them as delivered.
+    pub fn ack_through(&mut self, through: FrameId) -> usize {
+        let mut acked_txns = 0;
         while let Some(front) = self.frames.front().and_then(Frame::id) {
             if front <= through {
-                self.frames.pop_front();
+                if let Some(f) = self.frames.pop_front() {
+                    acked_txns += f.txn_count();
+                }
             } else {
                 break;
             }
         }
+        acked_txns
     }
 
     /// Returns clones of every retained frame with id ≥ `from`, in order.
@@ -99,6 +120,11 @@ impl<T: Clone> ReplayBuffer<T> {
         self.frames.len()
     }
 
+    /// Total transactions carried by the retained frames.
+    pub fn txn_count(&self) -> usize {
+        self.frames.iter().map(Frame::txn_count).sum()
+    }
+
     /// Whether nothing is awaiting acknowledgement.
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
@@ -107,6 +133,14 @@ impl<T: Clone> ReplayBuffer<T> {
     /// Replay requests served so far.
     pub fn replays_served(&self) -> u64 {
         self.replays_served
+    }
+
+    /// Sanitizer test hook: silently discards the oldest retained frame
+    /// *without* accounting for its transactions, deliberately violating
+    /// flit conservation so tests can prove the checker catches leaks.
+    #[cfg(feature = "sanitize")]
+    pub fn leak_one(&mut self) -> Option<Frame<T>> {
+        self.frames.pop_front()
     }
 }
 
@@ -126,7 +160,7 @@ mod tests {
     fn ack_is_cumulative() {
         let mut rb = ReplayBuffer::new(10);
         for i in 0..5 {
-            rb.retain(data(i));
+            rb.retain(data(i)).unwrap();
         }
         rb.ack_through(FrameId(2));
         assert_eq!(rb.len(), 2);
@@ -137,7 +171,7 @@ mod tests {
     fn replay_from_midpoint() {
         let mut rb = ReplayBuffer::new(10);
         for i in 0..5 {
-            rb.retain(data(i));
+            rb.retain(data(i)).unwrap();
         }
         let frames = rb.frames_from(FrameId(3));
         let ids: Vec<u64> = frames.iter().map(|f| f.id().unwrap().0).collect();
@@ -148,24 +182,54 @@ mod tests {
     #[test]
     fn ack_of_unknown_id_is_noop() {
         let mut rb = ReplayBuffer::new(4);
-        rb.retain(data(7));
-        rb.ack_through(FrameId(3));
+        rb.retain(data(7)).unwrap();
+        assert_eq!(rb.ack_through(FrameId(3)), 0);
         assert_eq!(rb.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "replay buffer overflow")]
-    fn overflow_panics() {
-        let mut rb = ReplayBuffer::new(1);
-        rb.retain(data(0));
-        rb.retain(data(1));
+    fn ack_reports_transactions_freed() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.retain(Frame::Data {
+            id: FrameId(0),
+            entries: vec![
+                crate::frame::Entry::Txn((1u32, 1usize)),
+                crate::frame::Entry::Txn((2, 1)),
+                crate::frame::Entry::Nop,
+            ],
+            piggyback_credits: 0,
+        })
+        .unwrap();
+        assert_eq!(rb.ack_through(FrameId(0)), 2);
     }
 
     #[test]
-    #[should_panic(expected = "non-sequential retention")]
-    fn gap_in_retention_panics() {
+    fn overflow_is_an_error() {
+        let mut rb = ReplayBuffer::new(1);
+        rb.retain(data(0)).unwrap();
+        assert_eq!(
+            rb.retain(data(1)),
+            Err(LlcError::ReplayOverflow { capacity: 1 })
+        );
+    }
+
+    #[test]
+    fn gap_in_retention_is_an_error() {
         let mut rb = ReplayBuffer::new(4);
-        rb.retain(data(0));
-        rb.retain(data(2));
+        rb.retain(data(0)).unwrap();
+        assert_eq!(
+            rb.retain(data(2)),
+            Err(LlcError::NonSequentialRetention {
+                expected: FrameId(1),
+                got: FrameId(2),
+            })
+        );
+    }
+
+    #[test]
+    fn control_frame_retention_is_an_error() {
+        let mut rb: ReplayBuffer<(u32, usize)> = ReplayBuffer::new(4);
+        let ctrl = Frame::Control(crate::frame::Control::Ack(FrameId(0)));
+        assert_eq!(rb.retain(ctrl), Err(LlcError::ControlFrameInDataPath));
     }
 }

@@ -37,7 +37,10 @@ impl WireCodec for (u32, usize) {
         (self.0 as u64, self.1 as u64)
     }
     fn unpack(words: (u64, u64)) -> Self {
-        (words.0 as u32, words.1 as usize)
+        // The low 32 bits carry the tag; the mask makes the narrowing
+        // infallible for `try_from`.
+        let tag = u32::try_from(words.0 & u64::from(u32::MAX)).unwrap_or(0);
+        (tag, words.1 as usize)
     }
 }
 
@@ -79,7 +82,15 @@ fn put_u64(buf: &mut [u8], off: usize, v: u64) {
 }
 
 fn get_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(bytes)
 }
 
 /// Serializes a frame into whole flits.
@@ -92,7 +103,7 @@ pub fn encode<T: WireCodec>(frame: &Frame<T>) -> Vec<u8> {
             let (kind, arg) = match c {
                 Control::Ack(id) => (1u8, id.0),
                 Control::ReplayRequest(id) => (2, id.0),
-                Control::CreditReturn(n) => (3, *n as u64),
+                Control::CreditReturn(n) => (3, u64::from(*n)),
             };
             flit[2] = kind;
             put_u64(&mut flit, 4, arg);
@@ -109,7 +120,9 @@ pub fn encode<T: WireCodec>(frame: &Frame<T>) -> Vec<u8> {
             buf[0] = b'T';
             buf[1] = b'F';
             buf[2] = 0;
-            buf[3] = entries.len() as u8;
+            // `LlcConfig::validate` caps frames at 256 flits, so the
+            // entry count always fits the header byte.
+            buf[3] = u8::try_from(entries.len()).unwrap_or(u8::MAX);
             put_u64(&mut buf, 4, id.0);
             buf[12..16].copy_from_slice(&piggyback_credits.to_le_bytes());
             let payload_flits: usize = entries
@@ -119,7 +132,8 @@ pub fn encode<T: WireCodec>(frame: &Frame<T>) -> Vec<u8> {
                     Entry::Nop => 1,
                 })
                 .sum();
-            buf[26..28].copy_from_slice(&(payload_flits as u16).to_le_bytes());
+            let payload_flits = u16::try_from(payload_flits).unwrap_or(u16::MAX);
+            buf[26..28].copy_from_slice(&payload_flits.to_le_bytes());
             for (i, e) in entries.iter().enumerate() {
                 let off = FLIT_BYTES * (1 + i);
                 match e {
@@ -155,7 +169,7 @@ pub fn decode<T: WireCodec>(bytes: &[u8]) -> Result<Frame<T>, WireError> {
     if &bytes[0..2] != b"TF" {
         return Err(WireError::BadMagic);
     }
-    let expected = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes"));
+    let expected = get_u32(bytes, 28);
     let computed = if bytes.len() == FLIT_BYTES {
         crc32(&bytes[..28])
     } else {
@@ -173,16 +187,16 @@ pub fn decode<T: WireCodec>(bytes: &[u8]) -> Result<Frame<T>, WireError> {
             bytes, 4,
         ))))),
         3 => Ok(Frame::Control(Control::CreditReturn(
-            get_u64(bytes, 4) as u32
+            // Encode packs a u32, so the masked narrowing is lossless.
+            u32::try_from(get_u64(bytes, 4) & u64::from(u32::MAX)).unwrap_or(0),
         ))),
         0 => {
-            let count = bytes[3] as usize;
+            let count = usize::from(bytes[3]);
             if bytes.len() < FLIT_BYTES * (1 + count) {
                 return Err(WireError::BadLength(bytes.len()));
             }
             let id = FrameId(get_u64(bytes, 4));
-            let piggyback =
-                u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+            let piggyback = get_u32(bytes, 12);
             let mut entries = Vec::with_capacity(count);
             for i in 0..count {
                 let off = FLIT_BYTES * (1 + i);

@@ -26,7 +26,7 @@ proptest! {
             FaultSpec::new(drop, corrupt),
             seed,
         );
-        let got = link.run_to_completion(msgs.clone());
+        let got = link.run_to_completion(msgs.clone()).expect("link makes progress");
         prop_assert_eq!(got, msgs);
     }
 
@@ -61,7 +61,7 @@ proptest! {
             FaultSpec::new(drop, 0.0),
             seed,
         );
-        link.run_to_completion(msgs);
+        link.run_to_completion(msgs).expect("link makes progress");
         let credits = link.tx_a().credits();
         prop_assert_eq!(credits.available(), credits.max());
     }

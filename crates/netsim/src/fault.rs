@@ -53,7 +53,9 @@ impl FaultSpec {
 
     /// Whether any fault can occur.
     pub fn is_lossless(&self) -> bool {
-        self.drop_prob == 0.0 && self.corrupt_prob == 0.0
+        // Probabilities are validated non-negative, so ≤ 0 means exactly 0
+        // without an exact float comparison.
+        self.drop_prob <= 0.0 && self.corrupt_prob <= 0.0
     }
 }
 

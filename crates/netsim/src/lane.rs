@@ -26,7 +26,7 @@ pub struct SerdesLane {
     raw_gbit: f64,
     encoding_num: u32,
     encoding_den: u32,
-    crossing_ns: u64,
+    crossing: SimTime,
 }
 
 impl SerdesLane {
@@ -38,7 +38,7 @@ impl SerdesLane {
             raw_gbit: 25.0,
             encoding_num: 64,
             encoding_den: 66,
-            crossing_ns: 75,
+            crossing: SimTime::from_ns(75),
         }
     }
 
@@ -48,7 +48,7 @@ impl SerdesLane {
     ///
     /// Panics if the rate is non-positive or the encoding ratio is not in
     /// `(0, 1]`.
-    pub fn new(raw_gbit: f64, encoding_num: u32, encoding_den: u32, crossing_ns: u64) -> Self {
+    pub fn new(raw_gbit: f64, encoding_num: u32, encoding_den: u32, crossing: SimTime) -> Self {
         assert!(raw_gbit > 0.0, "lane rate must be positive");
         assert!(
             encoding_num > 0 && encoding_num <= encoding_den,
@@ -58,7 +58,7 @@ impl SerdesLane {
             raw_gbit,
             encoding_num,
             encoding_den,
-            crossing_ns,
+            crossing,
         }
     }
 
@@ -74,17 +74,14 @@ impl SerdesLane {
 
     /// Latency of one serDES crossing.
     pub fn crossing_latency(&self) -> SimTime {
-        SimTime::from_ns(self.crossing_ns)
+        self.crossing
     }
 
     /// A lane identical to this one but with an ASIC-grade crossing
     /// latency, used by the §VII "future work" ablation (integrating the
     /// design in the SoC removes PCS stages).
-    pub fn with_crossing_ns(self, crossing_ns: u64) -> Self {
-        SerdesLane {
-            crossing_ns,
-            ..self
-        }
+    pub fn with_crossing(self, crossing: SimTime) -> Self {
+        SerdesLane { crossing, ..self }
     }
 }
 
@@ -115,7 +112,7 @@ mod tests {
 
     #[test]
     fn asic_variant_shrinks_crossing() {
-        let asic = SerdesLane::gty_25g().with_crossing_ns(25);
+        let asic = SerdesLane::gty_25g().with_crossing(SimTime::from_ns(25));
         assert_eq!(asic.crossing_latency().as_ns(), 25);
         assert_eq!(asic.raw_gbit(), 25.0);
     }
@@ -123,6 +120,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "encoding ratio")]
     fn bad_encoding_panics() {
-        SerdesLane::new(25.0, 66, 64, 75);
+        SerdesLane::new(25.0, 66, 64, SimTime::from_ns(75));
     }
 }

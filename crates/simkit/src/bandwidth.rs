@@ -61,7 +61,9 @@ impl Rate {
 
     /// Time to serialize `bytes` at this rate.
     pub fn transfer_time(self, bytes: u64) -> SimTime {
-        SimTime::from_ps((bytes as f64 / self.bytes_per_sec * 1e12).round() as u64)
+        SimTime::from_ps(crate::units::f64_to_u64_saturating(
+            (bytes as f64 / self.bytes_per_sec * 1e12).round(),
+        ))
     }
 
     /// Scales the rate by a factor (e.g. encoding overhead).

@@ -114,8 +114,18 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// delivery time. Returns `None` when the queue is exhausted.
+    ///
+    /// With the `sanitize` feature on, asserts that simulated time never
+    /// regresses — the heap invariant every simulation depends on.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let sch = self.heap.pop()?;
+        #[cfg(feature = "sanitize")]
+        assert!(
+            sch.at >= self.now,
+            "sanitize: event queue clock regressed: {} -> {}",
+            self.now,
+            sch.at
+        );
         self.now = sch.at;
         Some((sch.at, sch.event))
     }

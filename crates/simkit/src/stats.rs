@@ -75,7 +75,8 @@ impl Histogram {
         if bucket == 0 {
             return sub;
         }
-        let shift = (bucket - 1) as u32;
+        // `bucket` ≤ 63 (64 exponent buckets), so the conversion holds.
+        let shift = u32::try_from(bucket - 1).unwrap_or(u32::MAX);
         // Upper edge of the sub-bucket (conservative for quantiles).
         ((SUB_BUCKETS as u64 + sub + 1) << shift) - 1
     }
@@ -142,7 +143,8 @@ impl Histogram {
         if self.total == 0 {
             return 0;
         }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let rank = crate::units::f64_to_u64_saturating((q * self.total as f64).ceil())
+            .clamp(1, self.total);
         let mut seen = 0;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;

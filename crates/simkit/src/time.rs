@@ -65,7 +65,7 @@ impl SimTime {
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
-        SimTime((s * 1e12).round() as u64)
+        SimTime(crate::units::f64_to_u64_saturating((s * 1e12).round()))
     }
 
     /// Creates a `SimTime` from fractional nanoseconds.
@@ -75,7 +75,7 @@ impl SimTime {
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns_f64(ns: f64) -> Self {
         assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns}");
-        SimTime((ns * 1e3).round() as u64)
+        SimTime(crate::units::f64_to_u64_saturating((ns * 1e3).round()))
     }
 
     /// Picoseconds since simulation start.
@@ -178,7 +178,9 @@ impl Mul<u64> for SimTime {
 impl Mul<f64> for SimTime {
     type Output = SimTime;
     fn mul(self, rhs: f64) -> SimTime {
-        SimTime((self.0 as f64 * rhs).round() as u64)
+        SimTime(crate::units::f64_to_u64_saturating(
+            (self.0 as f64 * rhs).round(),
+        ))
     }
 }
 

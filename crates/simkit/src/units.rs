@@ -32,6 +32,27 @@ pub fn bytes_per_sec_to_gib(bps: f64) -> f64 {
     bps / GIB as f64
 }
 
+/// Saturating conversion from `f64` to `u64`: negative and NaN inputs
+/// map to 0, values beyond `u64::MAX` map to `u64::MAX`.
+///
+/// This is the one blessed float→integer gate for unit-bearing values;
+/// the rest of the workspace routes through it instead of casting
+/// directly (tflint TF005 flags raw `as` casts on time/byte quantities).
+///
+/// ```
+/// use simkit::units::f64_to_u64_saturating;
+/// assert_eq!(f64_to_u64_saturating(2494.0), 2494);
+/// assert_eq!(f64_to_u64_saturating(-1.0), 0);
+/// assert_eq!(f64_to_u64_saturating(f64::NAN), 0);
+/// assert_eq!(f64_to_u64_saturating(1e300), u64::MAX);
+/// ```
+pub fn f64_to_u64_saturating(x: f64) -> u64 {
+    // Float→int `as` saturates by definition in Rust (NaN → 0), so this
+    // single audited cast is safe by construction.
+    // tflint::allow(TF005): the one blessed float→integer gate.
+    x as u64
+}
+
 /// Picoseconds per cycle at a given frequency in MHz.
 ///
 /// ```
@@ -40,7 +61,7 @@ pub fn bytes_per_sec_to_gib(bps: f64) -> f64 {
 /// assert_eq!(ps_per_cycle_mhz(401.0), 2494);
 /// ```
 pub fn ps_per_cycle_mhz(mhz: f64) -> u64 {
-    (1e6 / mhz).round() as u64
+    f64_to_u64_saturating((1e6 / mhz).round())
 }
 
 #[cfg(test)]

@@ -1,0 +1,21 @@
+//! Sanitize-feature coverage for the event queue: the monotonic-time
+//! assertion in `EventQueue::pop` is active and normal schedules pass it.
+
+#![cfg(feature = "sanitize")]
+
+use simkit::event::EventQueue;
+use simkit::time::SimTime;
+
+#[test]
+fn event_queue_time_is_monotone_under_sanitize() {
+    let mut q = EventQueue::new();
+    for i in (1..=100u64).rev() {
+        q.schedule(SimTime::from_ns(i), i);
+    }
+    let mut last = SimTime::ZERO;
+    while let Some((t, _)) = q.pop() {
+        assert!(t >= last);
+        last = t;
+    }
+    assert_eq!(last, SimTime::from_ns(100));
+}

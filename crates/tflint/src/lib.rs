@@ -1,0 +1,918 @@
+//! tflint — domain-aware static analysis for the ThymesisFlow workspace.
+//!
+//! The simulator's credibility rests on determinism and unit-correct
+//! arithmetic (950 ns flit RTT, credit-conserving LLC backpressure,
+//! 12.5 GiB/s channel ceilings). tflint enforces the rules that keep
+//! those properties from silently eroding:
+//!
+//! | rule  | checks                                                        |
+//! |-------|---------------------------------------------------------------|
+//! | TF001 | no wall-clock (`Instant`/`SystemTime`) in simulation crates   |
+//! | TF002 | no entropy-seeded RNG outside `simkit::rng`                   |
+//! | TF003 | no bare `u64`/`f64` params with unit-implying names in public APIs |
+//! | TF004 | no `unwrap()`/`expect()`/`panic!` in non-test datapath code   |
+//! | TF005 | no truncating `as` casts on time/credit/byte values           |
+//! | TF006 | no float `==`/`!=` in stats/bandwidth code                    |
+//!
+//! A finding is suppressed by a `// tflint::allow(TFnnn)` comment on the
+//! same line or the line directly above; allows should carry a reason.
+//!
+//! The issue that introduced this tool asked for a `syn`-based parser;
+//! this container has no registry access, so the tool instead carries a
+//! small hand-rolled lexer (comments/strings/lifetimes handled, tokens
+//! carry line:column spans). The rules only need token patterns, not
+//! type information, so the diagnostics are identical in practice.
+//!
+//! Run it as `cargo run -p tflint -- check`, or let the per-crate
+//! `tflint_gate` tests run it under plain `cargo test`.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Rule IDs with one-line descriptions, for `--help`-style output.
+pub const RULES: &[(&str, &str)] = &[
+    ("TF001", "no wall-clock (std::time::Instant/SystemTime) in simulation crates"),
+    ("TF002", "no entropy-seeded RNG (thread_rng/from_entropy/OsRng) outside simkit::rng"),
+    ("TF003", "no bare u64/f64 parameters with unit-implying names in public APIs"),
+    ("TF004", "no unwrap()/expect()/panic! in non-test datapath code"),
+    ("TF005", "no truncating `as` casts on time/credit/byte values"),
+    ("TF006", "no float ==/!= comparisons in stats/bandwidth code"),
+];
+
+/// One lint finding, anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID (`TF001`..`TF006`).
+    pub rule: &'static str,
+    /// Path of the offending file, as given to the checker.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}:{}: {}",
+            self.rule, self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Renders diagnostics one per line (empty string when clean).
+pub fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(Diagnostic::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ------------------------------------------------------------------ lexer
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ident,
+    Punct,
+    Str,
+    Char,
+    Int,
+    Float,
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: Kind,
+    text: String,
+    line: u32,
+    col: u32,
+}
+
+/// A `// tflint::allow(RULE, ...)` comment: the rules it names plus the
+/// line it sits on. It suppresses findings on its own line and the next.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: u32,
+    rules: Vec<String>,
+}
+
+struct Lexed {
+    toks: Vec<Tok>,
+    allows: Vec<Allow>,
+}
+
+const TWO_CHAR_OPS: &[&str] = &[
+    "==", "!=", "<=", ">=", "=>", "->", "&&", "||", "..", "::", "<<", ">>",
+];
+
+fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            let n = $n;
+            for _ in 0..n {
+                if bytes.get(i) == Some(&b'\n') {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Line comments (also the allow channel).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+            let comment = &src[i..end];
+            if let Some(a) = parse_allow(comment, tline) {
+                allows.push(a);
+            }
+            advance!(end - i);
+            continue;
+        }
+
+        // Block comments (nested).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            advance!(j - i);
+            continue;
+        }
+
+        // Raw strings and byte strings: r"..", r#".."#, br"..", b"..".
+        if b == b'r' || b == b'b' {
+            if let Some(len) = raw_string_len(&src[i..]) {
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance!(len);
+                continue;
+            }
+        }
+
+        // Plain strings.
+        if b == b'"' {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Tok {
+                kind: Kind::Str,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            advance!(j - i);
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied().unwrap_or(0);
+            let after = bytes.get(i + 2).copied().unwrap_or(0);
+            if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Lifetime,
+                    text: src[i..j].to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance!(j - i);
+            } else {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Char,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance!(j - i);
+            }
+            continue;
+        }
+
+        // Numbers. `1..120` stops before the `..`; `0.5` and `1e12` are
+        // floats; `0xAE` stays an integer despite the hex `E`.
+        if b.is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'.') && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                j += 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+            }
+            let text = &src[i..j];
+            let is_float = !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+                && (text.contains('.') || text.contains(['e', 'E']));
+            toks.push(Tok {
+                kind: if is_float { Kind::Float } else { Kind::Int },
+                text: text.to_string(),
+                line: tline,
+                col: tcol,
+            });
+            advance!(j - i);
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: Kind::Ident,
+                text: src[i..j].to_string(),
+                line: tline,
+                col: tcol,
+            });
+            advance!(j - i);
+            continue;
+        }
+
+        // Multi-char operators, longest first.
+        if src[i..].starts_with("..=") {
+            toks.push(Tok {
+                kind: Kind::Punct,
+                text: "..=".into(),
+                line: tline,
+                col: tcol,
+            });
+            advance!(3);
+            continue;
+        }
+        if let Some(op) = TWO_CHAR_OPS.iter().find(|op| src[i..].starts_with(**op)) {
+            toks.push(Tok {
+                kind: Kind::Punct,
+                text: (*op).to_string(),
+                line: tline,
+                col: tcol,
+            });
+            advance!(2);
+            continue;
+        }
+
+        toks.push(Tok {
+            kind: Kind::Punct,
+            text: (b as char).to_string(),
+            line: tline,
+            col: tcol,
+        });
+        advance!(1);
+    }
+
+    Lexed { toks, allows }
+}
+
+/// Length of a raw/byte string literal starting at `s`, if one starts
+/// here: `r"…"`, `r#"…"#`, `br"…"`, or `b"…"`.
+fn raw_string_len(s: &str) -> Option<usize> {
+    let after_b = s.strip_prefix('b');
+    let rest = after_b.unwrap_or(s);
+    let after_r = rest.strip_prefix('r');
+    let had_r = after_r.is_some();
+    let rest = after_r.unwrap_or(rest);
+    let hashes = rest.bytes().take_while(|&c| c == b'#').count();
+    let rest = &rest[hashes..];
+    if !rest.starts_with('"') {
+        return None;
+    }
+    if !had_r && (hashes > 0 || after_b.is_none()) {
+        // `b#...` is not a literal, and a bare `"` is handled elsewhere.
+        return None;
+    }
+    let prefix_len = s.len() - rest.len() + 1;
+    let body = &rest[1..];
+    if had_r {
+        let closer = format!("\"{}", "#".repeat(hashes));
+        let end = body.find(&closer)?;
+        Some(prefix_len + end + closer.len())
+    } else {
+        // b"...": escapes apply.
+        let bytes = body.as_bytes();
+        let mut j = 0;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'"' => return Some(prefix_len + j + 1),
+                _ => j += 1,
+            }
+        }
+        None
+    }
+}
+
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let idx = comment.find("tflint::allow(")?;
+    let rest = &comment[idx + "tflint::allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(Allow { line, rules })
+    }
+}
+
+// --------------------------------------------------------- test-code map
+
+/// Marks the token ranges belonging to `#[cfg(test)]` / `#[test]` items
+/// (the attribute, the item header, and its braced body).
+fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut saw_test = false;
+            let mut saw_cfg = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" => saw_cfg = true,
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `#[test]` alone, or `test` appearing inside a `#[cfg(...)]`
+            // predicate (covers `#[cfg(test)]` and `#[cfg(all(test, ..))]`).
+            let is_bare_test = saw_test && !saw_cfg && j == i + 4;
+            if saw_test && (saw_cfg || is_bare_test) {
+                // Skip any further attributes between this one and the item.
+                let mut k = j;
+                while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut d = 1;
+                    k += 2;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the item's body (first top-level `{`) or `;`.
+                let mut d = 0i32;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "[" => d += 1,
+                        ")" | "]" => d -= 1,
+                        ";" if d == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        "{" if d == 0 => {
+                            let mut bd = 1;
+                            k += 1;
+                            while k < toks.len() && bd > 0 {
+                                match toks[k].text.as_str() {
+                                    "{" => bd += 1,
+                                    "}" => bd -= 1,
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(k).skip(i) {
+                    *m = true;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+// ------------------------------------------------------------ rule scopes
+
+/// Crates whose simulated time must stay virtual (TF001).
+const SIM_CRATES: &[&str] = &[
+    "simkit",
+    "netsim",
+    "llc",
+    "opencapi",
+    "rmmu",
+    "routing",
+    "hostsim",
+    "ctrlplane",
+    "core",
+    "workloads",
+    "dcsim",
+    "thymesisflow",
+];
+
+/// Crates whose public APIs must use unit newtypes (TF003).
+const UNIT_API_CRATES: &[&str] = &["simkit", "llc", "netsim", "routing"];
+
+/// Datapath crates where panics are forbidden outside tests (TF004).
+const DATAPATH_CRATES: &[&str] = &["llc", "routing", "rmmu", "opencapi", "netsim"];
+
+/// Crates with timing/credit arithmetic where `as` casts are audited (TF005).
+const CAST_CRATES: &[&str] = &["llc", "simkit"];
+
+/// Crates with stats/bandwidth float math (TF006).
+const FLOAT_CMP_CRATES: &[&str] = &["simkit", "netsim", "dcsim", "workloads", "bench"];
+
+fn in_scope(list: &[&str], crate_name: &str) -> bool {
+    list.contains(&crate_name)
+}
+
+// ----------------------------------------------------------------- rules
+
+/// Lints one source file as it would appear in crate `crate_name` at
+/// `rel_path`. This is the fixture-test entry point: rules are scoped by
+/// crate name exactly as in a workspace run.
+pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let Lexed { toks, allows } = lex(source);
+    let test_mask = test_code_mask(&toks);
+    let mut diags = Vec::new();
+
+    let push = |diags: &mut Vec<Diagnostic>, rule: &'static str, tok: &Tok, message: String| {
+        diags.push(Diagnostic {
+            rule,
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    let is_rng_home = crate_name == "simkit" && rel_path.ends_with("src/rng.rs");
+
+    for (i, tok) in toks.iter().enumerate() {
+        let in_test = test_mask[i];
+
+        // TF001: wall-clock types.
+        if in_scope(SIM_CRATES, crate_name)
+            && !in_test
+            && tok.kind == Kind::Ident
+            && (tok.text == "Instant" || tok.text == "SystemTime")
+        {
+            push(
+                &mut diags,
+                "TF001",
+                tok,
+                format!(
+                    "wall-clock type `{}` breaks simulation determinism; model time with `simkit::time::SimTime`",
+                    tok.text
+                ),
+            );
+        }
+
+        // TF002: entropy-seeded RNG outside simkit::rng.
+        if !is_rng_home
+            && tok.kind == Kind::Ident
+            && matches!(tok.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+        {
+            push(
+                &mut diags,
+                "TF002",
+                tok,
+                format!(
+                    "entropy-seeded RNG `{}` breaks reproducibility; derive a seeded stream from `simkit::rng::DetRng`",
+                    tok.text
+                ),
+            );
+        }
+
+        // TF004: panics in datapath library code.
+        if in_scope(DATAPATH_CRATES, crate_name) && !in_test && tok.kind == Kind::Ident {
+            let prev_dot = i > 0 && toks[i - 1].text == ".";
+            let next = toks.get(i + 1).map(|t| t.text.as_str());
+            if (tok.text == "unwrap" || tok.text == "expect") && prev_dot && next == Some("(") {
+                push(
+                    &mut diags,
+                    "TF004",
+                    tok,
+                    format!(
+                        "`.{}()` can panic mid-datapath; return a typed error (`LlcError`/`RouteError`) or justify with tflint::allow",
+                        tok.text
+                    ),
+                );
+            }
+            if tok.text == "panic" && next == Some("!") {
+                push(
+                    &mut diags,
+                    "TF004",
+                    tok,
+                    "`panic!` in datapath code aborts the whole simulation; return a typed error or justify with tflint::allow"
+                        .to_string(),
+                );
+            }
+        }
+
+        // TF005: truncating casts on unit-carrying values.
+        if in_scope(CAST_CRATES, crate_name)
+            && !in_test
+            && tok.kind == Kind::Ident
+            && tok.text == "as"
+        {
+            if let Some(target) = toks.get(i + 1) {
+                let narrow = matches!(
+                    target.text.as_str(),
+                    "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+                );
+                let wide_int = matches!(
+                    target.text.as_str(),
+                    "u64" | "i64" | "usize" | "isize" | "u128" | "i128"
+                );
+                if narrow {
+                    push(
+                        &mut diags,
+                        "TF005",
+                        tok,
+                        format!(
+                            "narrowing `as {}` silently truncates; use `try_from` (or a widening `from`) so overflow is a checked error",
+                            target.text
+                        ),
+                    );
+                } else if wide_int && cast_source_is_unit_like(&toks, i) {
+                    push(
+                        &mut diags,
+                        "TF005",
+                        tok,
+                        format!(
+                            "`as {}` on a time/credit/byte expression truncates toward zero; use a checked conversion helper",
+                            target.text
+                        ),
+                    );
+                }
+            }
+        }
+
+        // TF006: float equality.
+        if in_scope(FLOAT_CMP_CRATES, crate_name)
+            && !in_test
+            && tok.kind == Kind::Punct
+            && (tok.text == "==" || tok.text == "!=")
+        {
+            let float_neighbor = (i > 0 && toks[i - 1].kind == Kind::Float)
+                || toks.get(i + 1).is_some_and(|t| t.kind == Kind::Float);
+            if float_neighbor {
+                push(
+                    &mut diags,
+                    "TF006",
+                    tok,
+                    format!(
+                        "float `{}` is exact-bit comparison; compare against an epsilon or restructure the predicate",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // TF003: bare u64/f64 params with unit-implying names in public APIs.
+    if in_scope(UNIT_API_CRATES, crate_name) {
+        check_tf003(&toks, &test_mask, rel_path, &mut diags);
+    }
+
+    // Apply allow comments: same line or the line directly above.
+    diags.retain(|d| {
+        !allows
+            .iter()
+            .any(|a| (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule))
+    });
+
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
+}
+
+const UNIT_SUFFIXES: &[&str] = &["_ns", "_us", "_ps", "_bytes", "_gib", "_credits"];
+
+fn check_tf003(toks: &[Tok], test_mask: &[bool], rel_path: &str, diags: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "pub" || test_mask[i] {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` and friends are not public API.
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            i += 1;
+            continue;
+        }
+        while toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern"))
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        j += 2; // past `fn` and the name
+        // Skip generics.
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 1;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.text == "(") {
+            i = j;
+            continue;
+        }
+        // Walk the parameter list.
+        let mut depth = 1;
+        j += 1;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                _ => {}
+            }
+            if depth >= 1
+                && toks[j].kind == Kind::Ident
+                && UNIT_SUFFIXES.iter().any(|s| toks[j].text.ends_with(s))
+                && toks.get(j + 1).is_some_and(|t| t.text == ":")
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|t| t.text == "u64" || t.text == "f64")
+                && toks
+                    .get(j + 3)
+                    .is_some_and(|t| t.text == "," || t.text == ")")
+            {
+                diags.push(Diagnostic {
+                    rule: "TF003",
+                    file: rel_path.to_string(),
+                    line: toks[j].line,
+                    col: toks[j].col,
+                    message: format!(
+                        "public parameter `{}: {}` smuggles a unit in its name; take `SimTime`/`Rate`/a unit newtype instead",
+                        toks[j].text,
+                        toks[j + 2].text
+                    ),
+                });
+            }
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// Looks back from an `as` cast for evidence the source expression
+/// carries time/credit/byte units or is floating-point (either way, an
+/// integer cast truncates). The scan stays within the statement.
+fn cast_source_is_unit_like(toks: &[Tok], as_idx: usize) -> bool {
+    let start = as_idx.saturating_sub(12);
+    for t in toks[start..as_idx].iter().rev() {
+        match t.text.as_str() {
+            ";" | "{" | "}" => return false,
+            "f64" | "f32" => return true,
+            _ => {}
+        }
+        if t.kind == Kind::Float {
+            return true;
+        }
+        if t.kind == Kind::Ident && !t.text.chars().any(|c| c.is_ascii_uppercase()) {
+            let id = &t.text;
+            if id.contains("time")
+                || id.contains("credit")
+                || id.contains("byte")
+                || id.contains("flit")
+                || UNIT_SUFFIXES.iter().any(|s| id.ends_with(s))
+                || matches!(id.as_str(), "ps" | "ns" | "us")
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ------------------------------------------------------------ file walking
+
+/// Lints every `.rs` file under `crate_dir/src`. The crate name is taken
+/// from the directory name (the workspace root maps to `thymesisflow`).
+/// `tests/`, `benches/`, and `examples/` are intentionally out of scope.
+pub fn check_crate(crate_dir: &Path) -> io::Result<Vec<Diagnostic>> {
+    let crate_name = if crate_dir.join("crates").is_dir() {
+        "thymesisflow".to_string()
+    } else {
+        crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("thymesisflow")
+            .to_string()
+    };
+    let mut diags = Vec::new();
+    let src = crate_dir.join("src");
+    if src.is_dir() {
+        walk(&src, &mut |path| {
+            let source = std::fs::read_to_string(path)?;
+            let rel = path.to_string_lossy().into_owned();
+            diags.extend(check_source(&crate_name, &rel, &source));
+            Ok(())
+        })?;
+    }
+    diags.sort_by(|a, b| (a.file.clone(), a.line, a.col).cmp(&(b.file.clone(), b.line, b.col)));
+    Ok(diags)
+}
+
+/// Lints the whole workspace rooted at `root`: the root package plus
+/// every crate under `crates/`. `vendor/` (offline dependency stand-ins)
+/// and `target/` are never linted.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    // A mistyped root would otherwise scan nothing and report a clean
+    // workspace — a false green for CI.
+    if !root.join("src").is_dir() && !root.join("crates").is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no src/ or crates/ under {}", root.display()),
+        ));
+    }
+    let mut diags = check_crate(root)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<_> = std::fs::read_dir(&crates)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            diags.extend(check_crate(&dir)?);
+        }
+    }
+    Ok(diags)
+}
+
+fn walk(dir: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, f)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            f(&path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_tracks_lines_and_skips_comments() {
+        let src = "let a = 1; // trailing\n/* block\nspanning */ let b = 2.5;\n";
+        let lexed = lex(src);
+        let b = lexed.toks.iter().find(|t| t.text == "b").expect("token b");
+        assert_eq!(b.line, 3);
+        let f = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == Kind::Float)
+            .expect("float");
+        assert_eq!(f.text, "2.5");
+    }
+
+    #[test]
+    fn lexer_separates_ranges_from_floats() {
+        let lexed = lex("for i in 0..120 { x = 0.5; }");
+        let nums: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, Kind::Int | Kind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("0".to_string(), Kind::Int),
+                ("120".to_string(), Kind::Int),
+                ("0.5".to_string(), Kind::Float),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexer_handles_lifetimes_and_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'y' }");
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            2
+        );
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lexer_handles_raw_and_byte_strings() {
+        let lexed = lex(r##"let a = r#"raw "quoted" body"#; let b = b"bytes"; let c = rng;"##);
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == Kind::Str).count(), 2);
+        assert!(lexed.toks.iter().any(|t| t.text == "rng"));
+    }
+
+    #[test]
+    fn allow_comments_parse_multiple_rules() {
+        let lexed = lex("x(); // tflint::allow(TF004, TF005) — invariant upheld by validate()\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rules, vec!["TF004", "TF005"]);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn lib(x: Option<u8>) -> u8 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\n";
+        let diags = check_source("llc", "src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{}", render(&diags));
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].rule, "TF004");
+    }
+}

@@ -1,0 +1,52 @@
+//! tflint CLI: `cargo run -p tflint -- check [path]`.
+//!
+//! Exits non-zero when any rule fires, so CI can gate on it. `rules`
+//! prints the rule table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/tflint -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
+            match tflint::check_workspace(&root) {
+                Ok(diags) if diags.is_empty() => {
+                    println!("tflint: workspace clean ({} rules)", tflint::RULES.len());
+                    ExitCode::SUCCESS
+                }
+                Ok(diags) => {
+                    println!("{}", tflint::render(&diags));
+                    println!("tflint: {} violation(s)", diags.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("tflint: cannot read workspace at {}: {e}", root.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("rules") => {
+            for (id, desc) in tflint::RULES {
+                println!("{id}  {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: tflint <check [path] | rules>");
+            eprintln!("  check   lint the workspace (default: this repository)");
+            eprintln!("  rules   list the rule set");
+            ExitCode::FAILURE
+        }
+    }
+}

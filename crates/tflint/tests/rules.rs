@@ -1,0 +1,218 @@
+//! Fixture tests: each rule fires on a seeded violation, respects its
+//! crate scope, and is silenced by a `// tflint::allow(RULE)` comment.
+
+use tflint::{check_source, render, Diagnostic};
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ------------------------------------------------------------------ TF001
+
+#[test]
+fn tf001_fires_on_wall_clock() {
+    let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    let diags = check_source("llc", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF001", "TF001"], "{}", render(&diags));
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn tf001_fires_on_system_time() {
+    let src = "fn t() { let _ = std::time::SystemTime::now(); }\n";
+    let diags = check_source("simkit", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF001"]);
+}
+
+#[test]
+fn tf001_allow_suppresses() {
+    let src = "// tflint::allow(TF001): host-facing timer, not sim time\nfn t() { let _ = std::time::SystemTime::now(); }\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------ TF002
+
+#[test]
+fn tf002_fires_on_entropy_rng() {
+    let src = "fn t() { let mut r = rand::thread_rng(); }\n";
+    let diags = check_source("dcsim", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF002"], "{}", render(&diags));
+}
+
+#[test]
+fn tf002_fires_on_os_rng() {
+    let src = "use rand::rngs::OsRng;\n";
+    let diags = check_source("workloads", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF002"]);
+}
+
+#[test]
+fn tf002_exempts_the_rng_home_module() {
+    let src = "pub fn seed_from_os() { let _ = OsRng; }\n";
+    assert!(check_source("simkit", "src/rng.rs", src).is_empty());
+    assert_eq!(rules_of(&check_source("simkit", "src/other.rs", src)), ["TF002"]);
+}
+
+#[test]
+fn tf002_allow_suppresses() {
+    let src = "let r = rand::thread_rng(); // tflint::allow(TF002)\n";
+    assert!(check_source("dcsim", "src/x.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------ TF003
+
+#[test]
+fn tf003_fires_on_unit_named_bare_param() {
+    let src = "pub fn schedule(&mut self, delay_ns: u64) {}\n";
+    let diags = check_source("simkit", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF003"], "{}", render(&diags));
+}
+
+#[test]
+fn tf003_scope_is_public_api_crates_only() {
+    let src = "pub fn schedule(&mut self, delay_ns: u64) {}\n";
+    assert!(check_source("dcsim", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf003_ignores_newtype_params() {
+    let src = "pub fn schedule(&mut self, delay: SimTime) {}\n";
+    assert!(check_source("simkit", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf003_allow_suppresses() {
+    let src = "// tflint::allow(TF003): serde boundary, raw integer by design\npub fn set_budget(&mut self, cap_bytes: u64) {}\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------ TF004
+
+#[test]
+fn tf004_fires_on_unwrap_expect_panic() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.expect(\"boom\") }\nfn h() { panic!(\"no\"); }\n";
+    let diags = check_source("routing", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF004", "TF004", "TF004"], "{}", render(&diags));
+    assert_eq!(diags.iter().map(|d| d.line).collect::<Vec<_>>(), [1, 2, 3]);
+}
+
+#[test]
+fn tf004_scope_is_datapath_crates_only() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(check_source("simkit", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf004_ignores_test_code_and_unwrap_or() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf004_allow_suppresses() {
+    let src = "// tflint::allow(TF004): config validated at construction\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------ TF005
+
+#[test]
+fn tf005_fires_on_narrowing_cast() {
+    let src = "fn f(ticks: u64) -> u32 { ticks as u32 }\n";
+    let diags = check_source("llc", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF005"], "{}", render(&diags));
+}
+
+#[test]
+fn tf005_fires_on_float_to_wide_int_on_unit_value() {
+    let src = "fn f(delay_ns: f64) -> u64 { delay_ns as u64 }\n";
+    let diags = check_source("simkit", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF005"]);
+}
+
+#[test]
+fn tf005_ignores_unitless_widening() {
+    let src = "fn f(n: u32) -> u64 { n as u64 }\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf005_scope_is_cast_crates_only() {
+    let src = "fn f(ticks: u64) -> u32 { ticks as u32 }\n";
+    assert!(check_source("netsim", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf005_allow_suppresses() {
+    let src = "fn f(ticks: u64) -> u32 { ticks as u32 } // tflint::allow(TF005)\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------ TF006
+
+#[test]
+fn tf006_fires_on_float_equality() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g(x: f64) -> bool { 1.5 != x }\n";
+    let diags = check_source("bench", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF006", "TF006"], "{}", render(&diags));
+}
+
+#[test]
+fn tf006_ignores_integer_equality() {
+    let src = "fn f(x: u64) -> bool { x == 0 }\n";
+    assert!(check_source("bench", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf006_scope_is_float_math_crates_only() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+    assert!(check_source("llc", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf006_allow_suppresses() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 } // tflint::allow(TF006)\n";
+    assert!(check_source("bench", "src/x.rs", src).is_empty());
+}
+
+// ----------------------------------------------------------------- general
+
+#[test]
+fn allow_only_silences_the_named_rule() {
+    // An allow for TF001 does not blanket-suppress a TF004 on the line.
+    let src = "// tflint::allow(TF001)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let diags = check_source("llc", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF004"]);
+}
+
+#[test]
+fn diagnostics_render_with_location() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let diags = check_source("llc", "src/inner/x.rs", src);
+    let out = render(&diags);
+    assert!(out.contains("TF004"), "{out}");
+    assert!(out.contains("src/inner/x.rs:1:"), "{out}");
+}
+
+#[test]
+fn seeded_violations_of_every_rule_are_caught() {
+    // One file per rule scope, exercising all six rules at once — the
+    // acceptance check that tflint "exits non-zero on seeded violations
+    // of each rule".
+    let cases: &[(&str, &str, &str)] = &[
+        ("TF001", "llc", "fn t() { let _ = Instant::now(); }\n"),
+        ("TF002", "dcsim", "fn t() { let _ = thread_rng(); }\n"),
+        ("TF003", "netsim", "pub fn cfg(&mut self, span_us: u64) {}\n"),
+        ("TF004", "rmmu", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"),
+        ("TF005", "simkit", "fn f(t_ps: u64) -> u32 { t_ps as u32 }\n"),
+        ("TF006", "workloads", "fn f(x: f64) -> bool { x != 2.5 }\n"),
+    ];
+    for (rule, krate, src) in cases {
+        let diags = check_source(krate, "src/x.rs", src);
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "{rule} did not fire in {krate}: {}",
+            render(&diags)
+        );
+    }
+}

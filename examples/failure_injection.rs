@@ -28,7 +28,9 @@ fn main() {
             FaultSpec::new(drop, corrupt),
             2026,
         );
-        let delivered = link.run_to_completion(msgs.clone());
+        let delivered = link
+            .run_to_completion(msgs.clone())
+            .expect("link makes progress");
         assert_eq!(delivered, msgs, "reliability violated");
         println!(
             "{:>12.1} {:>12.1} {:>12} {:>12} {:>12.1}",

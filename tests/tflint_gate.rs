@@ -1,0 +1,11 @@
+//! Workspace-wide static-analysis gate: `cargo test` on the root package
+//! fails if any simulator crate's `src/` violates a tflint rule. The
+//! per-crate `tflint_gate` tests cover the same ground crate-by-crate;
+//! this one catches a violation even when only the root suite runs.
+
+#[test]
+fn workspace_passes_tflint() {
+    let diags = tflint::check_workspace(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace source readable");
+    assert!(diags.is_empty(), "\n{}", tflint::render(&diags));
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the `bench` crate's targets use: the
+//! `Criterion` builder (`sample_size`, `measurement_time`,
+//! `warm_up_time`), `bench_function` with a [`Bencher`], `black_box`,
+//! and both `criterion_group!`/`criterion_main!` forms. Measurement is
+//! a simple timed loop printing mean per-iteration latency — enough to
+//! track relative regressions without the statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall time spent measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: also calibrates how many iterations fill a sample.
+        let warm_start = Instant::now();
+        let mut iters_per_sample: u64 = 1;
+        while warm_start.elapsed() < self.warm_up_time {
+            b.iters = iters_per_sample;
+            f(&mut b);
+            if b.elapsed < Duration::from_millis(1) {
+                iters_per_sample = iters_per_sample.saturating_mul(2);
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let per_sample = (self.measurement_time / self.sample_size.max(1) as u32).max(Duration::from_micros(10));
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            while sample_start.elapsed() < per_sample {
+                b.iters = iters_per_sample;
+                f(&mut b);
+                total += b.elapsed;
+                total_iters += iters_per_sample;
+            }
+        }
+
+        if total_iters > 0 {
+            let mean_ns = total.as_nanos() as f64 / total_iters as f64;
+            println!("{name}: {mean_ns:.1} ns/iter ({total_iters} iters)");
+        }
+        self
+    }
+
+    /// Final-report hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group, in either the long (`name/config/targets`)
+/// or short form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

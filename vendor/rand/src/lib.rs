@@ -1,0 +1,230 @@
+//! Offline stand-in for `rand`.
+//!
+//! Provides a deterministic `StdRng` (xoshiro256++ seeded through
+//! SplitMix64) plus the `Rng`/`SeedableRng` trait subset `simkit::rng`
+//! consumes. No OS entropy source exists here on purpose: the simulator
+//! forbids entropy-seeded RNG (tflint rule TF002), so `thread_rng` and
+//! `from_entropy` are deliberately absent.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distribution of values of type `T` producible from raw bits.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution over a type's full range (uniform for
+/// integers, uniform in `[0, 1)` for floats).
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform integer in `[0, span)` by rejection sampling.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "empty sample range");
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + uniform_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + uniform_below(rng, hi - lo + 1)
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<u32> for std::ops::Range<u32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + uniform_below(rng, u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit: f64 = Standard.sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    /// Samples from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = Standard.sample(self);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for rand's
+    /// `StdRng`. Statistical quality is good enough for the simulator's
+    /// moment-matching tests; cryptographic strength is not a goal.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range_and_average_half() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = rng.gen_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! a minimal serialization framework under the same crate name. It keeps
+//! the subset of the API this repository uses — `Serialize`,
+//! `Deserialize`, `#[derive(Serialize, Deserialize)]` (via the `derive`
+//! feature and the sibling `serde_derive` stub) and the `#[serde(tag,
+//! rename_all)]` attributes on the control-plane enums — but routes
+//! everything through an owned [`Value`] tree instead of serde's
+//! visitor machinery. `serde_json` (also vendored) prints and parses
+//! that tree.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the interchange format between
+/// [`Serialize`], [`Deserialize`] and the vendored `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed (negative) integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for struct fields absent from the input map. `Option`
+    /// overrides this to yield `None`; everything else errors.
+    fn deserialize_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{field}`")))
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        // JSON numbers cap at u64 here; larger totals stringify.
+        match u64::try_from(*self) {
+            Ok(n) => Value::UInt(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::UInt(n) => Ok(u128::from(*n)),
+            Value::Str(s) => s.parse().map_err(|_| DeError::new("expected u128")),
+            _ => Err(DeError::new("expected u128")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(DeError::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().unwrap_or('\0'))
+            }
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+    fn deserialize_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::deserialize(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for &[T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::new("expected tuple"))?;
+                Ok(($(
+                    $t::deserialize(
+                        s.get($i).ok_or_else(|| DeError::new("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Renders a map key: JSON object keys must be strings, so scalar keys
+/// stringify and deserialize back through [`key_to_value`].
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(x) => x.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Re-interprets a stringified map key as the value it most likely was.
+fn key_to_value(k: &str) -> Value {
+    if let Ok(n) = k.parse::<u64>() {
+        return Value::UInt(n);
+    }
+    if let Ok(n) = k.parse::<i64>() {
+        return Value::Int(n);
+    }
+    Value::Str(k.to_string())
+}
+
+/// Deserializes a map key, trying the numeric re-interpretation first
+/// (for newtype keys like `NetworkId(u32)`) and the raw string second.
+fn key_from_str<K: Deserialize>(k: &str) -> Result<K, DeError> {
+    K::deserialize(&key_to_value(k)).or_else(|_| K::deserialize(&Value::Str(k.to_string())))
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::new("expected map"))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_str::<K>(k)?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::new("expected map"))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_str::<K>(k)?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+/// Support routines used by the generated derive code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Extracts a struct field, delegating absence to
+    /// [`Deserialize::deserialize_missing`].
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::deserialize(v),
+            None => T::deserialize_missing(name),
+        }
+    }
+
+    /// Converts a `CamelCase` identifier to `snake_case` (the
+    /// `rename_all = "snake_case"` rule).
+    pub fn snake_case(name: &str) -> String {
+        let mut out = String::with_capacity(name.len() + 4);
+        for (i, ch) in name.chars().enumerate() {
+            if ch.is_ascii_uppercase() {
+                if i > 0 {
+                    out.push('_');
+                }
+                out.push(ch.to_ascii_lowercase());
+            } else {
+                out.push(ch);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i32::deserialize(&(-7i32).serialize()), Ok(-7));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let mut m = HashMap::new();
+        m.insert(3u32, "x".to_string());
+        assert_eq!(HashMap::<u32, String>::deserialize(&m.serialize()), Ok(m));
+    }
+
+    #[test]
+    fn option_handles_missing_fields() {
+        let entries: Vec<(String, Value)> = vec![];
+        let got: Option<u64> = __private::field(&entries, "absent").expect("defaults to None");
+        assert_eq!(got, None);
+        assert!(__private::field::<u64>(&entries, "absent").is_err());
+    }
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(__private::snake_case("Attach"), "attach");
+        assert_eq!(__private::snake_case("DetachOldest"), "detach_oldest");
+    }
+}

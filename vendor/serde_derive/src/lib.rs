@@ -1,0 +1,569 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry is unreachable in this container, so `syn`/`quote` are
+//! unavailable. This macro parses the item's token stream directly with
+//! `proc_macro::TokenTree`, extracts just what codegen needs (names,
+//! field lists, variant shapes, `#[serde(tag, rename_all)]`), and emits
+//! the impl as a formatted string parsed back into a `TokenStream`. It
+//! supports the shapes this workspace uses: named/tuple/unit structs,
+//! enums with unit/newtype/tuple/named variants, plain type parameters,
+//! and internally-tagged enums with `rename_all = "snake_case"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`T` in `Frame<T>`).
+    params: Vec<String>,
+    /// `#[serde(tag = "...")]` — internally tagged enum.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]`.
+    snake: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut snake = false;
+
+    // Leading attributes: doc comments and #[serde(...)].
+    while i + 1 < toks.len() {
+        if is_punct(&toks[i], '#') {
+            if let TokenTree::Group(g) = &toks[i + 1] {
+                scan_serde_attr(g.stream(), &mut tag, &mut snake);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+
+    // Visibility.
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let is_enum = match &toks[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generic parameters.
+    let mut params = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 1i32;
+        i += 1;
+        let mut expect_param = true;
+        while i < toks.len() && depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' => expect_param = false,
+                TokenTree::Ident(id) if expect_param && depth == 1 => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        params.push(s);
+                        expect_param = false;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Body: first brace/paren group, or `;` for a unit struct. A `where`
+    // clause (not used in this workspace) is skipped by the scan.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    Kind::Enum(parse_variants(g.stream()))
+                } else {
+                    Kind::NamedStruct(parse_named_fields(g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                break Kind::TupleStruct(count_tuple_fields(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => {
+                break Kind::UnitStruct;
+            }
+            Some(_) => i += 1,
+            None => {
+                if is_enum {
+                    panic!("serde_derive: enum {name} has no body");
+                }
+                break Kind::UnitStruct;
+            }
+        }
+    };
+
+    Item { name, params, tag, snake, kind }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Reads `serde(tag = "...", rename_all = "...")` out of one attribute's
+/// bracket contents; other attributes (doc, derive helpers) are ignored.
+fn scan_serde_attr(stream: TokenStream, tag: &mut Option<String>, snake: &mut bool) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    let key = key.to_string();
+                    if j + 2 < inner.len() && is_punct(&inner[j + 1], '=') {
+                        let val = inner[j + 2].to_string();
+                        let val = val.trim_matches('"').to_string();
+                        match key.as_str() {
+                            "tag" => *tag = Some(val),
+                            "rename_all" => {
+                                if val == "snake_case" {
+                                    *snake = true;
+                                } else {
+                                    panic!("serde_derive: unsupported rename_all = \"{val}\"");
+                                }
+                            }
+                            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                        }
+                        j += 3;
+                        continue;
+                    }
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Field names from `{ ... }`; types are skipped (codegen is type-blind).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        if i < toks.len() && matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+            None => break,
+        }
+        i += 1;
+        // Skip `: Type` until a comma outside angle brackets. `<`/`>`
+        // appear as plain puncts inside types like `Vec<Frame<T>>`.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(toks.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+            None => break,
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `rename_all = "snake_case"` applied at expansion time.
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn wire_name(item: &Item, variant: &str) -> String {
+    if item.snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Frame<T>`.
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.params.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.params.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "Serialize");
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => gen_serialize_enum(item, variants),
+    };
+    format!(
+        "{header} {{ fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = wire_name(item, vname);
+        let arm = match (&item.tag, &v.shape) {
+            (None, Shape::Unit) => format!(
+                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{wire}\"))"
+            ),
+            (None, Shape::Tuple(1)) => format!(
+                "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{wire}\"), ::serde::Serialize::serialize(__f0))])"
+            ),
+            (None, Shape::Tuple(n)) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{wire}\"), ::serde::Value::Seq(::std::vec![{}]))])",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            (None, Shape::Named(fields)) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{wire}\"), ::serde::Value::Map(::std::vec![{}]))])",
+                    fields.join(", "),
+                    entries.join(", ")
+                )
+            }
+            (Some(tag), Shape::Unit) => format!(
+                "{name}::{vname} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{tag}\"), ::serde::Value::Str(::std::string::String::from(\"{wire}\")))])"
+            ),
+            (Some(tag), Shape::Named(fields)) => {
+                let mut entries = vec![format!(
+                    "(::std::string::String::from(\"{tag}\"), ::serde::Value::Str(::std::string::String::from(\"{wire}\")))"
+                )];
+                entries.extend(fields.iter().map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                    )
+                }));
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![{}])",
+                    fields.join(", "),
+                    entries.join(", ")
+                )
+            }
+            (Some(_), Shape::Tuple(_)) => panic!(
+                "serde_derive: internally tagged enums support unit and struct variants only ({name}::{vname})"
+            ),
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__entries, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __entries = __v.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for struct {name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(__seq.get({i}).ok_or_else(|| ::serde::DeError::new(\"tuple struct {name} too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::new(\"expected sequence for struct {name}\"))?; \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => {
+            format!("let _ = __v; ::std::result::Result::Ok({name})")
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(item, variants),
+    };
+    format!(
+        "{header} {{ fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.tag {
+        let mut arms = Vec::new();
+        for v in variants {
+            let vname = &v.name;
+            let wire = wire_name(item, vname);
+            let arm = match &v.shape {
+                Shape::Unit => {
+                    format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vname})")
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__private::field(__entries, \"{f}\")?"))
+                        .collect();
+                    format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Shape::Tuple(_) => panic!(
+                    "serde_derive: internally tagged enums support unit and struct variants only ({name}::{vname})"
+                ),
+            };
+            arms.push(arm);
+        }
+        return format!(
+            "let __entries = __v.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for enum {name}\"))?; \
+             let __tag = __v.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| ::serde::DeError::new(\"missing tag `{tag}` for enum {name}\"))?; \
+             match __tag {{ {}, __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown {name} variant `{{__other}}`\"))) }}",
+            arms.join(", ")
+        );
+    }
+
+    // Externally tagged: unit variants arrive as strings, data variants
+    // as single-entry maps keyed by the variant name.
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = wire_name(item, vname);
+        match &v.shape {
+            Shape::Unit => unit_arms.push(format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname})"
+            )),
+            Shape::Tuple(1) => data_arms.push(format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__inner)?))"
+            )),
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize(__seq.get({i}).ok_or_else(|| ::serde::DeError::new(\"variant {name}::{vname} too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "\"{wire}\" => {{ let __seq = __inner.as_seq().ok_or_else(|| ::serde::DeError::new(\"expected sequence for {name}::{vname}\"))?; ::std::result::Result::Ok({name}::{vname}({})) }}",
+                    inits.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(__entries, \"{f}\")?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{wire}\" => {{ let __entries = __inner.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for {name}::{vname}\"))?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    unit_arms.push(format!(
+        "__other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown {name} variant `{{__other}}`\")))"
+    ));
+    data_arms.push(format!(
+        "__other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown {name} variant `{{__other}}`\")))"
+    ));
+    format!(
+        "match __v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ {} }}, \
+           ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+             let (__k, __inner) = &__m[0]; \
+             match __k.as_str() {{ {} }} \
+           }}, \
+           _ => ::std::result::Result::Err(::serde::DeError::new(\"expected enum {name}\")) \
+        }}",
+        unit_arms.join(", "),
+        data_arms.join(", ")
+    )
+}
