@@ -16,4 +16,7 @@ cargo run -q -p tflint -- check
 echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
+echo "==> engine throughput smoke (QUICK mode, writes BENCH_engine.json)"
+QUICK=1 cargo bench -q -p bench --bench engine_throughput
+
 echo "ci: all gates passed"

@@ -11,6 +11,7 @@
 use bench::{banner, header, row};
 use criterion::{criterion_group, criterion_main, Criterion};
 use opencapi::c1::C1Port;
+use simkit::sweep::sweep;
 use simkit::time::SimTime;
 use thymesisflow_core::datapath::Datapath;
 use thymesisflow_core::params::DatapathParams;
@@ -27,18 +28,17 @@ fn reproduce() {
     }
     println!("\nmeasured stream bandwidth on the flit datapath:");
     header(&["channels", "GiB/s", "vs 1ch"]);
-    let mut single = 0.0;
-    for channels in [1usize, 2] {
+    // The channel-count axis sweeps independent datapath simulations.
+    let gibs = sweep(0xAB0, vec![1usize, 2], |_i, channels, _rng| {
         let mut dp = Datapath::new(DatapathParams::prototype(), channels, 256 << 20);
-        let gib = dp
-            .measure_stream_bandwidth(16, 32, SimTime::from_us(150))
-            .as_gib_per_sec();
-        if channels == 1 {
-            single = gib;
-        }
+        dp.measure_stream_bandwidth(16, 32, SimTime::from_us(150))
+            .as_gib_per_sec()
+    });
+    let single = gibs[0];
+    for (channels, gib) in [1usize, 2].iter().zip(&gibs) {
         row(
             &channels.to_string(),
-            &[channels as f64, gib, gib / single],
+            &[*channels as f64, *gib, *gib / single],
         );
     }
     println!("\npaper: ~30% improvement for bonding; 2 channels offer 2x wire rate\nbut the 128 B C1 engine sinks at most ~16 GiB/s.");

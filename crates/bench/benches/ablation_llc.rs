@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use llc::link::LlcLink;
 use llc::LlcConfig;
 use netsim::fault::FaultSpec;
+use simkit::sweep::sweep;
 
 type Msg = (u32, usize);
 
@@ -18,51 +19,57 @@ fn msgs(n: u32) -> Vec<Msg> {
     (0..n).map(|i| (i, 1 + (i as usize % 5))).collect()
 }
 
+const FAULT_RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.10, 0.20];
+const DEPTHS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
 fn reproduce() {
     banner("Ablation — LLC replay under faults / credit-depth sweep");
     println!("replay overhead vs fault rate (500 messages):");
     header(&["drop+corrupt %", "frames sent", "replayed", "time us"]);
-    for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
+    // Each fault-rate point seeds its link from its own sweep stream:
+    // deterministic per grid position, independent of worker count.
+    let fault_runs = sweep(0xAB1, FAULT_RATES.to_vec(), |_i, rate, mut rng| {
         let mut link = LlcLink::new(
             LlcConfig::default(),
             FaultSpec::new(rate / 2.0, rate / 2.0),
-            42,
+            rng.next_u64(),
         );
         let got = link
             .run_to_completion(msgs(500))
             .expect("link makes progress");
         assert_eq!(got.len(), 500, "reliability must hold at {rate}");
+        [
+            link.tx_a().frames_sent() as f64,
+            link.total_replays() as f64,
+            link.now().as_us_f64(),
+        ]
+    });
+    for (rate, cols) in FAULT_RATES.iter().zip(&fault_runs) {
         row(
             &format!("{:.0}%", rate * 100.0),
-            &[
-                rate * 100.0,
-                link.tx_a().frames_sent() as f64,
-                link.total_replays() as f64,
-                link.now().as_us_f64(),
-            ],
+            &[rate * 100.0, cols[0], cols[1], cols[2]],
         );
     }
     println!("\ncredit-depth sweep (lossless, 500 messages):");
     header(&["rx queue frames", "starvations", "time us"]);
-    for depth in [2usize, 4, 8, 16, 32, 64] {
+    let depth_runs = sweep(0xAB2, DEPTHS.to_vec(), |_i, depth, mut rng| {
         let config = LlcConfig {
             rx_queue_frames: depth,
             replay_window: depth.max(64),
             ..LlcConfig::default()
         };
-        let mut link = LlcLink::new(config, FaultSpec::LOSSLESS, 7);
+        let mut link = LlcLink::new(config, FaultSpec::LOSSLESS, rng.next_u64());
         let got = link
             .run_to_completion(msgs(500))
             .expect("link makes progress");
         assert_eq!(got.len(), 500);
-        row(
-            &depth.to_string(),
-            &[
-                depth as f64,
-                link.tx_a().credits().starvation_events() as f64,
-                link.now().as_us_f64(),
-            ],
-        );
+        [
+            link.tx_a().credits().starvation_events() as f64,
+            link.now().as_us_f64(),
+        ]
+    });
+    for (depth, cols) in DEPTHS.iter().zip(&depth_runs) {
+        row(&depth.to_string(), &[*depth as f64, cols[0], cols[1]]);
     }
     println!("\nshape: goodput holds at every fault rate (exactly-once, in-order);\nshallow credit pools stall the transmitter, deep ones don't.");
 }

@@ -12,6 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hostsim::migration::{MigrationDaemon, PagePlacement};
 use hostsim::numa::{AllocPolicy, NumaNodeId, NumaTopology};
 use simkit::rng::{DetRng, ZipfSampler};
+use simkit::sweep::sweep;
 use thymesisflow_core::config::SystemConfig;
 use thymesisflow_core::memmodel::MemoryModel;
 use thymesisflow_core::params::DatapathParams;
@@ -19,10 +20,13 @@ use thymesisflow_core::params::DatapathParams;
 fn interleave_sweep() {
     println!("streaming bandwidth vs remote page fraction (8 threads):");
     header(&["remote %", "GiB/s"]);
-    let params = DatapathParams::prototype();
-    for pct in [0u32, 25, 50, 75, 100] {
+    // Each placement fraction evaluates independently via the sweep
+    // harness; results return in grid order for printing.
+    let pcts = [0u32, 25, 50, 75, 100];
+    let gibs = sweep(0xAB3, pcts.to_vec(), |_i, pct, _rng| {
         // Build a model with a custom placement fraction by blending
         // the two pure configurations' latencies.
+        let params = DatapathParams::prototype();
         let f = pct as f64 / 100.0;
         let local = MemoryModel::new(params.clone(), SystemConfig::Local);
         let remote = MemoryModel::new(params.clone(), SystemConfig::SingleDisaggregated);
@@ -34,7 +38,10 @@ fn interleave_sweep() {
         } else {
             raw.min(params.local_bw_gib * (1u64 << 30) as f64)
         };
-        row(&format!("{pct}%"), &[pct as f64, capped / (1u64 << 30) as f64]);
+        capped / (1u64 << 30) as f64
+    });
+    for (pct, gib) in pcts.iter().zip(&gibs) {
+        row(&format!("{pct}%"), &[f64::from(*pct), *gib]);
     }
 }
 
@@ -52,7 +59,7 @@ fn migration_experiment() {
     }
     let mut daemon = MigrationDaemon::new(NumaNodeId(0), 4);
     let zipf = ZipfSampler::new(10_000, 1.0);
-    let mut rng = DetRng::new(3);
+    let mut rng = DetRng::split_stream(0xAB3, 100);
     for scan in 0..6 {
         let mut remote_accesses = 0u64;
         let total = 40_000u64;

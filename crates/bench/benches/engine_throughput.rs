@@ -1,0 +1,299 @@
+//! Engine throughput — how fast the simulator itself runs.
+//!
+//! Every figure in the evaluation is bottlenecked by the discrete-event
+//! core: the proto datapath schedules one event per 2.494 ns flit-clock
+//! tick, so reproducing a 200 µs stream window means popping ~10⁵
+//! events per channel. This harness measures the hybrid calendar/heap
+//! engine against the reference pure-`BinaryHeap` engine on exactly
+//! that workload shape (dense flit ticks + ~950 ns RTT responses +
+//! same-instant completion bursts), times the full datapath end to end
+//! on both engines, and records sweep wall-clocks for representative
+//! figures. Results land in `BENCH_engine.json` at the workspace root.
+//!
+//! `QUICK=1` shrinks everything to a CI smoke run (and skips the
+//! speedup assertion, which needs steady-state measurement windows).
+
+use std::time::Instant;
+
+use bench::{banner, compare, header, row};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Value;
+use simkit::event::{Engine, EventQueue};
+use simkit::rng::DetRng;
+use simkit::sweep::{sweep_with_workers, worker_count};
+use simkit::time::SimTime;
+use thymesisflow_core::config::SystemConfig;
+use thymesisflow_core::datapath::Datapath;
+use thymesisflow_core::params::DatapathParams;
+use workloads::runner::WorkloadRunner;
+use workloads::stream::StreamBench;
+use workloads::ycsb::YcsbWorkload;
+
+/// One flit-clock tick of the 401.6 MHz datapath (§V prototype).
+const FLIT_PS: u64 = 2_494;
+/// RTT-scale response delay (~950 ns hardware flit round trip).
+const RTT_PS: u64 = 950_000;
+const MASTER_SEED: u64 = 0x7F_E47;
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+
+fn quick() -> bool {
+    std::env::var("QUICK").is_ok()
+}
+
+/// The vendored `serde::Value` is a plain tree without a blanket
+/// `Serialize` impl; this wrapper hands it to `serde_json` as-is.
+struct Report(Value);
+
+impl serde::Serialize for Report {
+    fn serialize(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+struct EngineRate {
+    events: u64,
+    wall_s: f64,
+}
+
+impl EngineRate {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Proto-datapath-shaped queue workload: a closed-loop population of
+/// in-flight transactions spread at flit-clock granularity over a ~4 µs
+/// window (threads × window outstanding reads on the wire), RTT-scale
+/// responses, and periodic same-instant completion bursts. Steady state
+/// — every pop issues its successor — so the pending population stays
+/// constant and the measurement isolates schedule+pop cost. The mix is
+/// a pure function of the pop count, so both engines see the identical
+/// event sequence.
+fn flit_workload(engine: Engine, total_pops: u64) -> EngineRate {
+    const STREAMS: u64 = 16;
+    const IN_FLIGHT: u64 = 2_048;
+    /// Closed-loop reissue horizon: ~1600 flit ticks ≈ 4.0 µs.
+    const WINDOW_PS: u64 = FLIT_PS * 1_600;
+    let mut q = EventQueue::with_engine(engine);
+    let mut tag = 0u64;
+    for s in 0..STREAMS {
+        for k in 0..IN_FLIGHT {
+            q.schedule(
+                SimTime::from_ps(s + 1 + k * (WINDOW_PS / IN_FLIGHT)),
+                tag,
+            );
+            tag += 1;
+        }
+    }
+    let start = Instant::now();
+    let mut popped = 0u64;
+    while popped < total_pops {
+        let Some((at, v)) = q.pop() else { break };
+        popped += 1;
+        // Deterministic mix (identical for both engines): mostly a
+        // closed-loop reissue one window out, every 16th an RTT-scale
+        // response, every 64th a same-instant companion (completion
+        // fan-out).
+        let next = match popped % 64 {
+            0 => at,
+            n if n % 16 == 0 => at + SimTime::from_ps(RTT_PS),
+            _ => at + SimTime::from_ps(WINDOW_PS),
+        };
+        q.schedule(next, v);
+    }
+    EngineRate {
+        events: popped,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Full datapath on one engine: wall-clock, model bandwidth, events.
+fn datapath_run(engine: Engine, duration_us: u64) -> (f64, f64, u64) {
+    let mut dp = Datapath::with_engine(DatapathParams::prototype(), 2, 256 << 20, engine);
+    let start = Instant::now();
+    let gib = dp
+        .measure_stream_bandwidth(16, 32, SimTime::from_us(duration_us))
+        .as_gib_per_sec();
+    (start.elapsed().as_secs_f64(), gib, dp.events_processed())
+}
+
+/// Times one figure-representative sweep and returns its JSON record.
+fn timed_sweep<C, R, F>(figure: &str, points: Vec<C>, run: F) -> Value
+where
+    C: Send,
+    R: Send,
+    F: Fn(usize, C, DetRng) -> R + Sync,
+{
+    let n = points.len();
+    let workers = worker_count();
+    let start = Instant::now();
+    let _ = sweep_with_workers(MASTER_SEED, points, workers, run);
+    let wall_s = start.elapsed().as_secs_f64();
+    println!(
+        "{figure:>24}: {n:>3} points on {workers} worker(s) in {:.1} ms",
+        wall_s * 1e3
+    );
+    Value::Map(vec![
+        ("figure".to_string(), Value::Str(figure.to_string())),
+        ("points".to_string(), Value::UInt(n as u64)),
+        ("workers".to_string(), Value::UInt(workers as u64)),
+        ("wall_s".to_string(), Value::Float(wall_s)),
+    ])
+}
+
+fn engine_record(r: &EngineRate) -> Value {
+    Value::Map(vec![
+        ("events".to_string(), Value::UInt(r.events)),
+        ("wall_s".to_string(), Value::Float(r.wall_s)),
+        (
+            "events_per_sec".to_string(),
+            Value::Float(r.events_per_sec()),
+        ),
+    ])
+}
+
+fn reproduce() {
+    let quick = quick();
+    banner("Engine throughput — hybrid calendar/heap vs pure BinaryHeap");
+
+    // --- queue-level flit workload -----------------------------------
+    let pops: u64 = if quick { 100_000 } else { 2_000_000 };
+    // Warm both engines once so page faults / lazy allocs don't skew
+    // whichever runs first.
+    let _ = flit_workload(Engine::Hybrid, pops / 10);
+    let _ = flit_workload(Engine::HeapOnly, pops / 10);
+    let hybrid = flit_workload(Engine::Hybrid, pops);
+    let heap = flit_workload(Engine::HeapOnly, pops);
+    let speedup = hybrid.events_per_sec() / heap.events_per_sec();
+    header(&["engine", "events", "wall ms", "Mevents/s"]);
+    for (name, r) in [("hybrid", &hybrid), ("heap-only", &heap)] {
+        row(
+            name,
+            &[
+                r.events as f64,
+                r.wall_s * 1e3,
+                r.events_per_sec() / 1e6,
+            ],
+        );
+    }
+    compare("queue speedup (flit workload)", 3.0, speedup, "x");
+
+    // --- end-to-end datapath -----------------------------------------
+    let dur_us: u64 = if quick { 40 } else { 400 };
+    let (hy_wall, hy_gib, hy_events) = datapath_run(Engine::Hybrid, dur_us);
+    let (hp_wall, hp_gib, hp_events) = datapath_run(Engine::HeapOnly, dur_us);
+    let dp_speedup = hp_wall / hy_wall.max(1e-9);
+    println!("\nend-to-end datapath ({dur_us} µs simulated, 2 channels, 16 threads):");
+    header(&["engine", "wall ms", "GiB/s", "events"]);
+    row("hybrid", &[hy_wall * 1e3, hy_gib, hy_events as f64]);
+    row("heap-only", &[hp_wall * 1e3, hp_gib, hp_events as f64]);
+    println!("datapath wall-clock speedup (informational): {dp_speedup:.2}x");
+    // Both engines must trace the same simulation.
+    assert!(hy_gib.to_bits() == hp_gib.to_bits(), "engines diverged");
+    assert_eq!(hy_events, hp_events, "event counts diverged");
+
+    // --- per-figure sweep wall-clocks --------------------------------
+    println!("\nfigure sweep wall-clocks:");
+    let configs = [
+        SystemConfig::BondingDisaggregated,
+        SystemConfig::SingleDisaggregated,
+        SystemConfig::Interleaved,
+    ];
+    let thread_axis: &[u32] = if quick { &[8] } else { &[4, 8, 16] };
+    let mut fig5_grid = Vec::new();
+    for &threads in thread_axis {
+        for config in configs {
+            fig5_grid.push((threads, config));
+        }
+    }
+    let mut sweeps = Vec::new();
+    sweeps.push(timed_sweep(
+        "fig5_stream",
+        fig5_grid,
+        |_i, (threads, config), _rng| {
+            let runner = WorkloadRunner::new();
+            StreamBench::paper(threads).run(&runner.model(config))
+        },
+    ));
+    sweeps.push(timed_sweep(
+        "fig7_ycsb",
+        vec![
+            (YcsbWorkload::A, 4u32),
+            (YcsbWorkload::A, 32),
+            (YcsbWorkload::E, 4),
+            (YcsbWorkload::E, 32),
+        ],
+        |_i, (w, parts), _rng| WorkloadRunner::new().voltdb_throughput(w, parts),
+    ));
+    let proto_us: u64 = if quick { 20 } else { 100 };
+    sweeps.push(timed_sweep(
+        "proto_datapath",
+        vec![(1usize, 8u32), (2, 16)],
+        move |_i, (channels, threads), _rng| {
+            let mut dp = Datapath::new(DatapathParams::prototype(), channels, 256 << 20);
+            dp.measure_stream_bandwidth(threads, 32, SimTime::from_us(proto_us))
+                .as_gib_per_sec()
+                .to_bits()
+        },
+    ));
+
+    // --- record ------------------------------------------------------
+    let report = Value::Map(vec![
+        ("quick".to_string(), Value::Bool(quick)),
+        (
+            "queue_flit_workload".to_string(),
+            Value::Map(vec![
+                ("pops".to_string(), Value::UInt(pops)),
+                ("hybrid".to_string(), engine_record(&hybrid)),
+                ("heap_only".to_string(), engine_record(&heap)),
+                ("speedup".to_string(), Value::Float(speedup)),
+            ]),
+        ),
+        (
+            "datapath_end_to_end".to_string(),
+            Value::Map(vec![
+                ("simulated_us".to_string(), Value::UInt(dur_us)),
+                ("hybrid_wall_s".to_string(), Value::Float(hy_wall)),
+                ("heap_only_wall_s".to_string(), Value::Float(hp_wall)),
+                ("speedup".to_string(), Value::Float(dp_speedup)),
+                ("gib_per_sec".to_string(), Value::Float(hy_gib)),
+                ("events".to_string(), Value::UInt(hy_events)),
+            ]),
+        ),
+        ("figure_sweeps".to_string(), Value::Seq(sweeps)),
+    ]);
+    let json = serde_json::to_string(&Report(report)).expect("report serializes");
+    std::fs::write(OUT_PATH, json + "\n").expect("BENCH_engine.json is writable");
+    println!("\nwrote {OUT_PATH}");
+
+    if !quick {
+        assert!(
+            speedup >= 3.0,
+            "hybrid engine must be >= 3x the heap on the flit workload, got {speedup:.2}x"
+        );
+    }
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    reproduce();
+    c.bench_function("engine/hybrid_pop_schedule", |b| {
+        let mut q = EventQueue::new();
+        let mut tag = 0u64;
+        for k in 0..4_096u64 {
+            q.schedule(SimTime::from_ps((k + 1) * FLIT_PS), tag);
+            tag += 1;
+        }
+        b.iter(|| {
+            let (at, v) = q.pop().expect("steady state");
+            q.schedule(at + SimTime::from_ps(FLIT_PS), v);
+            std::hint::black_box(v)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = criterion_benches
+}
+criterion_main!(benches);

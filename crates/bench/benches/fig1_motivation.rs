@@ -12,19 +12,28 @@ use dcsim::metrics::Figure1;
 use dcsim::model::{DataCentre, DisaggregatedDataCentre, FixedDataCentre};
 use dcsim::scheduler::{params_for_utilization, run_trace};
 use dcsim::trace::TraceGenerator;
+use simkit::sweep::sweep;
 
 const UNITS: usize = 800;
 const TASKS: usize = 60_000;
 
 fn reproduce() -> f64 {
     banner("Fig. 1 — data-centre utilization, fixed vs disaggregated");
-    let params = params_for_utilization(UNITS, 0.88, 0.71);
-    let mut gen = TraceGenerator::new(params.clone(), 1);
-    let mut fixed = FixedDataCentre::new(UNITS);
-    let (f, facc) = run_trace(&mut fixed, &mut gen, TASKS, 0.5, 40);
-    let mut gen = TraceGenerator::new(params, 1);
-    let mut disagg = DisaggregatedDataCentre::new(UNITS);
-    let (d, dacc) = run_trace(&mut disagg, &mut gen, TASKS, 0.5, 40);
+    // The two data-centre models replay the same trace independently —
+    // one sweep point each (grid order: fixed, disaggregated).
+    let runs = sweep(0xF01, vec![false, true], |_i, disaggregated, _rng| {
+        let params = params_for_utilization(UNITS, 0.88, 0.71);
+        let mut gen = TraceGenerator::new(params, 1);
+        if disaggregated {
+            let mut dc = DisaggregatedDataCentre::new(UNITS);
+            run_trace(&mut dc, &mut gen, TASKS, 0.5, 40)
+        } else {
+            let mut dc = FixedDataCentre::new(UNITS);
+            run_trace(&mut dc, &mut gen, TASKS, 0.5, 40)
+        }
+    });
+    let (f, facc) = &runs[0];
+    let (d, dacc) = &runs[1];
     let paper = Figure1::paper();
     println!("(percentages; {UNITS} units, {TASKS} tasks, best-fit, no overcommit)\n");
     compare("fixed CPU fragmentation", paper.fixed.cpu_frag * 100.0, f.cpu_frag * 100.0, "%");

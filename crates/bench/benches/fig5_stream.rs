@@ -7,9 +7,18 @@
 
 use bench::{banner, header, row};
 use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::sweep::sweep;
 use thymesisflow_core::config::SystemConfig;
 use workloads::runner::WorkloadRunner;
 use workloads::stream::{Kernel, StreamBench};
+
+const MASTER_SEED: u64 = 0xF15;
+const THREAD_AXIS: [u32; 3] = [4, 8, 16];
+const CONFIG_AXIS: [SystemConfig; 3] = [
+    SystemConfig::BondingDisaggregated,
+    SystemConfig::SingleDisaggregated,
+    SystemConfig::Interleaved,
+];
 
 fn reproduce() {
     banner("Fig. 5 — STREAM benchmark performance comparison (GiB/s)");
@@ -18,27 +27,29 @@ fn reproduce() {
         "theoretical maximum (100 Gbit/s channel): {:.2} GiB/s",
         runner.params().channel_nominal_gib()
     );
-    for threads in [4u32, 8, 16] {
+    // The figure grid is threads × config; every point is an independent
+    // model evaluation, so fan it across workers with the sweep harness.
+    let mut grid = Vec::new();
+    for threads in THREAD_AXIS {
+        for config in CONFIG_AXIS {
+            grid.push((threads, config));
+        }
+    }
+    let results = sweep(MASTER_SEED, grid, |_i, (threads, config), _rng| {
+        StreamBench::paper(threads).run(&WorkloadRunner::new().model(config))
+    });
+    for (t_idx, threads) in THREAD_AXIS.iter().enumerate() {
         println!("\n-- {threads} threads --");
         header(&["kernel", "bonding", "single", "interleaved"]);
         for kernel in Kernel::ALL {
-            let bench = StreamBench::paper(threads);
-            let v = |c: SystemConfig| {
-                bench
-                    .run(&runner.model(c))
+            let v = |c_idx: usize| {
+                results[t_idx * CONFIG_AXIS.len() + c_idx]
                     .iter()
                     .find(|r| r.kernel == kernel)
                     .expect("kernel present")
                     .gib_per_sec
             };
-            row(
-                kernel.label(),
-                &[
-                    v(SystemConfig::BondingDisaggregated),
-                    v(SystemConfig::SingleDisaggregated),
-                    v(SystemConfig::Interleaved),
-                ],
-            );
+            row(kernel.label(), &[v(0), v(1), v(2)]);
         }
     }
     println!(

@@ -4,24 +4,40 @@
 
 use bench::{banner, header, row};
 use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::sweep::sweep;
 use thymesisflow_core::config::SystemConfig;
 use workloads::runner::WorkloadRunner;
 use workloads::voltdb::VoltDb;
 use workloads::ycsb::YcsbWorkload;
 
+const PART_AXIS: [u32; 4] = [4, 16, 32, 64];
+
 fn reproduce() {
     banner("Fig. 6 — VoltDB IPC / utilized cores (local vs single-disaggregated)");
-    let runner = WorkloadRunner::new();
+    // config × workload × partitions: every point profiles its own
+    // VoltDB instance, fanned by the sweep harness, printed grid-order.
+    let mut grid = Vec::new();
+    for config in [SystemConfig::Local, SystemConfig::SingleDisaggregated] {
+        for w in YcsbWorkload::ALL {
+            for parts in PART_AXIS {
+                grid.push((config, w, parts));
+            }
+        }
+    }
+    let results = sweep(0xF16, grid.clone(), |_i, (config, w, parts), _rng| {
+        VoltDb::new(WorkloadRunner::new().model(config), parts).profile(w)
+    });
+    let mut points = grid.iter().zip(&results);
     for config in [SystemConfig::Local, SystemConfig::SingleDisaggregated] {
         println!("\n-- {config} --");
         header(&["workload", "parts", "pkg IPC", "UCC", "stall %"]);
-        for w in YcsbWorkload::ALL {
-            for parts in [4u32, 16, 32, 64] {
-                let p = VoltDb::new(runner.model(config), parts).profile(w);
+        for _ in YcsbWorkload::ALL {
+            for _ in PART_AXIS {
+                let ((_, w, parts), p) = points.next().expect("grid covered");
                 row(
                     &format!("{}@{parts}", w.label()),
                     &[
-                        parts as f64,
+                        f64::from(*parts),
                         p.package_ipc,
                         p.ucc,
                         p.backend_stall_fraction * 100.0,

@@ -3,23 +3,36 @@
 
 use bench::{banner, compare, header, row};
 use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::sweep::sweep;
 use thymesisflow_core::config::SystemConfig;
 use workloads::runner::WorkloadRunner;
 use workloads::ycsb::YcsbWorkload;
 
 fn reproduce() {
     banner("Fig. 7 — YCSB A and E throughput (ops/sec)");
-    let runner = WorkloadRunner::new();
-    for w in [YcsbWorkload::A, YcsbWorkload::E] {
+    // workload × partition grid through the sweep harness; each point
+    // evaluates all five system configurations on its own runner.
+    let grid = vec![
+        (YcsbWorkload::A, 4u32),
+        (YcsbWorkload::A, 32),
+        (YcsbWorkload::E, 4),
+        (YcsbWorkload::E, 32),
+    ];
+    let results = sweep(0xF17, grid.clone(), |_i, (w, parts), _rng| {
+        WorkloadRunner::new()
+            .voltdb_throughput(w, parts)
+            .into_iter()
+            .collect::<std::collections::HashMap<_, _>>()
+    });
+    for (w_idx, w) in [YcsbWorkload::A, YcsbWorkload::E].iter().enumerate() {
         println!("\n-- workload {} --", w.label());
         header(&["partitions", "local", "scale-out", "interleaved", "single", "bonding"]);
-        for parts in [4u32, 32] {
-            let t: std::collections::HashMap<_, _> =
-                runner.voltdb_throughput(w, parts).into_iter().collect();
+        for (p_idx, parts) in [4u32, 32].iter().enumerate() {
+            let t = &results[w_idx * 2 + p_idx];
             row(
                 &parts.to_string(),
                 &[
-                    parts as f64,
+                    f64::from(*parts),
                     t[&SystemConfig::Local],
                     t[&SystemConfig::ScaleOut],
                     t[&SystemConfig::Interleaved],
@@ -29,11 +42,8 @@ fn reproduce() {
             );
         }
     }
-    // The §VI-D headline percentages at A@32.
-    let t: std::collections::HashMap<_, _> = runner
-        .voltdb_throughput(YcsbWorkload::A, 32)
-        .into_iter()
-        .collect();
+    // The §VI-D headline percentages at A@32 (grid point 1).
+    let t = &results[1];
     let local = t[&SystemConfig::Local];
     println!("\nslowdown vs local, workload A @ 32 partitions:");
     compare("scale-out", 5.95, (1.0 - t[&SystemConfig::ScaleOut] / local) * 100.0, "%");

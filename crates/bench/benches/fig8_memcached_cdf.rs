@@ -3,13 +3,13 @@
 
 use bench::{banner, compare, header, row};
 use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::sweep::sweep;
 use thymesisflow_core::config::SystemConfig;
 use workloads::memcached::MemcachedBench;
 use workloads::runner::WorkloadRunner;
 
 fn reproduce() {
     banner("Fig. 8 — Memcached GET latency CDF (µs)");
-    let runner = WorkloadRunner::new();
     let bench = MemcachedBench {
         clients: 64,
         workers: 8,
@@ -23,28 +23,33 @@ fn reproduce() {
         (SystemConfig::ScaleOut, 713.0),
     ];
     header(&["config", "mean", "p50", "p90", "p99", "hit %"]);
-    let mut means = Vec::new();
-    for (config, _) in paper_mean {
-        let (stats, svc) = bench.run(runner.model(config), 97);
-        row(
-            config.label(),
-            &[
+    // One sweep point per system configuration (the request-sampling
+    // seed stays pinned so the reproduced CDF matches across runs).
+    let grid: Vec<SystemConfig> = paper_mean.iter().map(|(c, _)| *c).collect();
+    let results = sweep(0xF18, grid, move |_i, config, _rng| {
+        let (stats, svc) = bench.run(WorkloadRunner::new().model(config), 97);
+        let picks: Vec<String> = stats
+            .cdf_us()
+            .iter()
+            .filter(|(_, f)| [0.25, 0.5, 0.75, 0.9, 0.99].iter().any(|q| (f - q).abs() < 0.01))
+            .take(5)
+            .map(|(us, f)| format!("({us:.0}µs,{f:.2})"))
+            .collect();
+        (
+            [
                 stats.mean_us(),
                 stats.quantile_us(0.5),
                 stats.quantile_us(0.9),
                 stats.quantile_us(0.99),
                 svc.cache().hit_ratio() * 100.0,
             ],
-        );
-        means.push((config, stats.mean_us()));
-        // CDF points for the figure (printed sparsely).
-        let cdf = stats.cdf_us();
-        let picks: Vec<String> = cdf
-            .iter()
-            .filter(|(_, f)| [0.25, 0.5, 0.75, 0.9, 0.99].iter().any(|q| (f - q).abs() < 0.01))
-            .take(5)
-            .map(|(us, f)| format!("({us:.0}µs,{f:.2})"))
-            .collect();
+            picks,
+        )
+    });
+    let mut means = Vec::new();
+    for ((config, _), (cols, picks)) in paper_mean.iter().zip(&results) {
+        row(config.label(), cols);
+        means.push((*config, cols[0]));
         println!("{:>18}  cdf: {}", "", picks.join(" "));
     }
     println!("\nmean latency vs paper:");

@@ -3,33 +3,44 @@
 
 use bench::{banner, compare, header, row};
 use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::sweep::sweep;
 use thymesisflow_core::config::SystemConfig;
 use workloads::runner::WorkloadRunner;
 use workloads::search::{Challenge, Elasticsearch, InvertedIndex};
 
 fn reproduce() {
     banner("Fig. 9 — ESRally nested track throughput (ops/sec)");
-    let runner = WorkloadRunner::new();
+    // shards × challenge grid; each sweep point evaluates the five
+    // system configurations on its own index/model instances.
+    let mut grid = Vec::new();
+    for shards in [5u32, 32] {
+        for ch in Challenge::ALL {
+            grid.push((shards, ch));
+        }
+    }
+    let results = sweep(0xF19, grid.clone(), |_i, (shards, ch), _rng| {
+        let runner = WorkloadRunner::new();
+        let t =
+            |c: SystemConfig| Elasticsearch::new(runner.model(c), shards).throughput_ops(ch);
+        [
+            t(SystemConfig::Local),
+            t(SystemConfig::ScaleOut),
+            t(SystemConfig::Interleaved),
+            t(SystemConfig::BondingDisaggregated),
+            t(SystemConfig::SingleDisaggregated),
+        ]
+    });
+    let mut points = grid.iter().zip(&results);
     for shards in [5u32, 32] {
         println!("\n-- {shards} shards --");
         header(&["challenge", "local", "scale-out", "interleaved", "bonding", "single"]);
-        for ch in Challenge::ALL {
-            let t = |c: SystemConfig| {
-                Elasticsearch::new(runner.model(c), shards).throughput_ops(ch)
-            };
-            row(
-                ch.label(),
-                &[
-                    t(SystemConfig::Local),
-                    t(SystemConfig::ScaleOut),
-                    t(SystemConfig::Interleaved),
-                    t(SystemConfig::BondingDisaggregated),
-                    t(SystemConfig::SingleDisaggregated),
-                ],
-            );
+        for _ in Challenge::ALL {
+            let ((_, ch), cols) = points.next().expect("grid covered");
+            row(ch.label(), cols);
         }
     }
     // Headline comparisons at 32 shards.
+    let runner = WorkloadRunner::new();
     let t = |c: SystemConfig, ch| Elasticsearch::new(runner.model(c), 32).throughput_ops(ch);
     let local_rtq = t(SystemConfig::Local, Challenge::Rtq);
     println!("\nRTQ slowdown vs local @32 shards (paper: interleaved 58.33%, bonding 42.65%, single 75.65%):");

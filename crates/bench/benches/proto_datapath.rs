@@ -8,6 +8,7 @@
 
 use bench::{banner, compare};
 use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::sweep::sweep;
 use simkit::time::SimTime;
 use thymesisflow_core::datapath::Datapath;
 use thymesisflow_core::params::DatapathParams;
@@ -29,15 +30,19 @@ fn reproduce() {
         load.as_ns_f64(),
         "ns",
     );
-    let mut dp = Datapath::new(params.clone(), 1, 256 << 20);
-    let single = dp
-        .measure_stream_bandwidth(8, 32, SimTime::from_us(200))
-        .as_gib_per_sec();
+    // The stream measurements are independent simulations — fan them
+    // with the sweep harness (grid order: single-channel, then bonded).
+    let streams = sweep(
+        0x960,
+        vec![(1usize, 8u32), (2, 16)],
+        |_i, (channels, threads), _rng| {
+            let mut dp = Datapath::new(DatapathParams::prototype(), channels, 256 << 20);
+            dp.measure_stream_bandwidth(threads, 32, SimTime::from_us(200))
+                .as_gib_per_sec()
+        },
+    );
+    let (single, bonded) = (streams[0], streams[1]);
     compare("single-channel read stream", 11.64, single, "GiB/s");
-    let mut dp = Datapath::new(params.clone(), 2, 256 << 20);
-    let bonded = dp
-        .measure_stream_bandwidth(16, 32, SimTime::from_us(200))
-        .as_gib_per_sec();
     compare("bonded read stream (C1 cap)", 16.0, bonded, "GiB/s");
     compare(
         "C1 sustained @128B",

@@ -27,7 +27,7 @@ use rmmu::section::SectionEntry;
 use rmmu::RoutedRequest;
 use routing::ChannelId;
 use simkit::bandwidth::Rate;
-use simkit::event::EventQueue;
+use simkit::event::{Engine, EventQueue};
 use simkit::stats::Histogram;
 use simkit::time::SimTime;
 
@@ -124,6 +124,21 @@ impl Datapath {
     ///
     /// Panics if `channels` is 0 or the window is not section aligned.
     pub fn new(params: DatapathParams, channels: usize, window_bytes: u64) -> Self {
+        Self::with_engine(params, channels, window_bytes, Engine::Hybrid)
+    }
+
+    /// [`Datapath::new`] with an explicit event-engine choice; the
+    /// engine benchmark pins [`Engine::HeapOnly`] as its baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is 0 or the window is not section aligned.
+    pub fn with_engine(
+        params: DatapathParams,
+        channels: usize,
+        window_bytes: u64,
+        engine: Engine,
+    ) -> Self {
         assert!(channels > 0, "need at least one channel");
         assert!(
             window_bytes > 0 && window_bytes % (256 << 20) == 0,
@@ -185,7 +200,7 @@ impl Datapath {
                 .collect(),
             chan_fwd: (0..channels).map(|i| mk_chan(100 + i as u64)).collect(),
             chan_rev: (0..channels).map(|i| mk_chan(200 + i as u64)).collect(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_engine(engine),
             flush_pending: vec![[false; 2]; channels],
             inflight: std::collections::HashMap::new(),
             completions: Histogram::new(),
@@ -303,15 +318,74 @@ impl Datapath {
         }
     }
 
-    /// Processes one event. Returns completed tags (so closed-loop
-    /// callers can re-issue).
+    /// Dispatches one delivered LLC message to the endpoint behind it.
+    fn dispatch_delivery(&mut self, chan: usize, dir: Dir, msg: DpMsg, now: SimTime) {
+        match (dir, msg) {
+            (Dir::ToMemory, DpMsg::Req(routed)) => {
+                // FPGA stack in, then the C1 engine + donor serDES + DRAM.
+                let stack = SimTime::from_ns(self.params.stack_crossing_ns);
+                let serdes = SimTime::from_ns(self.params.serdes_crossing_ns);
+                let ready = self
+                    .memory
+                    .serve(now + stack + serdes, &routed, PASID)
+                    .expect("programmed window only")
+                    + serdes
+                    + stack;
+                self.queue.schedule(
+                    ready,
+                    Ev::MemoryDone {
+                        chan,
+                        resp: routed.req.response(),
+                    },
+                );
+            }
+            (Dir::ToCompute, DpMsg::Resp(resp)) => {
+                // FPGA stack out + serDES back to core.
+                self.queue
+                    .schedule_in(self.edge_latency(), Ev::Complete { tag: resp.tag.0 });
+            }
+            (d, m) => panic!("message {m:?} on wrong direction {d:?}"),
+        }
+    }
+
+    /// Retires one completed load.
+    fn retire(&mut self, tag: u64, done: &mut Vec<u64>) {
+        let issued = self
+            .inflight
+            .remove(&tag)
+            .expect("completion matches an issue");
+        let lat = self.queue.now() - issued;
+        self.completions.record(lat.as_ns());
+        self.completed_bytes += 128;
+        done.push(tag);
+    }
+
+    /// Processes one event — plus every *coincident* event of the same
+    /// kind, batched into a single pass. Back-to-back channel events at
+    /// one instant (offer bursts from bonded issue loops, completion
+    /// bursts from a drained frame) then cost one seal/pump/dispatch
+    /// instead of N. Returns completed tags (so closed-loop callers can
+    /// re-issue).
     fn step(&mut self) -> Option<Vec<u64>> {
         let (_, ev) = self.queue.pop()?;
         let mut done = Vec::new();
         match ev {
             Ev::OfferRequest { chan, msg } => {
+                let mut touched = Vec::with_capacity(4);
+                touched.push(chan);
                 self.to_mem[chan].tx.offer(msg);
-                self.offer_or_flush(chan, Dir::ToMemory);
+                while let Some(Ev::OfferRequest { chan, msg }) = self
+                    .queue
+                    .pop_coincident(|e| matches!(e, Ev::OfferRequest { .. }))
+                {
+                    self.to_mem[chan].tx.offer(msg);
+                    if !touched.contains(&chan) {
+                        touched.push(chan);
+                    }
+                }
+                for chan in touched {
+                    self.offer_or_flush(chan, Dir::ToMemory);
+                }
             }
             Ev::Arrive {
                 chan,
@@ -331,55 +405,56 @@ impl Datapath {
                 }
                 data @ Frame::Data { .. } => {
                     let now = self.queue.now();
-                    let action = (match dir {
-                        Dir::ToMemory => self.to_mem[chan].rx.on_frame(data, intact),
-                        Dir::ToCompute => self.to_cpu[chan].rx.on_frame(data, intact),
-                    })
-                    .expect("LLC invariant violated");
+                    // Batch coincident data arrivals on the same channel
+                    // and direction through the Rx's bounded ingress.
+                    let mut burst: Vec<(Frame<DpMsg>, bool)> = vec![(data, intact)];
+                    while let Some(Ev::Arrive { frame, intact, .. }) =
+                        self.queue.pop_coincident(|e| {
+                            matches!(
+                                e,
+                                Ev::Arrive {
+                                    chan: c,
+                                    dir: d,
+                                    frame: Frame::Data { .. },
+                                    ..
+                                } if *c == chan && *d == dir
+                            )
+                        })
+                    {
+                        burst.push((frame, intact));
+                    }
+                    let rx = match dir {
+                        Dir::ToMemory => &mut self.to_mem[chan].rx,
+                        Dir::ToCompute => &mut self.to_cpu[chan].rx,
+                    };
+                    rx.enqueue_arrivals(&mut burst)
+                        .expect("credit discipline bounds in-flight frames");
+                    let action = rx.drain_ingress().expect("LLC invariant violated");
                     for c in action.replies {
                         self.transmit(chan, dir, Frame::Control(c), now);
                     }
                     for msg in action.delivered {
-                        match (dir, msg) {
-                            (Dir::ToMemory, DpMsg::Req(routed)) => {
-                                // FPGA stack in, then the C1 engine +
-                                // donor serDES + DRAM.
-                                let stack =
-                                    SimTime::from_ns(self.params.stack_crossing_ns);
-                                let serdes =
-                                    SimTime::from_ns(self.params.serdes_crossing_ns);
-                                let ready = self
-                                    .memory
-                                    .serve(now + stack + serdes, &routed, PASID)
-                                    .expect("programmed window only")
-                                    + serdes
-                                    + stack;
-                                self.queue.schedule(
-                                    ready,
-                                    Ev::MemoryDone {
-                                        chan,
-                                        resp: routed.req.response(),
-                                    },
-                                );
-                            }
-                            (Dir::ToCompute, DpMsg::Resp(resp)) => {
-                                // FPGA stack out + serDES back to core.
-                                self.queue.schedule_in(
-                                    self.edge_latency(),
-                                    Ev::Complete { tag: resp.tag.0 },
-                                );
-                            }
-                            (d, m) => {
-                                panic!("message {m:?} on wrong direction {d:?}")
-                            }
-                        }
+                        self.dispatch_delivery(chan, dir, msg, now);
                     }
                     self.pump(chan, dir);
                 }
             },
             Ev::MemoryDone { chan, resp } => {
+                let mut touched = Vec::with_capacity(4);
+                touched.push(chan);
                 self.to_cpu[chan].tx.offer(DpMsg::Resp(resp));
-                self.offer_or_flush(chan, Dir::ToCompute);
+                while let Some(Ev::MemoryDone { chan, resp }) = self
+                    .queue
+                    .pop_coincident(|e| matches!(e, Ev::MemoryDone { .. }))
+                {
+                    self.to_cpu[chan].tx.offer(DpMsg::Resp(resp));
+                    if !touched.contains(&chan) {
+                        touched.push(chan);
+                    }
+                }
+                for chan in touched {
+                    self.offer_or_flush(chan, Dir::ToCompute);
+                }
             }
             Ev::Flush { chan, dir } => {
                 self.flush_pending[chan][dir as usize] = false;
@@ -391,14 +466,13 @@ impl Datapath {
                 self.pump(chan, dir);
             }
             Ev::Complete { tag } => {
-                let issued = self
-                    .inflight
-                    .remove(&tag)
-                    .expect("completion matches an issue");
-                let lat = self.queue.now() - issued;
-                self.completions.record(lat.as_ns());
-                self.completed_bytes += 128;
-                done.push(tag);
+                self.retire(tag, &mut done);
+                while let Some(Ev::Complete { tag }) = self
+                    .queue
+                    .pop_coincident(|e| matches!(e, Ev::Complete { .. }))
+                {
+                    self.retire(tag, &mut done);
+                }
             }
         }
         Some(done)
@@ -446,6 +520,12 @@ impl Datapath {
     /// Latency distribution of completed loads (ns).
     pub fn completions(&self) -> &Histogram {
         &self.completions
+    }
+
+    /// Events the engine has processed (the engine benchmark's
+    /// events/sec numerator).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.popped()
     }
 }
 

@@ -14,6 +14,8 @@
 
 use std::collections::VecDeque;
 
+use simkit::queue::BoundedFifo;
+
 use crate::credit::CreditCounter;
 use crate::error::LlcError;
 use crate::flit::FlitSized;
@@ -317,7 +319,10 @@ pub struct LlcRx<T> {
     duplicates: u64,
     gaps: u64,
     corrupt: u64,
-    _marker: std::marker::PhantomData<T>,
+    /// Arriving frames queue here (with their CRC verdict) before the
+    /// state machine drains them. Sized by the credit discipline: the
+    /// peer holds one credit per slot, so a correct link never fills it.
+    ingress: BoundedFifo<(Frame<T>, bool)>,
 }
 
 impl<T: FlitSized + Clone> LlcRx<T> {
@@ -333,7 +338,7 @@ impl<T: FlitSized + Clone> LlcRx<T> {
             duplicates: 0,
             gaps: 0,
             corrupt: 0,
-            _marker: std::marker::PhantomData,
+            ingress: BoundedFifo::new(config.rx_queue_frames),
         }
     }
 
@@ -401,6 +406,52 @@ impl<T: FlitSized + Clone> LlcRx<T> {
             action.replies.push(Control::Ack(id));
         }
         Ok(action)
+    }
+
+    /// Queues a burst of arrivals (frame + CRC verdict) into the bounded
+    /// ingress in one batched move, then returns how many were taken.
+    ///
+    /// The burst is consumed front-first; anything left in `arrivals`
+    /// did not fit, which on a credited link means the peer transmitted
+    /// without holding a credit.
+    ///
+    /// # Errors
+    ///
+    /// [`LlcError::RxIngressOverflow`] when the burst exceeds the free
+    /// ingress slots.
+    pub fn enqueue_arrivals(&mut self, arrivals: &mut Vec<(Frame<T>, bool)>) -> Result<usize, LlcError> {
+        let taken = self.ingress.extend_while_free(arrivals);
+        if arrivals.is_empty() {
+            Ok(taken)
+        } else {
+            Err(LlcError::RxIngressOverflow {
+                capacity: self.ingress.capacity(),
+            })
+        }
+    }
+
+    /// Drains every queued arrival through the state machine, merging
+    /// the per-frame actions into one (deliveries in order, replies in
+    /// order, piggy-backed credits summed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`LlcError`] from frame processing; frames
+    /// queued after the failing one stay in the ingress.
+    pub fn drain_ingress(&mut self) -> Result<RxAction<T>, LlcError> {
+        let mut merged = RxAction::default();
+        while let Some((frame, intact)) = self.ingress.pop() {
+            let action = self.on_frame(frame, intact)?;
+            merged.delivered.extend(action.delivered);
+            merged.replies.extend(action.replies);
+            merged.piggyback_credits += action.piggyback_credits;
+        }
+        Ok(merged)
+    }
+
+    /// Occupancy statistics of the bounded ingress queue.
+    pub fn ingress_high_water(&self) -> usize {
+        self.ingress.high_water()
     }
 
     /// The next frame id the receiver will accept.
@@ -595,6 +646,77 @@ mod tests {
         assert_eq!(tx.backlog(), 1);
         let again = tx.next_transmittable().unwrap().unwrap();
         assert_eq!(again.id(), Some(FrameId(0)));
+    }
+
+    #[test]
+    fn retransmission_shares_payload_with_retained_copy() {
+        // The replay buffer and the wire copy must share one payload
+        // allocation: retransmit is a refcount bump, not a deep copy.
+        let mut tx = LlcTx::new(cfg());
+        for i in 0..8 {
+            tx.offer((i, 1));
+        }
+        tx.seal();
+        let first = tx.next_transmittable().unwrap().unwrap();
+        tx.on_control(Control::ReplayRequest(FrameId(0))).unwrap();
+        let replayed = tx.next_transmittable().unwrap().unwrap();
+        match (&first, &replayed) {
+            (
+                Frame::Data { entries: a, .. },
+                Frame::Data { entries: b, .. },
+            ) => assert!(a.ptr_eq(b), "replayed payload was deep-copied"),
+            _ => panic!("expected data frames"),
+        }
+    }
+
+    #[test]
+    fn batched_ingress_delivers_in_order() {
+        let mut tx = LlcTx::new(cfg());
+        let mut rx: LlcRx<Msg> = LlcRx::new(cfg());
+        for i in 0..24 {
+            tx.offer((i, 2));
+        }
+        tx.seal();
+        let mut burst: Vec<(Frame<Msg>, bool)> =
+            drain_tx(&mut tx).into_iter().map(|f| (f, true)).collect();
+        let queued = rx.enqueue_arrivals(&mut burst).unwrap();
+        assert!(burst.is_empty());
+        let act = rx.drain_ingress().unwrap();
+        assert_eq!(act.delivered, (0..24).map(|i| (i, 2)).collect::<Vec<_>>());
+        assert!(rx.ingress_high_water() >= 1);
+        assert!(queued >= 1);
+        for c in act.replies {
+            tx.on_control(c).unwrap();
+        }
+        assert!(tx.all_acked());
+    }
+
+    #[test]
+    fn ingress_overflow_is_a_credit_violation() {
+        let mut config = cfg();
+        config.rx_queue_frames = 2;
+        config.ack_every = 1;
+        let mut rx: LlcRx<Msg> = LlcRx::new(config);
+        let mut burst: Vec<(Frame<Msg>, bool)> = (0..3)
+            .map(|i| {
+                (
+                    Frame::Data {
+                        id: FrameId(i),
+                        entries: vec![crate::frame::Entry::Txn((0u32, 1usize))].into(),
+                        piggyback_credits: 0,
+                    },
+                    true,
+                )
+            })
+            .collect();
+        assert_eq!(
+            rx.enqueue_arrivals(&mut burst),
+            Err(LlcError::RxIngressOverflow { capacity: 2 })
+        );
+        // The two that fit are still queued and deliverable.
+        assert_eq!(burst.len(), 1);
+        let act = rx.drain_ingress().unwrap();
+        assert_eq!(act.delivered.len(), 2);
     }
 
     #[test]

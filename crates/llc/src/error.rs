@@ -42,6 +42,12 @@ pub enum LlcError {
         /// Idle-timer kicks attempted before giving up.
         kicks: u32,
     },
+    /// More frames arrived than the Rx ingress queue has slots — the
+    /// peer transmitted without holding a credit.
+    RxIngressOverflow {
+        /// Configured ingress capacity in frames.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for LlcError {
@@ -63,6 +69,12 @@ impl std::fmt::Display for LlcError {
             } => write!(f, "credit overflow: {available} + {returned} > {max}"),
             LlcError::NoProgress { kicks } => {
                 write!(f, "link cannot make progress after {kicks} replay kicks")
+            }
+            LlcError::RxIngressOverflow { capacity } => {
+                write!(
+                    f,
+                    "rx ingress overflow (capacity {capacity}): peer transmitted without a credit"
+                )
             }
         }
     }

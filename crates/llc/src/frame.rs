@@ -7,7 +7,9 @@
 //! single-flit frames are used as in-band messages to transfer replay
 //! requests to the Tx side."
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::flit::{FlitSized, FLIT_BYTES};
 
@@ -51,6 +53,62 @@ pub enum Control {
     CreditReturn(u32),
 }
 
+/// A frame's payload: the entry vector behind an [`Arc`].
+///
+/// Retaining a frame in the replay buffer — and retransmitting it on a
+/// replay request — clones the frame, and before this wrapper every
+/// clone deep-copied the payload entries. Sharing the entries makes
+/// both a refcount bump. The wrapper is transparent in use: it derefs
+/// to `[Entry<T>]` and converts from `Vec<Entry<T>>` at the single
+/// points where payloads are born (assembly and wire decode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payload<T>(Arc<Vec<Entry<T>>>);
+
+impl<T> Payload<T> {
+    /// Whether two payloads share the same backing allocation — the
+    /// sanitize checkers use this to count a shared payload once.
+    pub fn ptr_eq(&self, other: &Payload<T>) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Unwraps into the entry vector, cloning only if the payload is
+    /// still shared (e.g. delivery while the replay buffer retains it).
+    pub fn into_entries(self) -> Vec<Entry<T>>
+    where
+        T: Clone,
+    {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| (*shared).clone())
+    }
+}
+
+impl<T> std::ops::Deref for Payload<T> {
+    type Target = [Entry<T>];
+
+    fn deref(&self) -> &[Entry<T>] {
+        &self.0
+    }
+}
+
+impl<T> From<Vec<Entry<T>>> for Payload<T> {
+    fn from(entries: Vec<Entry<T>>) -> Self {
+        Payload(Arc::new(entries))
+    }
+}
+
+// The vendored serde has no blanket Arc impls; delegate to the vector
+// so wire formats are unchanged by the sharing.
+impl<T: Serialize> Serialize for Payload<T> {
+    fn serialize(&self) -> Value {
+        self.0.serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Payload<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(Payload(Arc::new(Vec::<Entry<T>>::deserialize(v)?)))
+    }
+}
+
 /// A frame on the wire: either a data frame of flit entries or a
 /// single-flit in-band control message. Data frames piggy-back a credit
 /// return field on their header.
@@ -60,8 +118,8 @@ pub enum Frame<T> {
     Data {
         /// Sequential identifier.
         id: FrameId,
-        /// Transactions plus nop padding.
-        entries: Vec<Entry<T>>,
+        /// Transactions plus nop padding, shared across retained copies.
+        entries: Payload<T>,
         /// Credits piggy-backed on the header ("exchanged by
         /// piggy-backing them on the transaction headers").
         piggyback_credits: u32,
@@ -117,9 +175,16 @@ impl<T> Frame<T> {
     }
 
     /// The transactions carried, dropping nop padding.
-    pub fn into_txns(self) -> Vec<T> {
+    ///
+    /// Clones transactions only when the payload is still shared with a
+    /// retained replay-buffer copy; a sole owner moves them out.
+    pub fn into_txns(self) -> Vec<T>
+    where
+        T: Clone,
+    {
         match self {
             Frame::Data { entries, .. } => entries
+                .into_entries()
                 .into_iter()
                 .filter_map(|e| match e {
                     Entry::Txn(t) => Some(t),
@@ -175,7 +240,7 @@ pub fn assemble<T: FlitSized>(
             pad(&mut entries, payload_flits - used);
             frames.push(Frame::Data {
                 id: next_id,
-                entries: std::mem::take(&mut entries),
+                entries: std::mem::take(&mut entries).into(),
                 piggyback_credits: credits_each,
             });
             next_id = next_id.next();
@@ -188,7 +253,7 @@ pub fn assemble<T: FlitSized>(
         pad(&mut entries, payload_flits - used);
         frames.push(Frame::Data {
             id: next_id,
-            entries,
+            entries: entries.into(),
             piggyback_credits: credits_each,
         });
         next_id = next_id.next();
@@ -280,5 +345,21 @@ mod tests {
     #[should_panic(expected = "exceeds frame payload")]
     fn oversized_message_panics() {
         let _ = assemble(vec![(0u32, 9usize)], 8, FrameId(0), 0);
+    }
+
+    #[test]
+    fn cloned_frames_share_payload() {
+        let (frames, _) = assemble::<Msg>(vec![(1, 2), (2, 2)], 8, FrameId(0), 0);
+        let copy = frames[0].clone();
+        match (&frames[0], &copy) {
+            (Frame::Data { entries: a, .. }, Frame::Data { entries: b, .. }) => {
+                assert!(a.ptr_eq(b), "clone deep-copied the payload");
+                assert_eq!(a.len(), b.len());
+            }
+            _ => panic!("expected data frames"),
+        }
+        // A sole owner moves entries out without cloning; a shared one
+        // clones — either way the transactions are identical.
+        assert_eq!(copy.into_txns(), frames[0].clone().into_txns());
     }
 }

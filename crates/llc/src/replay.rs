@@ -18,8 +18,8 @@ use crate::frame::{Frame, FrameId};
 /// use llc::replay::ReplayBuffer;
 ///
 /// let mut rb: ReplayBuffer<(u32, usize)> = ReplayBuffer::new(8);
-/// rb.retain(Frame::Data { id: FrameId(0), entries: vec![], piggyback_credits: 0 }).unwrap();
-/// rb.retain(Frame::Data { id: FrameId(1), entries: vec![], piggyback_credits: 0 }).unwrap();
+/// rb.retain(Frame::Data { id: FrameId(0), entries: vec![].into(), piggyback_credits: 0 }).unwrap();
+/// rb.retain(Frame::Data { id: FrameId(1), entries: vec![].into(), piggyback_credits: 0 }).unwrap();
 /// let replayed = rb.frames_from(FrameId(0));
 /// assert_eq!(replayed.len(), 2);
 /// rb.ack_through(FrameId(1));
@@ -151,7 +151,7 @@ mod tests {
     fn data(id: u64) -> Frame<(u32, usize)> {
         Frame::Data {
             id: FrameId(id),
-            entries: vec![],
+            entries: vec![].into(),
             piggyback_credits: 0,
         }
     }
@@ -196,7 +196,8 @@ mod tests {
                 crate::frame::Entry::Txn((1u32, 1usize)),
                 crate::frame::Entry::Txn((2, 1)),
                 crate::frame::Entry::Nop,
-            ],
+            ]
+            .into(),
             piggyback_credits: 0,
         })
         .unwrap();

@@ -211,7 +211,7 @@ pub fn decode<T: WireCodec>(bytes: &[u8]) -> Result<Frame<T>, WireError> {
             }
             Ok(Frame::Data {
                 id,
-                entries,
+                entries: entries.into(),
                 piggyback_credits: piggyback,
             })
         }
@@ -288,7 +288,7 @@ mod tests {
     fn piggyback_credits_survive() {
         let f: Frame<Msg> = Frame::Data {
             id: FrameId(3),
-            entries: vec![Entry::Txn((1, 1)), Entry::Nop],
+            entries: vec![Entry::Txn((1, 1)), Entry::Nop].into(),
             piggyback_credits: 17,
         };
         let back: Frame<Msg> = decode(&encode(&f)).unwrap();

@@ -1,13 +1,44 @@
-//! A deterministic discrete-event queue.
+//! Deterministic discrete-event queues.
 //!
 //! Events scheduled at the same instant are delivered in insertion order
 //! (FIFO tie-breaking), which keeps every simulation in this workspace
 //! fully deterministic for a given RNG seed.
+//!
+//! Two engines back the queue, selected at construction:
+//!
+//! * [`Engine::Hybrid`] (the default) — a bucketed calendar for
+//!   near-horizon events with O(1) schedule and amortised-O(1) pop,
+//!   falling back to a binary heap for events beyond the calendar
+//!   window. The datapath's 2.494 ns flit-clock ticks, serDES/stack
+//!   crossings and DRAM completions all land in the calendar; only
+//!   multi-microsecond timers take the heap path.
+//! * [`Engine::HeapOnly`] — the original pure-`BinaryHeap` engine, kept
+//!   as the reference implementation. Property tests assert that both
+//!   engines pop every schedule in the identical order, so simulations
+//!   are byte-for-byte reproducible on either.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// Calendar bucket width as a power of two: 2^12 ps = 4.096 ns, about
+/// 1.6 flit cycles of the 401 MHz prototype clock.
+const SLOT_SHIFT: u32 = 12;
+
+/// Number of calendar buckets; together with [`SLOT_SHIFT`] this spans a
+/// ~4.2 µs near horizon, several flit round trips deep.
+const NUM_BUCKETS: usize = 1024;
+
+/// Which scheduling engine backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Calendar buckets near the horizon, heap beyond it (fast path).
+    #[default]
+    Hybrid,
+    /// The original pure binary-heap engine (reference baseline).
+    HeapOnly,
+}
 
 /// A pending event: delivery instant plus a monotonically increasing
 /// sequence number used for stable tie-breaking.
@@ -63,9 +94,26 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    engine: Engine,
     seq: u64,
     now: SimTime,
+    popped: u64,
+    pending: usize,
+    /// Far-future events (all events in `HeapOnly` mode).
+    heap: BinaryHeap<Scheduled<E>>,
+    /// The currently ingested calendar slice, sorted **descending** by
+    /// `(at, seq)`; the next event pops from the back. Also absorbs
+    /// late schedules that land inside the already-ingested window.
+    drain: Vec<Scheduled<E>>,
+    /// Unsorted calendar buckets; bucket `slot % NUM_BUCKETS` holds the
+    /// events of `slot` for slots in `[cursor_slot, cursor_slot + N)`.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// One bit per bucket: whether it holds any events.
+    occupied: Vec<u64>,
+    /// First slot not yet ingested into `drain`.
+    cursor_slot: u64,
+    /// Events currently resident in `buckets`.
+    in_buckets: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,19 +123,57 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at instant zero.
+    /// Creates an empty hybrid-engine queue at instant zero.
     pub fn new() -> Self {
+        Self::with_engine(Engine::Hybrid)
+    }
+
+    /// Creates an empty queue backed by the reference binary-heap
+    /// engine (used by equivalence tests and the engine benchmark).
+    pub fn new_heap_only() -> Self {
+        Self::with_engine(Engine::HeapOnly)
+    }
+
+    /// Creates an empty queue with an explicit engine choice.
+    pub fn with_engine(engine: Engine) -> Self {
+        let n = match engine {
+            Engine::Hybrid => NUM_BUCKETS,
+            Engine::HeapOnly => 0,
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            engine,
             seq: 0,
             now: SimTime::ZERO,
+            popped: 0,
+            pending: 0,
+            heap: BinaryHeap::new(),
+            drain: Vec::new(),
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; n.div_ceil(64)],
+            cursor_slot: 0,
+            in_buckets: 0,
         }
+    }
+
+    /// The engine backing this queue.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The current simulated instant (the timestamp of the last popped
     /// event, or zero if nothing has been popped yet).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total events popped over the queue's lifetime (the engine
+    /// benchmark's events/sec numerator).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    fn slot_of(&self, at: SimTime) -> u64 {
+        at.as_ps() >> SLOT_SHIFT
     }
 
     /// Schedules `event` for delivery at absolute instant `at`.
@@ -104,7 +190,36 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.pending += 1;
+        let sch = Scheduled { at, seq, event };
+        if self.buckets.is_empty() {
+            self.heap.push(sch);
+            return;
+        }
+        // With the calendar empty the cursor can jump over quiet gaps,
+        // keeping the bucket window anchored at the present.
+        if self.in_buckets == 0 && self.drain.is_empty() {
+            let now_slot = self.slot_of(self.now);
+            if now_slot > self.cursor_slot {
+                self.cursor_slot = now_slot;
+            }
+        }
+        let slot = self.slot_of(at);
+        if slot < self.cursor_slot {
+            // Inside the already-ingested window: merge into the sorted
+            // drain at its (at, seq) position.
+            let key = (at, seq);
+            let pos = self.drain.partition_point(|s| (s.at, s.seq) > key);
+            self.drain.insert(pos, sch);
+        } else if slot - self.cursor_slot < self.buckets.len() as u64 {
+            let idx = usize::try_from(slot % self.buckets.len() as u64)
+                .expect("bucket count fits usize");
+            self.buckets[idx].push(sch);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+            self.in_buckets += 1;
+        } else {
+            self.heap.push(sch);
+        }
     }
 
     /// Schedules `event` for delivery `delay` after the current instant.
@@ -112,13 +227,65 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Index of the first occupied bucket at or (cyclically) after
+    /// `start`. Only meaningful while `in_buckets > 0`.
+    fn next_occupied(&self, start: usize) -> usize {
+        let words = self.occupied.len();
+        let w0 = start / 64;
+        let masked = self.occupied[w0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return w0 * 64 + usize::try_from(masked.trailing_zeros()).expect("bit index");
+        }
+        for step in 1..=words {
+            let w = (w0 + step) % words;
+            if self.occupied[w] != 0 {
+                return w * 64
+                    + usize::try_from(self.occupied[w].trailing_zeros()).expect("bit index");
+            }
+        }
+        unreachable!("next_occupied called with empty calendar");
+    }
+
+    /// Refills `drain` from the next occupied bucket when it runs dry.
+    fn ensure_drain(&mut self) {
+        if !self.drain.is_empty() || self.in_buckets == 0 {
+            return;
+        }
+        let n = self.buckets.len() as u64;
+        let start = usize::try_from(self.cursor_slot % n).expect("bucket count fits usize");
+        let idx = self.next_occupied(start);
+        let delta = if idx >= start {
+            (idx - start) as u64
+        } else {
+            n - (start - idx) as u64
+        };
+        // Swap keeps the bucket's allocation alive for its next lap.
+        std::mem::swap(&mut self.drain, &mut self.buckets[idx]);
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        self.in_buckets -= self.drain.len();
+        self.drain
+            .sort_unstable_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+        self.cursor_slot = self.cursor_slot + delta + 1;
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// delivery time. Returns `None` when the queue is exhausted.
     ///
     /// With the `sanitize` feature on, asserts that simulated time never
-    /// regresses — the heap invariant every simulation depends on.
+    /// regresses — the ordering invariant every simulation depends on.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let sch = self.heap.pop()?;
+        self.ensure_drain();
+        let from_heap = match (self.drain.last(), self.heap.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(d), Some(h)) => (h.at, h.seq) < (d.at, d.seq),
+        };
+        let sch = if from_heap {
+            self.heap.pop().expect("peeked event exists")
+        } else {
+            self.drain.pop().expect("peeked event exists")
+        };
         #[cfg(feature = "sanitize")]
         assert!(
             sch.at >= self.now,
@@ -126,23 +293,93 @@ impl<E> EventQueue<E> {
             self.now,
             sch.at
         );
+        self.pending -= 1;
+        self.popped += 1;
         self.now = sch.at;
         Some((sch.at, sch.event))
     }
 
+    /// Pops the next event only when it is due at exactly the current
+    /// instant **and** `pred` accepts it; otherwise leaves the queue
+    /// untouched and returns `None`.
+    ///
+    /// This is the flit-burst batching hook: after popping one event, a
+    /// simulation can drain every coincident sibling (same instant, same
+    /// kind) and process the burst in one pass instead of re-entering
+    /// its dispatch loop per event.
+    pub fn pop_coincident<F>(&mut self, pred: F) -> Option<E>
+    where
+        F: FnOnce(&E) -> bool,
+    {
+        self.ensure_drain();
+        let from_heap = match (self.drain.last(), self.heap.peek()) {
+            (None, None) => return None,
+            (None, Some(h)) => {
+                if h.at != self.now {
+                    return None;
+                }
+                true
+            }
+            (Some(d), None) => {
+                if d.at != self.now {
+                    return None;
+                }
+                false
+            }
+            (Some(d), Some(h)) => {
+                let heap_first = (h.at, h.seq) < (d.at, d.seq);
+                let front_at = if heap_first { h.at } else { d.at };
+                if front_at != self.now {
+                    return None;
+                }
+                heap_first
+            }
+        };
+        let accepted = if from_heap {
+            pred(&self.heap.peek().expect("peeked event exists").event)
+        } else {
+            pred(&self.drain.last().expect("peeked event exists").event)
+        };
+        if !accepted {
+            return None;
+        }
+        let sch = if from_heap {
+            self.heap.pop().expect("peeked event exists")
+        } else {
+            self.drain.pop().expect("peeked event exists")
+        };
+        self.pending -= 1;
+        self.popped += 1;
+        Some(sch.event)
+    }
+
     /// The delivery time of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        let near = if let Some(d) = self.drain.last() {
+            Some(d.at)
+        } else if self.in_buckets > 0 {
+            let n = self.buckets.len() as u64;
+            let start = usize::try_from(self.cursor_slot % n).expect("bucket count fits usize");
+            let idx = self.next_occupied(start);
+            self.buckets[idx].iter().map(|s| s.at).min()
+        } else {
+            None
+        };
+        let far = self.heap.peek().map(|s| s.at);
+        match (near, far) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// Whether there are no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending == 0
     }
 
     /// Drains events while `cond(next_event_time)` holds, applying `f`.
@@ -171,25 +408,33 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Runs every test body against both engines.
+    fn on_both_engines(test: impl Fn(EventQueue<i32>)) {
+        test(EventQueue::new());
+        test(EventQueue::new_heap_only());
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ns(30), 3);
-        q.schedule(SimTime::from_ns(10), 1);
-        q.schedule(SimTime::from_ns(20), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        on_both_engines(|mut q| {
+            q.schedule(SimTime::from_ns(30), 3);
+            q.schedule(SimTime::from_ns(10), 1);
+            q.schedule(SimTime::from_ns(20), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_ns(5);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        on_both_engines(|mut q| {
+            let t = SimTime::from_ns(5);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
@@ -199,6 +444,7 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         q.pop();
         assert_eq!(q.now(), SimTime::from_ns(7));
+        assert_eq!(q.popped(), 1);
     }
 
     #[test]
@@ -246,5 +492,102 @@ mod tests {
             },
         );
         assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn engines_agree_on_a_mixed_schedule() {
+        // Near ticks, far timers, same-instant bursts and late merges —
+        // the pop order must be identical event for event.
+        let mut hybrid = EventQueue::new();
+        let mut heap = EventQueue::new_heap_only();
+        let mut tag = 0u32;
+        for round in 0..50u64 {
+            for (q, _) in [(&mut hybrid, 0), (&mut heap, 1)] {
+                q.schedule(SimTime::from_ps(round * 2_494), tag);
+                q.schedule(SimTime::from_ns(round * 3 + 950), tag + 1);
+                q.schedule(SimTime::from_us(round + 10), tag + 2);
+                // Same-instant burst.
+                q.schedule(SimTime::from_ns(40), tag + 3);
+            }
+            tag += 4;
+        }
+        loop {
+            let a = hybrid.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_interleaved_pop_and_schedule() {
+        let mut hybrid = EventQueue::new();
+        let mut heap = EventQueue::new_heap_only();
+        for q in [&mut hybrid, &mut heap] {
+            q.schedule(SimTime::from_ns(1), 0);
+        }
+        // Each popped event reschedules two successors (one near, one
+        // far), exercising drain merges and cursor fast-forwarding.
+        for step in 0..2_000u64 {
+            let a = hybrid.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "step {step}");
+            let Some((_, v)) = a else { break };
+            if v < 300 {
+                for q in [&mut hybrid, &mut heap] {
+                    q.schedule_in(SimTime::from_ps(2_494), v + 1);
+                    q.schedule_in(SimTime::from_us(5), v + 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_future_events_cross_the_calendar_horizon() {
+        let mut q = EventQueue::new();
+        // Beyond the ~4.2 µs calendar window: takes the heap path.
+        q.schedule(SimTime::from_ms(50), "far");
+        q.schedule(SimTime::from_ns(3), "near");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.now(), SimTime::from_ms(50));
+        // After the jump the calendar re-anchors at the present.
+        q.schedule_in(SimTime::from_ns(1), "tail");
+        assert_eq!(q.pop().unwrap().1, "tail");
+    }
+
+    #[test]
+    fn pop_coincident_drains_same_instant_only() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        q.schedule(SimTime::from_ns(6), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop_coincident(|e| *e == 2), Some(2));
+        // Predicate rejection leaves the event queued.
+        assert_eq!(q.pop_coincident(|e| *e == 99), None);
+        assert_eq!(q.pop_coincident(|_| true), Some(3));
+        // Next event is at a later instant: not coincident.
+        assert_eq!(q.pop_coincident(|_| true), None);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn late_schedule_into_ingested_window_merges_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(100), 1);
+        q.schedule(SimTime::from_ns(100), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // now == 100 ns; the 100 ns slot is already ingested into the
+        // drain, so this merges mid-drain and must pop FIFO after 2.
+        q.schedule(SimTime::from_ns(100), 3);
+        q.schedule(SimTime::from_ps(100_500), 4);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
     }
 }

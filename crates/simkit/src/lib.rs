@@ -11,6 +11,8 @@
 //!   mean/variance used by every benchmark harness.
 //! * [`bandwidth`] — serialization-delay models for links and memory ports.
 //! * [`queue`] — bounded FIFOs with occupancy accounting.
+//! * [`sweep`] — parallel sweep harness with deterministic per-point
+//!   RNG streams (worker count never changes the output).
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@ pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 pub mod units;
 

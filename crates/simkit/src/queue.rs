@@ -25,9 +25,28 @@ use std::collections::VecDeque;
 pub struct BoundedFifo<T> {
     items: VecDeque<T>,
     capacity: usize,
+    stats: FifoStats,
+}
+
+/// Occupancy bookkeeping, split out of the push fast path: `push`
+/// inlines to a bounds check plus a `push_back`, and the counter
+/// updates sit in cold/batched paths where the optimizer keeps them
+/// off the hot loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct FifoStats {
     rejected: u64,
     high_water: usize,
     total_pushed: u64,
+}
+
+impl FifoStats {
+    #[inline]
+    fn record_push(&mut self, occupancy: usize) {
+        self.total_pushed += 1;
+        if occupancy > self.high_water {
+            self.high_water = occupancy;
+        }
+    }
 }
 
 impl<T> BoundedFifo<T> {
@@ -41,9 +60,7 @@ impl<T> BoundedFifo<T> {
         BoundedFifo {
             items: VecDeque::with_capacity(capacity),
             capacity,
-            rejected: 0,
-            high_water: 0,
-            total_pushed: 0,
+            stats: FifoStats::default(),
         }
     }
 
@@ -52,15 +69,44 @@ impl<T> BoundedFifo<T> {
     /// # Errors
     ///
     /// Returns `Err(item)` when the queue is at capacity.
+    #[inline]
     pub fn push(&mut self, item: T) -> Result<(), T> {
         if self.items.len() >= self.capacity {
-            self.rejected += 1;
-            return Err(item);
+            return Err(self.reject(item));
         }
         self.items.push_back(item);
-        self.total_pushed += 1;
-        self.high_water = self.high_water.max(self.items.len());
+        self.stats.record_push(self.items.len());
         Ok(())
+    }
+
+    /// The reject path is cold by construction: credit-based
+    /// backpressure exists precisely so this never runs on a healthy
+    /// link.
+    #[cold]
+    fn reject(&mut self, item: T) -> T {
+        self.stats.rejected += 1;
+        item
+    }
+
+    /// Moves items from the front of `pending` into the queue until the
+    /// queue is full or `pending` is empty. Returns how many moved.
+    ///
+    /// This is the batched ingress path (used by the LLC Rx): one
+    /// capacity computation and one bookkeeping update cover the whole
+    /// burst, instead of per-item checks — and unlike a `push` loop it
+    /// never counts would-be overflow as rejects, so callers can leave
+    /// the remainder in `pending` for the next cycle.
+    pub fn extend_while_free(&mut self, pending: &mut Vec<T>) -> usize {
+        let take = self.free_slots().min(pending.len());
+        if take == 0 {
+            return 0;
+        }
+        self.items.extend(pending.drain(..take));
+        self.stats.total_pushed += take as u64;
+        if self.items.len() > self.stats.high_water {
+            self.stats.high_water = self.items.len();
+        }
+        take
     }
 
     /// Dequeues the oldest item.
@@ -100,17 +146,17 @@ impl<T> BoundedFifo<T> {
 
     /// Number of pushes rejected because the queue was full.
     pub fn rejected(&self) -> u64 {
-        self.rejected
+        self.stats.rejected
     }
 
     /// Highest occupancy ever observed.
     pub fn high_water(&self) -> usize {
-        self.high_water
+        self.stats.high_water
     }
 
     /// Total successful pushes.
     pub fn total_pushed(&self) -> u64 {
-        self.total_pushed
+        self.stats.total_pushed
     }
 
     /// Iterates over queued items front-to-back.
@@ -163,5 +209,34 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = BoundedFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn extend_while_free_takes_only_what_fits() {
+        let mut q = BoundedFifo::new(4);
+        q.push(0).unwrap();
+        let mut pending = vec![1, 2, 3, 4, 5];
+        assert_eq!(q.extend_while_free(&mut pending), 3);
+        assert_eq!(pending, vec![4, 5]); // remainder stays, in order
+        assert!(q.is_full());
+        assert_eq!(q.rejected(), 0); // deferral is not a drop
+        assert_eq!(q.total_pushed(), 4);
+        assert_eq!(q.high_water(), 4);
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.extend_while_free(&mut pending), 2);
+        assert_eq!(q.len(), 2);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn extend_into_full_queue_is_a_no_op() {
+        let mut q = BoundedFifo::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let mut pending = vec![3];
+        assert_eq!(q.extend_while_free(&mut pending), 0);
+        assert_eq!(pending, vec![3]);
+        assert_eq!(q.rejected(), 0);
     }
 }

@@ -8,7 +8,7 @@
 //! | rule  | checks                                                        |
 //! |-------|---------------------------------------------------------------|
 //! | TF001 | no wall-clock (`Instant`/`SystemTime`) in simulation crates   |
-//! | TF002 | no entropy-seeded RNG outside `simkit::rng`                   |
+//! | TF002 | no entropy- or ad-hoc-seeded RNG outside `simkit::rng`        |
 //! | TF003 | no bare `u64`/`f64` params with unit-implying names in public APIs |
 //! | TF004 | no `unwrap()`/`expect()`/`panic!` in non-test datapath code   |
 //! | TF005 | no truncating `as` casts on time/credit/byte values           |
@@ -33,7 +33,7 @@ use std::path::Path;
 /// Rule IDs with one-line descriptions, for `--help`-style output.
 pub const RULES: &[(&str, &str)] = &[
     ("TF001", "no wall-clock (std::time::Instant/SystemTime) in simulation crates"),
-    ("TF002", "no entropy-seeded RNG (thread_rng/from_entropy/OsRng) outside simkit::rng"),
+    ("TF002", "no entropy-seeded or ad-hoc-seeded RNG (thread_rng/from_entropy/OsRng/seed_from_u64) outside simkit::rng"),
     ("TF003", "no bare u64/f64 parameters with unit-implying names in public APIs"),
     ("TF004", "no unwrap()/expect()/panic! in non-test datapath code"),
     ("TF005", "no truncating `as` casts on time/credit/byte values"),
@@ -542,20 +542,27 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
             );
         }
 
-        // TF002: entropy-seeded RNG outside simkit::rng.
+        // TF002: raw RNG construction outside simkit::rng. Entropy
+        // sources break reproducibility outright; ad-hoc `seed_from_u64`
+        // calls create streams the sweep harness cannot track, so both
+        // route through `DetRng` (`split_stream` for per-point streams,
+        // `fork` for per-component streams).
         if !is_rng_home
             && tok.kind == Kind::Ident
-            && matches!(tok.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+            && matches!(
+                tok.text.as_str(),
+                "thread_rng" | "from_entropy" | "OsRng" | "seed_from_u64"
+            )
         {
-            push(
-                &mut diags,
-                "TF002",
-                tok,
+            let message = if tok.text == "seed_from_u64" {
+                "ad-hoc RNG seeding bypasses deterministic stream splitting; use `DetRng::split_stream(master_seed, stream)` (or `DetRng::fork`) instead".to_string()
+            } else {
                 format!(
                     "entropy-seeded RNG `{}` breaks reproducibility; derive a seeded stream from `simkit::rng::DetRng`",
                     tok.text
-                ),
-            );
+                )
+            };
+            push(&mut diags, "TF002", tok, message);
         }
 
         // TF004: panics in datapath library code.

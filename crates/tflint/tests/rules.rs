@@ -59,6 +59,28 @@ fn tf002_allow_suppresses() {
     assert!(check_source("dcsim", "src/x.rs", src).is_empty());
 }
 
+#[test]
+fn tf002_fires_on_ad_hoc_seeding_and_points_at_split_stream() {
+    let src = "fn t(seed: u64) { let r = StdRng::seed_from_u64(seed); }\n";
+    let diags = check_source("bench", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF002"], "{}", render(&diags));
+    assert!(
+        diags[0].message.contains("split_stream"),
+        "{}",
+        diags[0].message
+    );
+    // Inside the rng home module, seeding primitives are the point.
+    assert!(check_source("simkit", "src/rng.rs", src).is_empty());
+}
+
+#[test]
+fn tf002_split_stream_needs_no_allow() {
+    // Derived streams via the blessed API are clean everywhere.
+    let src = "fn t() { let r = simkit::rng::DetRng::split_stream(42, 3); }\n";
+    assert!(check_source("bench", "src/x.rs", src).is_empty());
+    assert!(check_source("dcsim", "src/x.rs", src).is_empty());
+}
+
 // ------------------------------------------------------------------ TF003
 
 #[test]
