@@ -16,6 +16,12 @@ cargo run -q -p tflint -- check
 echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
+echo "==> example smoke loop (release)"
+for example in quickstart rack_orchestration failure_injection cloud_workloads datacentre_motivation; do
+    echo "--> example: ${example}"
+    cargo run -q --release --example "${example}" > /dev/null
+done
+
 echo "==> engine throughput smoke (QUICK mode, writes BENCH_engine.json)"
 QUICK=1 cargo bench -q -p bench --bench engine_throughput
 

@@ -24,6 +24,7 @@ use simkit::sweep::{sweep_with_workers, worker_count};
 use simkit::time::SimTime;
 use thymesisflow_core::config::SystemConfig;
 use thymesisflow_core::datapath::Datapath;
+use thymesisflow_core::fabric::FabricBuilder;
 use thymesisflow_core::params::DatapathParams;
 use workloads::runner::WorkloadRunner;
 use workloads::stream::StreamBench;
@@ -192,6 +193,30 @@ fn reproduce() {
     assert!(hy_gib.to_bits() == hp_gib.to_bits(), "engines diverged");
     assert_eq!(hy_events, hp_events, "event counts diverged");
 
+    // --- fabric parity ------------------------------------------------
+    // The component/port fabric's point-to-point topology must hold the
+    // pre-refactor prototype numbers: ~950 ns flit RTT (+DRAM) and the
+    // ~10 GiB/s single-channel stream.
+    let (mut fabric, path) =
+        FabricBuilder::point_to_point(DatapathParams::prototype(), 1, 256 << 20)
+            .expect("reference topology assembles");
+    let fabric_rtt = fabric
+        .measure_load_latency(path)
+        .expect("lossless probe completes");
+    let fabric_gib = fabric
+        .measure_stream_bandwidth(path, 8, 32, SimTime::from_us(100))
+        .expect("reference path streams")
+        .as_gib_per_sec();
+    println!("\nfabric point-to-point parity: {fabric_rtt} RTT, {fabric_gib:.2} GiB/s");
+    assert!(
+        (950..=1200).contains(&fabric_rtt.as_ns()),
+        "fabric RTT {fabric_rtt} off the prototype envelope"
+    );
+    assert!(
+        (8.5..=11.64).contains(&fabric_gib),
+        "fabric stream {fabric_gib} GiB/s off the prototype envelope"
+    );
+
     // --- per-figure sweep wall-clocks --------------------------------
     println!("\nfigure sweep wall-clocks:");
     let configs = [
@@ -258,6 +283,13 @@ fn reproduce() {
                 ("speedup".to_string(), Value::Float(dp_speedup)),
                 ("gib_per_sec".to_string(), Value::Float(hy_gib)),
                 ("events".to_string(), Value::UInt(hy_events)),
+            ]),
+        ),
+        (
+            "fabric_parity".to_string(),
+            Value::Map(vec![
+                ("rtt_ns".to_string(), Value::UInt(fabric_rtt.as_ns())),
+                ("gib_per_sec".to_string(), Value::Float(fabric_gib)),
             ]),
         ),
         ("figure_sweeps".to_string(), Value::Seq(sweeps)),

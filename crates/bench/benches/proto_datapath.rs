@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use simkit::sweep::sweep;
 use simkit::time::SimTime;
 use thymesisflow_core::datapath::Datapath;
+use thymesisflow_core::fabric::FabricBuilder;
 use thymesisflow_core::params::DatapathParams;
 
 fn reproduce() {
@@ -59,6 +60,34 @@ fn reproduce() {
     assert!((900.0..=1000.0).contains(&params.flit_rtt().as_ns_f64()));
     assert!(bonded > single * 1.15, "bonding must help");
     assert!(bonded < 17.0, "C1 cap must bite");
+
+    // Fabric parity: the component/port fabric's point-to-point
+    // topology must reproduce the monolith's prototype numbers.
+    let (mut fabric, path) =
+        FabricBuilder::point_to_point(DatapathParams::prototype(), 1, 256 << 20)
+            .expect("reference topology assembles");
+    let fabric_rtt = fabric
+        .measure_load_latency(path)
+        .expect("lossless probe completes")
+        .as_ns_f64();
+    let fabric_gib = fabric
+        .measure_stream_bandwidth(path, 8, 32, SimTime::from_us(200))
+        .expect("reference path streams")
+        .as_gib_per_sec();
+    compare("fabric point-to-point RTT", load.as_ns_f64(), fabric_rtt, "ns");
+    compare("fabric single-channel stream", single, fabric_gib, "GiB/s");
+    assert!(
+        (fabric_rtt - load.as_ns_f64()).abs() < 1.0,
+        "fabric RTT {fabric_rtt} ns drifted from facade {load}"
+    );
+    assert!(
+        (950.0..=1200.0).contains(&fabric_rtt),
+        "fabric RTT {fabric_rtt} ns off the ~950 ns prototype envelope"
+    );
+    assert!(
+        (8.5..=11.64).contains(&fabric_gib),
+        "fabric stream {fabric_gib} GiB/s off the ~10 GiB/s prototype envelope"
+    );
 }
 
 fn criterion_benches(c: &mut Criterion) {

@@ -58,6 +58,8 @@ pub struct Lease {
     compute: String,
     memory: String,
     bonded: bool,
+    window_base: u64,
+    network: u32,
 }
 
 impl Lease {
@@ -66,6 +68,8 @@ impl Lease {
         flow: FlowHandle,
         numa_node: NumaNodeId,
         req: &AttachRequest,
+        window_base: u64,
+        network: u32,
     ) -> Self {
         Lease {
             id,
@@ -75,6 +79,8 @@ impl Lease {
             compute: req.compute.clone(),
             memory: req.memory.clone(),
             bonded: req.bonded,
+            window_base,
+            network,
         }
     }
 
@@ -112,6 +118,17 @@ impl Lease {
     pub fn is_bonded(&self) -> bool {
         self.bonded
     }
+
+    /// Fabric window base address the lease's sections were carved at
+    /// (distinct across concurrent leases on one borrower).
+    pub fn window_base(&self) -> u64 {
+        self.window_base
+    }
+
+    /// The flow's network identifier on the borrower's fabric.
+    pub fn network_id(&self) -> u32 {
+        self.network
+    }
 }
 
 #[cfg(test)]
@@ -129,11 +146,13 @@ mod tests {
     #[test]
     fn lease_exposes_request() {
         let r = AttachRequest::new("a", "b", 1 << 30);
-        let l = Lease::new(LeaseId(1), FlowHandle(9), NumaNodeId(255), &r);
+        let l = Lease::new(LeaseId(1), FlowHandle(9), NumaNodeId(255), &r, 0x1000_0000_0000, 7);
         assert_eq!(l.id(), LeaseId(1));
         assert_eq!(l.bytes(), 1 << 30);
         assert_eq!(l.numa_node(), NumaNodeId(255));
         assert!(!l.is_bonded());
+        assert_eq!(l.window_base(), 0x1000_0000_0000);
+        assert_eq!(l.network_id(), 7);
         assert_eq!(l.to_owned().compute(), "a");
     }
 }

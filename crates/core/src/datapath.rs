@@ -1,9 +1,12 @@
-//! Flit-level, end-to-end datapath simulation.
+//! Flit-level, end-to-end datapath simulation — the historical
+//! monolithic API, now a thin facade over the point-to-point
+//! [`crate::fabric`] topology.
 //!
-//! Assembles the whole Fig. 2 pipeline — host MMU window, M1 capture,
-//! RMMU, routing, LLC framing, bonded channels, C1 mastering, donor
-//! DRAM — into a discrete-event simulation, and *measures* the
-//! prototype's §V numbers instead of assuming them:
+//! The whole Fig. 2 pipeline — host MMU window, M1 capture, RMMU,
+//! routing, LLC framing, bonded channels, C1 mastering, donor DRAM — is
+//! assembled by [`crate::fabric::FabricBuilder::point_to_point`] into a
+//! discrete-event simulation that *measures* the prototype's §V numbers
+//! instead of assuming them:
 //!
 //! * a single 128 B load's round trip (≈950 ns flit RTT + DRAM);
 //! * sustained read bandwidth vs. thread count and channel bonding,
@@ -13,105 +16,32 @@
 //! efficiency is ~89% — which is why the measured single-channel
 //! bandwidth lands near 10 GiB/s under the 12.5 GB/s nominal ceiling,
 //! matching the paper's Fig. 5.
+//!
+//! The facade preserves the pre-fabric event trajectory bit-for-bit:
+//! same channel fault seeds (`100+i`/`200+i`), same LLC calibration
+//! ([`llc::LlcConfig::datapath_default`]), same adaptive-batching flush
+//! policy, same event ordering under the queue's FIFO tie-break — so
+//! every figure harness built on this API keeps its numbers.
 
-use llc::endpoint::{LlcRx, LlcTx};
-use llc::flit::FlitSized;
-use llc::frame::Frame;
-use llc::LlcConfig;
-use netsim::channel::{Channel, ChannelBuilder};
-use netsim::Delivery;
-use opencapi::pasid::{Pasid, Region};
-use opencapi::transaction::{MemRequest, MemResponse};
-use rmmu::flow::NetworkId;
-use rmmu::section::SectionEntry;
-use rmmu::RoutedRequest;
-use routing::ChannelId;
 use simkit::bandwidth::Rate;
-use simkit::event::{Engine, EventQueue};
+use simkit::event::Engine;
 use simkit::stats::Histogram;
 use simkit::time::SimTime;
 
-use crate::endpoint::{ComputeEndpoint, MemoryStealingEndpoint};
+use crate::fabric::{Fabric, FabricBuilder, PathId};
 use crate::params::DatapathParams;
-
-const WINDOW_BASE: u64 = 0x1000_0000_0000;
-const DONOR_EA: u64 = 0x7000_0000_0000;
-const PASID: Pasid = Pasid(42);
-
-/// Messages crossing the LLC: requests toward the donor, responses back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DpMsg {
-    Req(RoutedRequest),
-    Resp(MemResponse),
-}
-
-impl FlitSized for DpMsg {
-    fn flits(&self) -> usize {
-        match self {
-            DpMsg::Req(r) => r.flits(),
-            DpMsg::Resp(r) => r.flits(),
-        }
-    }
-}
-
-/// LLC direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Dir {
-    ToMemory,
-    ToCompute,
-}
-
-#[derive(Debug)]
-enum Ev {
-    /// A request enters the compute FPGA's LLC (after serDES + stack).
-    OfferRequest { chan: usize, msg: DpMsg },
-    /// A frame lands at the far end of a channel.
-    Arrive {
-        chan: usize,
-        dir: Dir,
-        frame: Frame<DpMsg>,
-        intact: bool,
-    },
-    /// The donor finished serving a request; the response enters its LLC.
-    MemoryDone { chan: usize, resp: MemResponse },
-    /// A response exits the compute FPGA back into the core.
-    Complete { tag: u64 },
-    /// Seal whatever is staged on a direction (adaptive batching).
-    Flush { chan: usize, dir: Dir },
-}
-
-struct LinkPair {
-    tx: LlcTx<DpMsg>,
-    rx: LlcRx<DpMsg>,
-}
 
 /// The end-to-end datapath between one borrower and one donor.
 pub struct Datapath {
-    params: DatapathParams,
-    compute: ComputeEndpoint,
-    memory: MemoryStealingEndpoint,
-    /// Per physical channel: the request-direction LLC and the
-    /// response-direction LLC.
-    to_mem: Vec<LinkPair>,
-    to_cpu: Vec<LinkPair>,
-    chan_fwd: Vec<Channel>,
-    chan_rev: Vec<Channel>,
-    queue: EventQueue<Ev>,
-    flush_pending: Vec<[bool; 2]>,
-    inflight: std::collections::HashMap<u64, SimTime>,
-    completions: Histogram,
-    next_tag: u64,
-    completed_bytes: u64,
-    issue_cursor: u64,
-    window_bytes: u64,
+    fabric: Fabric,
+    path: PathId,
 }
 
 impl std::fmt::Debug for Datapath {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Datapath")
-            .field("channels", &self.chan_fwd.len())
-            .field("inflight", &self.inflight.len())
-            .field("completed_bytes", &self.completed_bytes)
+            .field("fabric", &self.fabric)
+            .field("path", &self.path)
             .finish()
     }
 }
@@ -144,350 +74,20 @@ impl Datapath {
             window_bytes > 0 && window_bytes % (256 << 20) == 0,
             "window must be whole sections"
         );
-        let mut compute = ComputeEndpoint::new(WINDOW_BASE, window_bytes);
-        let chan_ids: Vec<ChannelId> = (0..channels as u32).map(ChannelId).collect();
-        for i in 0..window_bytes / (256 << 20) {
-            let mut entry =
-                SectionEntry::new(DONOR_EA + i * (256 << 20), NetworkId(1));
-            if channels > 1 {
-                entry = entry.bonded();
-            }
-            compute
-                .program_section(i, entry, chan_ids.clone())
-                .expect("fresh table");
-        }
-        let mut memory =
-            MemoryStealingEndpoint::new(SimTime::from_ns(params.dram_latency_ns));
-        memory
-            .register(
-                PASID,
-                Region {
-                    ea_base: DONOR_EA,
-                    len: window_bytes,
-                },
-            )
-            .expect("fresh pasid");
-        let llc_config = LlcConfig {
-            frame_flits: 9,
-            rx_queue_frames: 128,
-            replay_window: 256,
-            initial_frame_id: 0,
-            // Saturated streams ack every 8th frame; cumulative acks
-            // keep the credit pool fed without burning reverse-channel
-            // bandwidth.
-            ack_every: 8,
-        };
-        let lane = params.lane();
-        let mk_chan = |seed: u64| {
-            ChannelBuilder::thymesisflow_default()
-                .lane(lane)
-                .cable(params.cable)
-                .seed(seed)
-                .build()
-        };
-        Datapath {
-            to_mem: (0..channels)
-                .map(|_| LinkPair {
-                    tx: LlcTx::new(llc_config),
-                    rx: LlcRx::new(llc_config),
-                })
-                .collect(),
-            to_cpu: (0..channels)
-                .map(|_| LinkPair {
-                    tx: LlcTx::new(llc_config),
-                    rx: LlcRx::new(llc_config),
-                })
-                .collect(),
-            chan_fwd: (0..channels).map(|i| mk_chan(100 + i as u64)).collect(),
-            chan_rev: (0..channels).map(|i| mk_chan(200 + i as u64)).collect(),
-            queue: EventQueue::with_engine(engine),
-            flush_pending: vec![[false; 2]; channels],
-            inflight: std::collections::HashMap::new(),
-            completions: Histogram::new(),
-            next_tag: 0,
-            completed_bytes: 0,
-            issue_cursor: 0,
-            window_bytes,
-            params,
-            compute,
-            memory,
-        }
-    }
-
-    /// Latency of the endpoint entry/exit path: one serDES crossing plus
-    /// one FPGA stack crossing.
-    fn edge_latency(&self) -> SimTime {
-        SimTime::from_ns(self.params.serdes_crossing_ns + self.params.stack_crossing_ns)
-    }
-
-    /// Issues one cacheline read at the current simulated instant.
-    fn issue_read(&mut self) {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        // Walk the window in cacheline strides.
-        let addr = WINDOW_BASE + (self.issue_cursor * 128) % self.window_bytes;
-        self.issue_cursor += 1;
-        let req = MemRequest::read(tag, addr);
-        let (routed, ch) = self
-            .compute
-            .process(&req)
-            .expect("window is fully programmed");
-        self.inflight.insert(tag, self.queue.now());
-        // CPU -> serDES -> FPGA stack -> LLC.
-        self.queue
-            .schedule_in(self.edge_latency(), Ev::OfferRequest {
-                chan: ch.0 as usize,
-                msg: DpMsg::Req(routed),
-            });
-    }
-
-    /// Adaptive batching: seal immediately once a full frame's payload
-    /// is staged; otherwise wait (at most until the wire goes idle) for
-    /// more transactions to share the frame — "incomplete frames are
-    /// padded with single-flit nop transaction headers for immediate
-    /// transmission" only when there is nothing better to do.
-    fn offer_or_flush(&mut self, chan: usize, dir: Dir) {
-        let now = self.queue.now();
-        let (tx, data_chan) = match dir {
-            Dir::ToMemory => (&mut self.to_mem[chan].tx, &self.chan_fwd[chan]),
-            Dir::ToCompute => (&mut self.to_cpu[chan].tx, &self.chan_rev[chan]),
-        };
-        let di = dir as usize;
-        if tx.staged_flits() >= tx.frame_payload_flits() {
-            tx.seal();
-            self.pump(chan, dir);
-        } else if !self.flush_pending[chan][di] {
-            // Wait for the wire to drain plus two frame times before
-            // padding: under load the companion transactions arrive
-            // within that window and frames leave full. One pending
-            // flush at a time, or stale timers would fragment batches.
-            self.flush_pending[chan][di] = true;
-            let two_frames = self
-                .chan_fwd[chan]
-                .payload_rate()
-                .transfer_time(2 * 9 * 32);
-            let flush_at = data_chan.free_at().max(now) + two_frames;
-            self.queue.schedule(flush_at, Ev::Flush { chan, dir });
-        }
-    }
-
-    fn pump(&mut self, chan: usize, dir: Dir) {
-        let now = self.queue.now();
-        loop {
-            let pair = match dir {
-                Dir::ToMemory => &mut self.to_mem[chan],
-                Dir::ToCompute => &mut self.to_cpu[chan],
-            };
-            let frame = match pair.tx.next_transmittable().expect("LLC invariant violated") {
-                Some(f) => f,
-                None => break,
-            };
-            self.transmit(chan, dir, frame, now);
-        }
-    }
-
-    /// Puts a frame of direction `dir` on the right physical channel.
-    /// Data frames travel with their direction; their control replies
-    /// travel on the reverse channel but still belong to `dir`.
-    fn transmit(&mut self, chan: usize, dir: Dir, frame: Frame<DpMsg>, now: SimTime) {
-        let is_control = matches!(frame, Frame::Control(_));
-        let physical = match (dir, is_control) {
-            (Dir::ToMemory, false) | (Dir::ToCompute, true) => &mut self.chan_fwd[chan],
-            (Dir::ToCompute, false) | (Dir::ToMemory, true) => &mut self.chan_rev[chan],
-        };
-        match physical.transmit(now, frame.wire_bytes()) {
-            Delivery::Delivered { at } => self.queue.schedule(
-                at.max(now),
-                Ev::Arrive {
-                    chan,
-                    dir,
-                    frame,
-                    intact: true,
-                },
-            ),
-            Delivery::Corrupted { at } => self.queue.schedule(
-                at.max(now),
-                Ev::Arrive {
-                    chan,
-                    dir,
-                    frame,
-                    intact: false,
-                },
-            ),
-            Delivery::Dropped => {}
-        }
-    }
-
-    /// Dispatches one delivered LLC message to the endpoint behind it.
-    fn dispatch_delivery(&mut self, chan: usize, dir: Dir, msg: DpMsg, now: SimTime) {
-        match (dir, msg) {
-            (Dir::ToMemory, DpMsg::Req(routed)) => {
-                // FPGA stack in, then the C1 engine + donor serDES + DRAM.
-                let stack = SimTime::from_ns(self.params.stack_crossing_ns);
-                let serdes = SimTime::from_ns(self.params.serdes_crossing_ns);
-                let ready = self
-                    .memory
-                    .serve(now + stack + serdes, &routed, PASID)
-                    .expect("programmed window only")
-                    + serdes
-                    + stack;
-                self.queue.schedule(
-                    ready,
-                    Ev::MemoryDone {
-                        chan,
-                        resp: routed.req.response(),
-                    },
-                );
-            }
-            (Dir::ToCompute, DpMsg::Resp(resp)) => {
-                // FPGA stack out + serDES back to core.
-                self.queue
-                    .schedule_in(self.edge_latency(), Ev::Complete { tag: resp.tag.0 });
-            }
-            (d, m) => panic!("message {m:?} on wrong direction {d:?}"),
-        }
-    }
-
-    /// Retires one completed load.
-    fn retire(&mut self, tag: u64, done: &mut Vec<u64>) {
-        let issued = self
-            .inflight
-            .remove(&tag)
-            .expect("completion matches an issue");
-        let lat = self.queue.now() - issued;
-        self.completions.record(lat.as_ns());
-        self.completed_bytes += 128;
-        done.push(tag);
-    }
-
-    /// Processes one event — plus every *coincident* event of the same
-    /// kind, batched into a single pass. Back-to-back channel events at
-    /// one instant (offer bursts from bonded issue loops, completion
-    /// bursts from a drained frame) then cost one seal/pump/dispatch
-    /// instead of N. Returns completed tags (so closed-loop callers can
-    /// re-issue).
-    fn step(&mut self) -> Option<Vec<u64>> {
-        let (_, ev) = self.queue.pop()?;
-        let mut done = Vec::new();
-        match ev {
-            Ev::OfferRequest { chan, msg } => {
-                let mut touched = Vec::with_capacity(4);
-                touched.push(chan);
-                self.to_mem[chan].tx.offer(msg);
-                while let Some(Ev::OfferRequest { chan, msg }) = self
-                    .queue
-                    .pop_coincident(|e| matches!(e, Ev::OfferRequest { .. }))
-                {
-                    self.to_mem[chan].tx.offer(msg);
-                    if !touched.contains(&chan) {
-                        touched.push(chan);
-                    }
-                }
-                for chan in touched {
-                    self.offer_or_flush(chan, Dir::ToMemory);
-                }
-            }
-            Ev::Arrive {
-                chan,
-                dir,
-                frame,
-                intact,
-            } => match frame {
-                Frame::Control(c) => {
-                    if intact {
-                        (match dir {
-                            Dir::ToMemory => self.to_mem[chan].tx.on_control(c),
-                            Dir::ToCompute => self.to_cpu[chan].tx.on_control(c),
-                        })
-                        .expect("LLC invariant violated");
-                        self.pump(chan, dir);
-                    }
-                }
-                data @ Frame::Data { .. } => {
-                    let now = self.queue.now();
-                    // Batch coincident data arrivals on the same channel
-                    // and direction through the Rx's bounded ingress.
-                    let mut burst: Vec<(Frame<DpMsg>, bool)> = vec![(data, intact)];
-                    while let Some(Ev::Arrive { frame, intact, .. }) =
-                        self.queue.pop_coincident(|e| {
-                            matches!(
-                                e,
-                                Ev::Arrive {
-                                    chan: c,
-                                    dir: d,
-                                    frame: Frame::Data { .. },
-                                    ..
-                                } if *c == chan && *d == dir
-                            )
-                        })
-                    {
-                        burst.push((frame, intact));
-                    }
-                    let rx = match dir {
-                        Dir::ToMemory => &mut self.to_mem[chan].rx,
-                        Dir::ToCompute => &mut self.to_cpu[chan].rx,
-                    };
-                    rx.enqueue_arrivals(&mut burst)
-                        .expect("credit discipline bounds in-flight frames");
-                    let action = rx.drain_ingress().expect("LLC invariant violated");
-                    for c in action.replies {
-                        self.transmit(chan, dir, Frame::Control(c), now);
-                    }
-                    for msg in action.delivered {
-                        self.dispatch_delivery(chan, dir, msg, now);
-                    }
-                    self.pump(chan, dir);
-                }
-            },
-            Ev::MemoryDone { chan, resp } => {
-                let mut touched = Vec::with_capacity(4);
-                touched.push(chan);
-                self.to_cpu[chan].tx.offer(DpMsg::Resp(resp));
-                while let Some(Ev::MemoryDone { chan, resp }) = self
-                    .queue
-                    .pop_coincident(|e| matches!(e, Ev::MemoryDone { .. }))
-                {
-                    self.to_cpu[chan].tx.offer(DpMsg::Resp(resp));
-                    if !touched.contains(&chan) {
-                        touched.push(chan);
-                    }
-                }
-                for chan in touched {
-                    self.offer_or_flush(chan, Dir::ToCompute);
-                }
-            }
-            Ev::Flush { chan, dir } => {
-                self.flush_pending[chan][dir as usize] = false;
-                let tx = match dir {
-                    Dir::ToMemory => &mut self.to_mem[chan].tx,
-                    Dir::ToCompute => &mut self.to_cpu[chan].tx,
-                };
-                tx.seal();
-                self.pump(chan, dir);
-            }
-            Ev::Complete { tag } => {
-                self.retire(tag, &mut done);
-                while let Some(Ev::Complete { tag }) = self
-                    .queue
-                    .pop_coincident(|e| matches!(e, Ev::Complete { .. }))
-                {
-                    self.retire(tag, &mut done);
-                }
-            }
-        }
-        Some(done)
+        let (fabric, path) =
+            FabricBuilder::point_to_point_with_engine(params, channels, window_bytes, engine)
+                .expect("the reference topology always assembles");
+        Datapath { fabric, path }
     }
 
     /// Measures the round trip of a single, uncontended cacheline load
     /// (load-to-use: flit RTT plus donor DRAM).
     pub fn measure_load_latency(&mut self) -> SimTime {
-        self.issue_read();
-        while let Some(done) = self.step() {
-            if !done.is_empty() {
-                return SimTime::from_ns(self.completions.max());
-            }
-        }
-        unreachable!("a lossless datapath always completes");
+        let _ = self
+            .fabric
+            .measure_load_latency(self.path)
+            .expect("a lossless datapath always completes");
+        SimTime::from_ns(self.completions().max())
     }
 
     /// Runs a closed-loop read stream: `threads × window` outstanding
@@ -498,34 +98,42 @@ impl Datapath {
         window: u32,
         duration: SimTime,
     ) -> Rate {
-        let outstanding = (threads * window) as usize;
-        for _ in 0..outstanding {
-            self.issue_read();
-        }
-        let start_bytes = self.completed_bytes;
-        let deadline = duration;
-        while let Some(done) = self.step() {
-            if self.queue.now() >= deadline {
-                break;
-            }
-            for _ in done {
-                self.issue_read();
-            }
-        }
-        let elapsed = self.queue.now().min(deadline);
-        let bytes = self.completed_bytes - start_bytes;
-        Rate::from_bytes_per_sec(bytes as f64 / elapsed.as_secs_f64())
+        self.fabric
+            .measure_stream_bandwidth(self.path, threads, window, duration)
+            .expect("the reference path streams cleanly")
     }
 
     /// Latency distribution of completed loads (ns).
     pub fn completions(&self) -> &Histogram {
-        &self.completions
+        self.fabric
+            .completions(self.path)
+            .expect("the reference path stays attached")
     }
 
     /// Events the engine has processed (the engine benchmark's
     /// events/sec numerator).
     pub fn events_processed(&self) -> u64 {
-        self.queue.popped()
+        self.fabric.events_processed()
+    }
+
+    /// The underlying fabric (topology inspection, parity tests).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The fabric path this facade drives.
+    pub fn path(&self) -> PathId {
+        self.path
+    }
+
+    /// Internal counters for calibration debugging.
+    #[doc(hidden)]
+    pub fn debug_stats(&self) -> String {
+        format!(
+            "{}\ncompleted_bytes={}",
+            self.fabric.debug_stats(),
+            self.fabric.completed_bytes(self.path).unwrap_or(0),
+        )
     }
 }
 
@@ -594,25 +202,19 @@ mod tests {
         let p99 = dp.completions().quantile(0.99);
         assert!((1000..=1300).contains(&p99), "p99 {p99} ns");
     }
-}
 
-impl Datapath {
-    /// Internal counters for calibration debugging.
-    #[doc(hidden)]
-    pub fn debug_stats(&self) -> String {
-        format!(
-            "fwd: frames={} bytes={} free_at={}\nrev: frames={} bytes={} free_at={}\nrev tx: sent={} backlog={} starved={}\ncompleted_bytes={} inflight={}",
-            self.chan_fwd[0].frames_sent(),
-            self.chan_fwd[0].bytes_sent(),
-            self.chan_fwd[0].free_at(),
-            self.chan_rev[0].frames_sent(),
-            self.chan_rev[0].bytes_sent(),
-            self.chan_rev[0].free_at(),
-            self.to_cpu[0].tx.frames_sent(),
-            self.to_cpu[0].tx.backlog(),
-            self.to_cpu[0].tx.credits().starvation_events(),
-            self.completed_bytes,
-            self.inflight.len(),
-        )
+    #[test]
+    fn facade_exposes_the_point_to_point_topology() {
+        let dp = Datapath::new(params(), 2, 256 << 20);
+        use crate::fabric::StageKind;
+        let kinds = dp.fabric().components();
+        let pairs = kinds
+            .iter()
+            .filter(|(_, k)| *k == StageKind::LlcPair)
+            .count();
+        // Two channels: an up and a down LLC pair each.
+        assert_eq!(pairs, 4);
+        assert!(kinds.iter().all(|(_, k)| *k != StageKind::CircuitSwitch));
+        assert_eq!(dp.fabric().links_of(dp.path()).unwrap(), vec![0, 1]);
     }
 }

@@ -66,6 +66,18 @@ impl ComputeEndpoint {
         }
     }
 
+    /// Assembles an endpoint from already-configured pipeline stages
+    /// (the fabric's component instantiation path).
+    pub fn from_parts(m1: M1Endpoint, rmmu: SectionTable, router: Router) -> Self {
+        ComputeEndpoint { m1, rmmu, router }
+    }
+
+    /// Decomposes the endpoint back into its pipeline stages, in Fig. 2
+    /// order: M1 capture, RMMU section table, router.
+    pub fn into_parts(self) -> (M1Endpoint, SectionTable, Router) {
+        (self.m1, self.rmmu, self.router)
+    }
+
     /// The RMMU (programming path).
     pub fn rmmu_mut(&mut self) -> &mut SectionTable {
         &mut self.rmmu
@@ -183,6 +195,11 @@ impl MemoryStealingEndpoint {
     /// The C1 port (stats).
     pub fn c1(&self) -> &C1Port {
         &self.c1
+    }
+
+    /// The donor DRAM latency this endpoint was calibrated with.
+    pub fn dram_latency(&self) -> SimTime {
+        self.dram_latency
     }
 }
 

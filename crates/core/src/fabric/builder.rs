@@ -1,0 +1,237 @@
+//! Wires fabric components into topologies.
+//!
+//! [`FabricBuilder`] assembles a [`Fabric`] over one shared event queue
+//! and attaches the requested paths. Three canned topologies cover the
+//! evaluation shapes:
+//!
+//! * [`FabricBuilder::point_to_point`] — the pre-fabric monolith's
+//!   shape, preserved event-for-event as the reference topology;
+//! * [`FabricBuilder::fan_out`] — one compute node borrowing from N
+//!   donors, one network id per donor;
+//! * [`FabricBuilder::circuit_rack`] — the same fan-out through a
+//!   circuit switch, every channel on an allocated circuit.
+
+use netsim::switch::CircuitSwitch;
+use simkit::event::Engine;
+
+use crate::fabric::engine::{Fabric, FabricError, PathId, PathSpec};
+use crate::fabric::stage::{SwitchStage, WindowSpec};
+use crate::params::DatapathParams;
+
+use opencapi::pasid::Pasid;
+use rmmu::flow::NetworkId;
+
+/// Builds a [`Fabric`] and its initial paths.
+#[derive(Debug)]
+pub struct FabricBuilder {
+    params: DatapathParams,
+    engine: Engine,
+    window: WindowSpec,
+    switch: Option<CircuitSwitch>,
+    paths: Vec<PathSpec>,
+}
+
+impl FabricBuilder {
+    /// A builder over the rack-default 1 TiB device window.
+    pub fn new(params: DatapathParams) -> Self {
+        FabricBuilder {
+            params,
+            engine: Engine::Hybrid,
+            window: WindowSpec::rack_default(),
+            switch: None,
+            paths: Vec::new(),
+        }
+    }
+
+    /// Overrides the event engine (the engine benchmark pins
+    /// [`Engine::HeapOnly`] as its baseline).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the device-window placement.
+    pub fn window(mut self, window: WindowSpec) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Adds a circuit-switching layer paths can route through.
+    pub fn switch(mut self, switch: CircuitSwitch) -> Self {
+        self.switch = Some(switch);
+        self
+    }
+
+    /// Queues a path to attach at build time.
+    pub fn path(mut self, spec: PathSpec) -> Self {
+        self.paths.push(spec);
+        self
+    }
+
+    /// Assembles the fabric and attaches the queued paths in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing attach.
+    pub fn build(self) -> Result<(Fabric, Vec<PathId>), FabricError> {
+        let mut fabric = Fabric::assemble(
+            self.params,
+            self.window,
+            self.switch.map(SwitchStage::new),
+            self.engine,
+        );
+        let mut ids = Vec::with_capacity(self.paths.len());
+        for spec in &self.paths {
+            ids.push(fabric.attach_path(spec)?);
+        }
+        Ok((fabric, ids))
+    }
+
+    /// The reference topology: one borrower, one donor, `channels`
+    /// bonded channels over a `bytes`-sized attachment — exactly the
+    /// shape (and event trajectory) of the pre-fabric `Datapath`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attach failures (misaligned sizes, zero channels).
+    pub fn point_to_point(
+        params: DatapathParams,
+        channels: usize,
+        bytes: u64,
+    ) -> Result<(Fabric, PathId), FabricError> {
+        Self::point_to_point_with_engine(params, channels, bytes, Engine::Hybrid)
+    }
+
+    /// [`FabricBuilder::point_to_point`] with an explicit engine choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attach failures (misaligned sizes, zero channels).
+    pub fn point_to_point_with_engine(
+        params: DatapathParams,
+        channels: usize,
+        bytes: u64,
+        engine: Engine,
+    ) -> Result<(Fabric, PathId), FabricError> {
+        let (fabric, ids) = FabricBuilder::new(params)
+            .engine(engine)
+            .window(WindowSpec::reference(bytes))
+            .path(PathSpec::reference(bytes, channels))
+            .build()?;
+        let id = ids
+            .first()
+            .copied()
+            .ok_or_else(|| FabricError::Config("point-to-point built no path".into()))?;
+        Ok((fabric, id))
+    }
+
+    /// One compute × N donors: each donor contributes a `share`-sized
+    /// attachment on its own network id (`d + 1`), PASID (`100 + d`) and
+    /// donor address range, all multiplexed over the shared compute-side
+    /// stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attach failures.
+    pub fn fan_out(
+        params: DatapathParams,
+        donors: usize,
+        share: u64,
+    ) -> Result<(Fabric, Vec<PathId>), FabricError> {
+        let mut b = FabricBuilder::new(params).window(WindowSpec {
+            base: 0x1000_0000_0000,
+            bytes: share * donors as u64,
+        });
+        for d in 0..donors {
+            b = b.path(donor_share(d, share));
+        }
+        b.build()
+    }
+
+    /// The fan-out shape with every channel routed through `switch`
+    /// circuits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attach failures, including switch-port exhaustion.
+    pub fn circuit_rack(
+        params: DatapathParams,
+        donors: usize,
+        share: u64,
+        switch: CircuitSwitch,
+    ) -> Result<(Fabric, Vec<PathId>), FabricError> {
+        let mut b = FabricBuilder::new(params)
+            .window(WindowSpec {
+                base: 0x1000_0000_0000,
+                bytes: share * donors as u64,
+            })
+            .switch(switch);
+        for d in 0..donors {
+            b = b.path(donor_share(d, share).through_switch());
+        }
+        b.build()
+    }
+}
+
+/// The per-donor path spec the fan-out topologies use.
+fn donor_share(d: usize, share: u64) -> PathSpec {
+    // tflint::allow(TF005): donor counts are single digits.
+    PathSpec::new(
+        NetworkId(d as u32 + 1),
+        Pasid(100 + d as u32),
+        0x7000_0000_0000 + d as u64 * 0x0100_0000_0000,
+        share,
+    )
+    .labelled(&format!("donor{d}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::stage::StageKind;
+    use simkit::time::SimTime;
+
+    #[test]
+    fn fan_out_multiplexes_one_compute_side() {
+        let (fabric, paths) =
+            FabricBuilder::fan_out(DatapathParams::prototype(), 3, 256 << 20).unwrap();
+        assert_eq!(paths.len(), 3);
+        let kinds = fabric.components();
+        let donors = kinds
+            .iter()
+            .filter(|(_, k)| *k == StageKind::C1MasterDram)
+            .count();
+        let captures = kinds
+            .iter()
+            .filter(|(_, k)| *k == StageKind::M1Capture)
+            .count();
+        assert_eq!(donors, 3);
+        assert_eq!(captures, 1, "fan-out shares one M1 capture stage");
+    }
+
+    #[test]
+    fn circuit_rack_puts_every_channel_on_a_circuit() {
+        let (fabric, paths) = FabricBuilder::circuit_rack(
+            DatapathParams::prototype(),
+            2,
+            256 << 20,
+            CircuitSwitch::optical(8),
+        )
+        .unwrap();
+        let sw = fabric.switch_stage().unwrap().switch();
+        assert_eq!(sw.circuit_count(), 2);
+        assert_eq!(sw.free_ports().len(), 4);
+        for p in paths {
+            assert!(fabric.path_ready_at(p).unwrap() >= SimTime::from_us(25));
+        }
+    }
+
+    #[test]
+    fn switchless_builders_refuse_switched_paths() {
+        let err = FabricBuilder::new(DatapathParams::prototype())
+            .path(PathSpec::reference(256 << 20, 1).through_switch())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FabricError::NoSwitch);
+    }
+}

@@ -1,0 +1,1524 @@
+//! The fabric engine: executes wired stages over one shared event queue.
+//!
+//! [`Fabric`] owns the component instances ([`M1Capture`],
+//! [`RmmuTranslate`], [`RouterStage`], per-link [`LlcPair`]s and
+//! [`WireChannel`]s, per-donor [`C1MasterDram`]s, an optional
+//! [`SwitchStage`]) and moves messages between them on a single
+//! `simkit::EventQueue`. Topology is dynamic: [`Fabric::attach_path`]
+//! instantiates the flit-level plumbing for one compute→donor flow
+//! (section-table entries, router route, LLC link pairs, channels,
+//! optionally switch circuits) and [`Fabric::detach_path`] tears it back
+//! down, tombstoning the link slots so surviving paths keep their
+//! channel indices and their event trajectories.
+//!
+//! The point-to-point topology built by
+//! [`crate::fabric::FabricBuilder::point_to_point`] reproduces the
+//! pre-fabric monolithic datapath event-for-event: same channel seeds,
+//! same LLC calibration, same adaptive-batching flush policy, same
+//! event ordering under the queue's FIFO tie-break.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use llc::error::LlcError;
+use llc::frame::Frame;
+use llc::LlcConfig;
+use netsim::channel::{Channel, ChannelBuilder};
+use netsim::fault::FaultSpec;
+use netsim::switch::{PortId, SwitchError};
+use netsim::Delivery;
+use opencapi::m1::M1Error;
+use opencapi::pasid::{Pasid, Region};
+use opencapi::transaction::{MemRequest, MemResponse};
+use rmmu::flow::NetworkId;
+use rmmu::section::{RmmuError, SectionEntry};
+use rmmu::RoutedRequest;
+use routing::{ChannelId, RouteError};
+use simkit::bandwidth::Rate;
+use simkit::event::{Engine, EventQueue};
+use simkit::stats::Histogram;
+use simkit::time::SimTime;
+
+use crate::endpoint::EndpointError;
+use crate::fabric::port::{ComponentId, Connection, PortRef, PortUnit, WiringError};
+use crate::fabric::stage::{
+    C1MasterDram, FabricComponent, FabricMsg, LlcPair, M1Capture, RmmuTranslate, RouterStage,
+    StageKind, SwitchStage, WindowSpec, WireChannel,
+};
+use crate::params::DatapathParams;
+
+/// Identifier of one attached compute→donor path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(pub u32);
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path{}", self.0)
+    }
+}
+
+/// One retired load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The load's tag.
+    pub tag: u64,
+    /// The path it completed on.
+    pub path: PathId,
+    /// Issue-to-retire latency.
+    pub latency: SimTime,
+}
+
+/// One closed-loop read stream for [`Fabric::run_closed_loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamLoad {
+    /// The path to load.
+    pub path: PathId,
+    /// Reader threads.
+    pub threads: u32,
+    /// Outstanding cachelines per thread.
+    pub window: u32,
+}
+
+/// Everything [`Fabric::attach_path`] needs to wire one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSpec {
+    /// The flow's network identifier (must be unique among live paths).
+    pub network: NetworkId,
+    /// PASID the donor serves under.
+    pub pasid: Pasid,
+    /// Donor-side effective address the sections map to.
+    pub donor_ea: u64,
+    /// Attachment size (whole 256 MiB sections).
+    pub bytes: u64,
+    /// Physical channels to instantiate.
+    pub channels: usize,
+    /// Round-robin the channels (bonding).
+    pub bonded: bool,
+    /// Per-channel `(forward, reverse)` fault seeds; channels beyond the
+    /// list derive deterministic seeds from the network id.
+    pub seeds: Vec<(u64, u64)>,
+    /// Fault injection on every channel of the path.
+    pub faults: FaultSpec,
+    /// Route the channels through the rack's circuit switch.
+    pub via_switch: bool,
+    /// Human-readable label for diagnostics.
+    pub label: String,
+}
+
+impl PathSpec {
+    /// A lossless direct-attached path.
+    pub fn new(network: NetworkId, pasid: Pasid, donor_ea: u64, bytes: u64) -> Self {
+        PathSpec {
+            network,
+            pasid,
+            donor_ea,
+            bytes,
+            channels: 1,
+            bonded: false,
+            seeds: Vec::new(),
+            faults: FaultSpec::LOSSLESS,
+            via_switch: false,
+            label: format!("net{}", network.0),
+        }
+    }
+
+    /// Uses `channels` bonded channels.
+    pub fn bonded_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self.bonded = channels > 1;
+        self
+    }
+
+    /// Routes through the circuit switch.
+    pub fn through_switch(mut self) -> Self {
+        self.via_switch = true;
+        self
+    }
+
+    /// Injects faults on the path's channels.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Names the path.
+    pub fn labelled(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// The exact flow the pre-fabric monolithic `Datapath` hardwired:
+    /// network 1, PASID 42, donor EA `0x7000_0000_0000`, channel fault
+    /// seeds `100+i`/`200+i`, bonded iff more than one channel.
+    pub fn reference(bytes: u64, channels: usize) -> Self {
+        PathSpec {
+            network: NetworkId(1),
+            pasid: Pasid(42),
+            donor_ea: 0x7000_0000_0000,
+            bytes,
+            channels,
+            bonded: channels > 1,
+            seeds: (0..channels as u64).map(|i| (100 + i, 200 + i)).collect(),
+            faults: FaultSpec::LOSSLESS,
+            via_switch: false,
+            label: "reference".to_string(),
+        }
+    }
+
+    /// The `(forward, reverse)` channel seeds for channel `c`.
+    pub fn seed_for(&self, c: usize) -> (u64, u64) {
+        self.seeds.get(c).copied().unwrap_or_else(|| {
+            let base = (u64::from(self.network.0) << 20) | c as u64;
+            (base | 0x100_0000, base | 0x200_0000)
+        })
+    }
+}
+
+/// Fabric-level failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// The device window has no free run of sections big enough.
+    WindowExhausted {
+        /// Contiguous sections the attach needed.
+        sections: u64,
+    },
+    /// An endpoint stage rejected a transaction or registration.
+    Endpoint(EndpointError),
+    /// The LLC state machines reported a protocol violation.
+    Llc(LlcError),
+    /// The circuit switch refused the operation.
+    Switch(SwitchError),
+    /// The section table refused the operation.
+    Rmmu(RmmuError),
+    /// The routing layer refused the operation.
+    Route(RouteError),
+    /// The M1 window rejected a transaction.
+    M1(M1Error),
+    /// The topology has no switch to route through.
+    NoSwitch,
+    /// No such path is attached.
+    UnknownPath(PathId),
+    /// The path still has loads in flight.
+    PathBusy(PathId),
+    /// A connection violated the port typing rules.
+    Wiring(WiringError),
+    /// The path specification is malformed.
+    Config(String),
+    /// An internal protocol invariant broke (a simulator bug).
+    Protocol(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::WindowExhausted { sections } => {
+                write!(f, "no free run of {sections} sections in the device window")
+            }
+            FabricError::Endpoint(e) => write!(f, "endpoint: {e}"),
+            FabricError::Llc(e) => write!(f, "llc: {e}"),
+            FabricError::Switch(e) => write!(f, "switch: {e}"),
+            FabricError::Rmmu(e) => write!(f, "rmmu: {e}"),
+            FabricError::Route(e) => write!(f, "route: {e}"),
+            FabricError::M1(e) => write!(f, "m1: {e}"),
+            FabricError::NoSwitch => write!(f, "topology has no circuit switch"),
+            FabricError::UnknownPath(p) => write!(f, "unknown {p}"),
+            FabricError::PathBusy(p) => write!(f, "{p} still has loads in flight"),
+            FabricError::Wiring(e) => write!(f, "wiring: {e}"),
+            FabricError::Config(msg) => write!(f, "bad path spec: {msg}"),
+            FabricError::Protocol(msg) => write!(f, "fabric invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<EndpointError> for FabricError {
+    fn from(e: EndpointError) -> Self {
+        FabricError::Endpoint(e)
+    }
+}
+
+impl From<LlcError> for FabricError {
+    fn from(e: LlcError) -> Self {
+        FabricError::Llc(e)
+    }
+}
+
+impl From<SwitchError> for FabricError {
+    fn from(e: SwitchError) -> Self {
+        FabricError::Switch(e)
+    }
+}
+
+impl From<RmmuError> for FabricError {
+    fn from(e: RmmuError) -> Self {
+        FabricError::Rmmu(e)
+    }
+}
+
+impl From<RouteError> for FabricError {
+    fn from(e: RouteError) -> Self {
+        FabricError::Route(e)
+    }
+}
+
+impl From<M1Error> for FabricError {
+    fn from(e: M1Error) -> Self {
+        FabricError::M1(e)
+    }
+}
+
+impl From<WiringError> for FabricError {
+    fn from(e: WiringError) -> Self {
+        FabricError::Wiring(e)
+    }
+}
+
+/// LLC direction along a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    ToMemory,
+    ToCompute,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A request enters a link's upstream LLC (after serDES + stack).
+    Offer { link: usize, msg: FabricMsg },
+    /// A frame lands at the far end of a link's channel.
+    Arrive {
+        link: usize,
+        dir: Dir,
+        frame: Frame<FabricMsg>,
+        intact: bool,
+    },
+    /// The donor finished serving; the response enters its LLC.
+    MemoryDone { link: usize, resp: MemResponse },
+    /// A response exits the compute FPGA back into the core.
+    Complete { tag: u64 },
+    /// Seal whatever is staged on a direction (adaptive batching).
+    Flush { link: usize, dir: Dir },
+}
+
+/// One live link: the up/down LLC pairs and the two wire channels of a
+/// single physical channel between the compute endpoint and one donor.
+struct LinkSlot {
+    up: LlcPair,
+    down: LlcPair,
+    fwd: WireChannel,
+    rev: WireChannel,
+    donor: usize,
+    path: u32,
+    flush_pending: [bool; 2],
+    circuit: Option<(PortId, PortId)>,
+}
+
+/// Per-path bookkeeping.
+struct PathState {
+    network: NetworkId,
+    pasid: Pasid,
+    donor: usize,
+    links: Vec<usize>,
+    first_section: u64,
+    section_count: u64,
+    window_base: u64,
+    window_bytes: u64,
+    issue_cursor: u64,
+    completions: Histogram,
+    completed_bytes: u64,
+    ready_at: SimTime,
+    label: String,
+}
+
+const CAPTURE_ID: ComponentId = ComponentId(0);
+const TRANSLATE_ID: ComponentId = ComponentId(1);
+const ROUTER_ID: ComponentId = ComponentId(2);
+const SWITCH_ID: ComponentId = ComponentId(3);
+const LINK_ID_BASE: u32 = 100;
+const DONOR_ID_BASE: u32 = 10_000;
+
+fn up_id(link: usize) -> ComponentId {
+    ComponentId(LINK_ID_BASE + 4 * link as u32)
+}
+
+fn down_id(link: usize) -> ComponentId {
+    ComponentId(LINK_ID_BASE + 4 * link as u32 + 1)
+}
+
+fn fwd_id(link: usize) -> ComponentId {
+    ComponentId(LINK_ID_BASE + 4 * link as u32 + 2)
+}
+
+fn rev_id(link: usize) -> ComponentId {
+    ComponentId(LINK_ID_BASE + 4 * link as u32 + 3)
+}
+
+fn donor_id(donor: usize) -> ComponentId {
+    ComponentId(DONOR_ID_BASE + donor as u32)
+}
+
+/// The composable flit-level fabric.
+pub struct Fabric {
+    params: DatapathParams,
+    window: WindowSpec,
+    capture: M1Capture,
+    translate: RmmuTranslate,
+    route: RouterStage,
+    links: Vec<Option<LinkSlot>>,
+    donors: Vec<Option<C1MasterDram>>,
+    switch: Option<SwitchStage>,
+    paths: BTreeMap<u32, PathState>,
+    next_path: u32,
+    queue: EventQueue<Ev>,
+    inflight: HashMap<u64, (SimTime, u32)>,
+    next_tag: u64,
+    connections: Vec<Connection>,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fabric")
+            .field("paths", &self.paths.len())
+            .field("links", &self.links.iter().filter(|l| l.is_some()).count())
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+impl Fabric {
+    pub(crate) fn assemble(
+        params: DatapathParams,
+        window: WindowSpec,
+        switch: Option<SwitchStage>,
+        engine: Engine,
+    ) -> Self {
+        let capture = M1Capture::new(window);
+        let translate = RmmuTranslate::new(window);
+        let mut connections = vec![
+            Connection {
+                from: PortRef::new(CAPTURE_ID, "captured"),
+                to: PortRef::new(TRANSLATE_ID, "captured"),
+                unit: PortUnit::HostTransaction,
+            },
+            Connection {
+                from: PortRef::new(TRANSLATE_ID, "translated"),
+                to: PortRef::new(ROUTER_ID, "translated"),
+                unit: PortUnit::RoutedTransaction,
+            },
+        ];
+        connections.shrink_to_fit();
+        Fabric {
+            params,
+            window,
+            capture,
+            translate,
+            route: RouterStage::new(),
+            links: Vec::new(),
+            donors: Vec::new(),
+            switch,
+            paths: BTreeMap::new(),
+            next_path: 0,
+            queue: EventQueue::with_engine(engine),
+            inflight: HashMap::new(),
+            next_tag: 0,
+            connections,
+        }
+    }
+
+    /// Latency of the endpoint entry/exit path: one serDES crossing plus
+    /// one FPGA stack crossing.
+    fn edge_latency(&self) -> SimTime {
+        self.params.edge_crossing()
+    }
+
+    fn connect(
+        &mut self,
+        from: PortRef,
+        to: PortRef,
+        unit: PortUnit,
+    ) -> Result<(), FabricError> {
+        if self.connections.iter().any(|c| c.to == to) {
+            return Err(FabricError::Wiring(WiringError::PortDriven(to)));
+        }
+        self.connections.push(Connection { from, to, unit });
+        Ok(())
+    }
+
+    /// Attaches one compute→donor path: finds a free section run in the
+    /// device window, registers the donor region, instantiates the LLC
+    /// link pairs and wire channels (through switch circuits when asked),
+    /// programs the sections and installs the route.
+    ///
+    /// # Errors
+    ///
+    /// Fails — without touching fabric state — on malformed specs, window
+    /// exhaustion, duplicate networks, or a full switch.
+    pub fn attach_path(&mut self, spec: &PathSpec) -> Result<PathId, FabricError> {
+        let section = self.translate.table().section_size();
+        if spec.channels == 0 {
+            return Err(FabricError::Config("a path needs at least one channel".into()));
+        }
+        if spec.bytes == 0 || spec.bytes % section != 0 {
+            return Err(FabricError::Config(format!(
+                "path size {} is not a whole number of {} B sections",
+                spec.bytes, section
+            )));
+        }
+        if spec.donor_ea % 128 != 0 {
+            return Err(FabricError::Config("donor EA must be 128 B aligned".into()));
+        }
+        if self.route.router().channels_of(spec.network).is_some() {
+            return Err(FabricError::Config(format!(
+                "network {} already has an attached path",
+                spec.network.0
+            )));
+        }
+        if spec.via_switch {
+            let free = match &self.switch {
+                Some(sw) => sw.switch().free_ports().len(),
+                None => return Err(FabricError::NoSwitch),
+            };
+            if free < 2 * spec.channels {
+                return Err(FabricError::Switch(SwitchError::Exhausted));
+            }
+        }
+        let section_count = spec.bytes / section;
+        let first_section = self
+            .translate
+            .table()
+            .first_free_run(section_count)
+            .ok_or(FabricError::WindowExhausted {
+                sections: section_count,
+            })?;
+        let now = self.queue.now();
+
+        // Donor stage.
+        let donor_idx = self.donors.len();
+        let mut donor = C1MasterDram::new(
+            SimTime::from_ns(self.params.dram_latency_ns),
+            spec.pasid,
+        );
+        donor.register(Region {
+            ea_base: spec.donor_ea,
+            len: spec.bytes,
+        })?;
+        self.donors.push(Some(donor));
+
+        // Links: LLC pairs + wire channels, optionally through circuits.
+        let llc_config = LlcConfig::datapath_default();
+        let lane = self.params.lane();
+        let cable = self.params.cable;
+        let mut chan_ids = Vec::with_capacity(spec.channels);
+        let mut link_indices = Vec::with_capacity(spec.channels);
+        let mut ready_at = now;
+        let path_id = self.next_path;
+        for c in 0..spec.channels {
+            let (circuit, extra, ready) = if spec.via_switch {
+                let sw = self.switch.as_mut().ok_or(FabricError::NoSwitch)?;
+                let traversal = sw.switch.traversal_latency();
+                let (a, b, ready) = sw.switch.alloc_circuit(now)?;
+                (Some((a, b)), traversal, ready)
+            } else {
+                (None, SimTime::ZERO, now)
+            };
+            ready_at = ready_at.max(ready);
+            let (fwd_seed, rev_seed) = spec.seed_for(c);
+            let mk_chan = |seed: u64| -> Channel {
+                ChannelBuilder::thymesisflow_default()
+                    .lane(lane)
+                    .cable(cable)
+                    .extra_latency(extra)
+                    .faults(spec.faults)
+                    .seed(seed)
+                    .build()
+            };
+            let link = self.links.len();
+            self.links.push(Some(LinkSlot {
+                up: LlcPair::new(llc_config, PortUnit::RoutedTransaction),
+                down: LlcPair::new(llc_config, PortUnit::Response),
+                fwd: WireChannel::new(mk_chan(fwd_seed)),
+                rev: WireChannel::new(mk_chan(rev_seed)),
+                donor: donor_idx,
+                path: path_id,
+                flush_pending: [false; 2],
+                circuit,
+            }));
+            // tflint::allow(TF005): link indices stay far below u32::MAX.
+            chan_ids.push(ChannelId(link as u32));
+            link_indices.push(link);
+            self.wire_link(link, donor_idx, circuit)?;
+        }
+
+        // Section-table entries + route.
+        for i in 0..section_count {
+            let mut entry = SectionEntry::new(spec.donor_ea + i * section, spec.network);
+            if spec.bonded {
+                entry = entry.bonded();
+            }
+            self.translate.program(first_section + i, entry)?;
+        }
+        self.route.add_route(spec.network, chan_ids)?;
+
+        self.paths.insert(
+            path_id,
+            PathState {
+                network: spec.network,
+                pasid: spec.pasid,
+                donor: donor_idx,
+                links: link_indices,
+                first_section,
+                section_count,
+                window_base: self.window.base + first_section * section,
+                window_bytes: spec.bytes,
+                issue_cursor: 0,
+                completions: Histogram::new(),
+                completed_bytes: 0,
+                ready_at,
+                label: spec.label.clone(),
+            },
+        );
+        self.next_path += 1;
+        Ok(PathId(path_id))
+    }
+
+    /// Records the port-level wiring of one link in the connection graph.
+    fn wire_link(
+        &mut self,
+        link: usize,
+        donor: usize,
+        circuit: Option<(PortId, PortId)>,
+    ) -> Result<(), FabricError> {
+        let (up, down, fwd, rev) = (up_id(link), down_id(link), fwd_id(link), rev_id(link));
+        self.connect(
+            PortRef::new(ROUTER_ID, &format!("tx{link}")),
+            PortRef::new(up, "offer"),
+            PortUnit::RoutedTransaction,
+        )?;
+        match circuit {
+            Some((a, b)) => {
+                self.connect(
+                    PortRef::new(up, "wire_out"),
+                    PortRef::new(SWITCH_ID, &format!("p{}_in", a.0)),
+                    PortUnit::Frame,
+                )?;
+                self.connect(
+                    PortRef::new(SWITCH_ID, &format!("p{}_out", b.0)),
+                    PortRef::new(fwd, "in"),
+                    PortUnit::Frame,
+                )?;
+            }
+            None => {
+                self.connect(
+                    PortRef::new(up, "wire_out"),
+                    PortRef::new(fwd, "in"),
+                    PortUnit::Frame,
+                )?;
+            }
+        }
+        self.connect(
+            PortRef::new(fwd, "out"),
+            PortRef::new(up, "wire_in"),
+            PortUnit::Frame,
+        )?;
+        let lane = match self.donors.get_mut(donor).and_then(Option::as_mut) {
+            Some(d) => d.add_lane(),
+            None => 0,
+        };
+        self.connect(
+            PortRef::new(up, "deliver"),
+            PortRef::new(donor_id(donor), &format!("request{lane}")),
+            PortUnit::RoutedTransaction,
+        )?;
+        self.connect(
+            PortRef::new(donor_id(donor), "response"),
+            PortRef::new(down, "offer"),
+            PortUnit::Response,
+        )?;
+        self.connect(
+            PortRef::new(down, "wire_out"),
+            PortRef::new(rev, "in"),
+            PortUnit::Frame,
+        )?;
+        self.connect(
+            PortRef::new(rev, "out"),
+            PortRef::new(down, "wire_in"),
+            PortUnit::Frame,
+        )?;
+        Ok(())
+    }
+
+    /// Detaches a path: removes the route, clears its section-table
+    /// entries, frees its switch circuits and tombstones its link slots —
+    /// surviving paths keep their channel indices and their trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Refuses while the path still has loads in flight; drain first.
+    pub fn detach_path(&mut self, path: PathId) -> Result<(), FabricError> {
+        if !self.paths.contains_key(&path.0) {
+            return Err(FabricError::UnknownPath(path));
+        }
+        if self.inflight.values().any(|(_, p)| *p == path.0) {
+            return Err(FabricError::PathBusy(path));
+        }
+        let state = self
+            .paths
+            .remove(&path.0)
+            .ok_or(FabricError::UnknownPath(path))?;
+        self.route.remove_route(state.network)?;
+        for s in self.translate.table().sections_of(state.network) {
+            self.translate.unprogram(s)?;
+        }
+        let now = self.queue.now();
+        let mut dead = vec![donor_id(state.donor)];
+        for &l in &state.links {
+            if let Some(slot) = self.links.get_mut(l).and_then(Option::take) {
+                if let (Some((a, _)), Some(sw)) = (slot.circuit, self.switch.as_mut()) {
+                    sw.switch.disconnect(a, now)?;
+                }
+            }
+            dead.extend([up_id(l), down_id(l), fwd_id(l), rev_id(l)]);
+        }
+        self.donors
+            .get_mut(state.donor)
+            .and_then(Option::take);
+        self.connections
+            .retain(|c| !dead.contains(&c.from.component) && !dead.contains(&c.to.component));
+        Ok(())
+    }
+
+    /// Issues one cacheline read on `path` at the current instant.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths or if a pipeline stage rejects the load
+    /// (which a correctly attached path never does).
+    pub fn issue_read(&mut self, path: PathId) -> Result<(), FabricError> {
+        let state = self
+            .paths
+            .get_mut(&path.0)
+            .ok_or(FabricError::UnknownPath(path))?;
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        // Walk the path's window in cacheline strides.
+        let addr = state.window_base + (state.issue_cursor * 128) % state.window_bytes;
+        state.issue_cursor += 1;
+        let ready_at = state.ready_at;
+        let req = MemRequest::read(tag, addr);
+        // The compute pipeline, stage by stage: M1 capture → RMMU
+        // translate → route pick.
+        let dev = self.capture.accept(&req)?;
+        let t = self.translate.translate(dev)?;
+        let ch = self.route.forward(t.network, t.bonded)?;
+        let mut out = req;
+        out.addr = t.remote_ea.as_u64();
+        let routed = RoutedRequest {
+            req: out,
+            network: t.network,
+            bonded: t.bonded,
+        };
+        let now = self.queue.now();
+        self.inflight.insert(tag, (now, path.0));
+        // CPU -> serDES -> FPGA stack -> LLC; a freshly switched path
+        // additionally waits for its circuits to be programmed.
+        let at = (now + self.edge_latency()).max(ready_at);
+        self.queue.schedule(
+            at,
+            Ev::Offer {
+                // tflint::allow(TF005): channel ids are small link indices.
+                link: ch.0 as usize,
+                msg: FabricMsg::Req(routed),
+            },
+        );
+        Ok(())
+    }
+
+    /// Adaptive batching: seal immediately once a full frame's payload
+    /// is staged; otherwise wait (at most until the wire goes idle) for
+    /// more transactions to share the frame.
+    fn offer_or_flush(&mut self, link: usize, dir: Dir) -> Result<(), FabricError> {
+        let now = self.queue.now();
+        let di = dir as usize;
+        let (seal, flush_at) = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return Ok(());
+            };
+            let pace = slot.fwd.chan.payload_rate();
+            let data_free = match dir {
+                Dir::ToMemory => slot.fwd.chan.free_at(),
+                Dir::ToCompute => slot.rev.chan.free_at(),
+            };
+            let tx = match dir {
+                Dir::ToMemory => &mut slot.up.tx,
+                Dir::ToCompute => &mut slot.down.tx,
+            };
+            if tx.staged_flits() >= tx.frame_payload_flits() {
+                tx.seal();
+                (true, None)
+            } else if slot.flush_pending[di] {
+                (false, None)
+            } else {
+                // Wait for the wire to drain plus two frame times before
+                // padding: under load the companion transactions arrive
+                // within that window and frames leave full. One pending
+                // flush at a time, or stale timers would fragment batches.
+                slot.flush_pending[di] = true;
+                let two_frames = pace.transfer_time(2 * 9 * 32);
+                (false, Some(data_free.max(now) + two_frames))
+            }
+        };
+        if seal {
+            self.pump(link, dir)?;
+        }
+        if let Some(at) = flush_at {
+            self.queue.schedule(at, Ev::Flush { link, dir });
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self, link: usize, dir: Dir) -> Result<(), FabricError> {
+        let now = self.queue.now();
+        loop {
+            let frame = {
+                let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                    return Ok(());
+                };
+                let tx = match dir {
+                    Dir::ToMemory => &mut slot.up.tx,
+                    Dir::ToCompute => &mut slot.down.tx,
+                };
+                match tx.next_transmittable()? {
+                    Some(f) => f,
+                    None => return Ok(()),
+                }
+            };
+            self.transmit(link, dir, frame, now);
+        }
+    }
+
+    /// Puts a frame of direction `dir` on the right physical channel.
+    /// Data frames travel with their direction; their control replies
+    /// travel on the reverse channel but still belong to `dir`.
+    fn transmit(&mut self, link: usize, dir: Dir, frame: Frame<FabricMsg>, now: SimTime) {
+        let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+            return;
+        };
+        let is_control = matches!(frame, Frame::Control(_));
+        let physical = match (dir, is_control) {
+            (Dir::ToMemory, false) | (Dir::ToCompute, true) => &mut slot.fwd.chan,
+            (Dir::ToCompute, false) | (Dir::ToMemory, true) => &mut slot.rev.chan,
+        };
+        match physical.transmit(now, frame.wire_bytes()) {
+            Delivery::Delivered { at } => self.queue.schedule(
+                at.max(now),
+                Ev::Arrive {
+                    link,
+                    dir,
+                    frame,
+                    intact: true,
+                },
+            ),
+            Delivery::Corrupted { at } => self.queue.schedule(
+                at.max(now),
+                Ev::Arrive {
+                    link,
+                    dir,
+                    frame,
+                    intact: false,
+                },
+            ),
+            Delivery::Dropped => {}
+        }
+    }
+
+    /// Dispatches one delivered LLC message to the stage behind it.
+    fn dispatch_delivery(
+        &mut self,
+        link: usize,
+        dir: Dir,
+        msg: FabricMsg,
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        match (dir, msg) {
+            (Dir::ToMemory, FabricMsg::Req(routed)) => {
+                // FPGA stack in, then the C1 engine + donor serDES + DRAM.
+                let stack = SimTime::from_ns(self.params.stack_crossing_ns);
+                let serdes = SimTime::from_ns(self.params.serdes_crossing_ns);
+                let donor_idx = match self.links.get(link).and_then(Option::as_ref) {
+                    Some(slot) => slot.donor,
+                    None => return Ok(()),
+                };
+                let donor = self
+                    .donors
+                    .get_mut(donor_idx)
+                    .and_then(Option::as_mut)
+                    .ok_or_else(|| {
+                        FabricError::Protocol(format!(
+                            "link {link} references detached donor {donor_idx}"
+                        ))
+                    })?;
+                let ready = donor.serve(now + stack + serdes, &routed)? + serdes + stack;
+                self.queue.schedule(
+                    ready,
+                    Ev::MemoryDone {
+                        link,
+                        resp: routed.req.response(),
+                    },
+                );
+                Ok(())
+            }
+            (Dir::ToCompute, FabricMsg::Resp(resp)) => {
+                // FPGA stack out + serDES back to core.
+                self.queue
+                    .schedule_in(self.edge_latency(), Ev::Complete { tag: resp.tag.0 });
+                Ok(())
+            }
+            (d, m) => Err(FabricError::Protocol(format!(
+                "message {m:?} on wrong direction {d:?}"
+            ))),
+        }
+    }
+
+    /// Retires one completed load.
+    fn retire(&mut self, tag: u64, done: &mut Vec<Completion>) -> Result<(), FabricError> {
+        let (issued, path) = self
+            .inflight
+            .remove(&tag)
+            .ok_or_else(|| FabricError::Protocol(format!("completion for unissued tag {tag}")))?;
+        let latency = self.queue.now() - issued;
+        if let Some(state) = self.paths.get_mut(&path) {
+            state.completions.record(latency.as_ns());
+            state.completed_bytes += 128;
+        }
+        done.push(Completion {
+            tag,
+            path: PathId(path),
+            latency,
+        });
+        Ok(())
+    }
+
+    fn offer_up(&mut self, link: usize, msg: FabricMsg) -> bool {
+        match self.links.get_mut(link).and_then(Option::as_mut) {
+            Some(slot) => {
+                slot.up.tx.offer(msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn offer_down(&mut self, link: usize, resp: MemResponse) -> bool {
+        match self.links.get_mut(link).and_then(Option::as_mut) {
+            Some(slot) => {
+                slot.down.tx.offer(FabricMsg::Resp(resp));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Processes one event — plus every *coincident* event of the same
+    /// kind, batched into a single pass (offer bursts from bonded issue
+    /// loops, completion bursts from a drained frame then cost one
+    /// seal/pump/dispatch instead of N). Returns the loads retired by
+    /// this step, or `None` once the queue is empty. Events addressed to
+    /// tombstoned (detached) links are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces LLC protocol violations and misrouted messages — all
+    /// simulator bugs, never load-dependent.
+    pub fn step(&mut self) -> Result<Option<Vec<Completion>>, FabricError> {
+        let Some((_, ev)) = self.queue.pop() else {
+            return Ok(None);
+        };
+        let mut done = Vec::new();
+        match ev {
+            Ev::Offer { link, msg } => {
+                let mut touched = Vec::with_capacity(4);
+                if self.offer_up(link, msg) {
+                    touched.push(link);
+                }
+                while let Some(Ev::Offer { link, msg }) = self
+                    .queue
+                    .pop_coincident(|e| matches!(e, Ev::Offer { .. }))
+                {
+                    if self.offer_up(link, msg) && !touched.contains(&link) {
+                        touched.push(link);
+                    }
+                }
+                for link in touched {
+                    self.offer_or_flush(link, Dir::ToMemory)?;
+                }
+            }
+            Ev::Arrive {
+                link,
+                dir,
+                frame,
+                intact,
+            } => match frame {
+                Frame::Control(c) => {
+                    if intact {
+                        let live = match self.links.get_mut(link).and_then(Option::as_mut) {
+                            Some(slot) => {
+                                match dir {
+                                    Dir::ToMemory => slot.up.tx.on_control(c),
+                                    Dir::ToCompute => slot.down.tx.on_control(c),
+                                }?;
+                                true
+                            }
+                            None => false,
+                        };
+                        if live {
+                            self.pump(link, dir)?;
+                        }
+                    }
+                }
+                data @ Frame::Data { .. } => {
+                    let now = self.queue.now();
+                    // Batch coincident data arrivals on the same link and
+                    // direction through the Rx's bounded ingress.
+                    let mut burst: Vec<(Frame<FabricMsg>, bool)> = vec![(data, intact)];
+                    while let Some(Ev::Arrive { frame, intact, .. }) =
+                        self.queue.pop_coincident(|e| {
+                            matches!(
+                                e,
+                                Ev::Arrive {
+                                    link: l,
+                                    dir: d,
+                                    frame: Frame::Data { .. },
+                                    ..
+                                } if *l == link && *d == dir
+                            )
+                        })
+                    {
+                        burst.push((frame, intact));
+                    }
+                    let action = match self.links.get_mut(link).and_then(Option::as_mut) {
+                        Some(slot) => {
+                            let rx = match dir {
+                                Dir::ToMemory => &mut slot.up.rx,
+                                Dir::ToCompute => &mut slot.down.rx,
+                            };
+                            rx.enqueue_arrivals(&mut burst)?;
+                            Some(rx.drain_ingress()?)
+                        }
+                        None => None,
+                    };
+                    if let Some(action) = action {
+                        for c in action.replies {
+                            self.transmit(link, dir, Frame::Control(c), now);
+                        }
+                        for msg in action.delivered {
+                            self.dispatch_delivery(link, dir, msg, now)?;
+                        }
+                        self.pump(link, dir)?;
+                    }
+                }
+            },
+            Ev::MemoryDone { link, resp } => {
+                let mut touched = Vec::with_capacity(4);
+                if self.offer_down(link, resp) {
+                    touched.push(link);
+                }
+                while let Some(Ev::MemoryDone { link, resp }) = self
+                    .queue
+                    .pop_coincident(|e| matches!(e, Ev::MemoryDone { .. }))
+                {
+                    if self.offer_down(link, resp) && !touched.contains(&link) {
+                        touched.push(link);
+                    }
+                }
+                for link in touched {
+                    self.offer_or_flush(link, Dir::ToCompute)?;
+                }
+            }
+            Ev::Flush { link, dir } => {
+                let live = match self.links.get_mut(link).and_then(Option::as_mut) {
+                    Some(slot) => {
+                        slot.flush_pending[dir as usize] = false;
+                        let tx = match dir {
+                            Dir::ToMemory => &mut slot.up.tx,
+                            Dir::ToCompute => &mut slot.down.tx,
+                        };
+                        tx.seal();
+                        true
+                    }
+                    None => false,
+                };
+                if live {
+                    self.pump(link, dir)?;
+                }
+            }
+            Ev::Complete { tag } => {
+                self.retire(tag, &mut done)?;
+                while let Some(Ev::Complete { tag }) = self
+                    .queue
+                    .pop_coincident(|e| matches!(e, Ev::Complete { .. }))
+                {
+                    self.retire(tag, &mut done)?;
+                }
+            }
+        }
+        Ok(Some(done))
+    }
+
+    /// Runs the fabric until the event queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fabric::step`] failures.
+    pub fn drain(&mut self) -> Result<(), FabricError> {
+        while self.step()?.is_some() {}
+        Ok(())
+    }
+
+    /// Measures the round trip of one uncontended cacheline load on
+    /// `path` (load-to-use: flit RTT plus donor DRAM).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths or if the fabric drains without the load
+    /// completing (a simulator bug on a lossless path).
+    pub fn measure_load_latency(&mut self, path: PathId) -> Result<SimTime, FabricError> {
+        let tag = self.next_tag;
+        self.issue_read(path)?;
+        while let Some(done) = self.step()? {
+            if let Some(c) = done.iter().find(|c| c.tag == tag) {
+                return Ok(c.latency);
+            }
+        }
+        Err(FabricError::Protocol(
+            "fabric drained without completing the probe load".into(),
+        ))
+    }
+
+    /// Runs concurrent closed-loop read streams (`threads × window`
+    /// outstanding cachelines per path) for `duration`, returning each
+    /// path's sustained rate in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths or fabric protocol violations.
+    pub fn run_closed_loop(
+        &mut self,
+        loads: &[StreamLoad],
+        duration: SimTime,
+    ) -> Result<Vec<Rate>, FabricError> {
+        let start_now = self.queue.now();
+        let deadline = start_now + duration;
+        let mut start_bytes = Vec::with_capacity(loads.len());
+        for l in loads {
+            let state = self
+                .paths
+                .get(&l.path.0)
+                .ok_or(FabricError::UnknownPath(l.path))?;
+            start_bytes.push(state.completed_bytes);
+        }
+        for l in loads {
+            for _ in 0..(l.threads * l.window) {
+                self.issue_read(l.path)?;
+            }
+        }
+        while let Some(done) = self.step()? {
+            if self.queue.now() >= deadline {
+                break;
+            }
+            for c in done {
+                if loads.iter().any(|l| l.path == c.path) {
+                    self.issue_read(c.path)?;
+                }
+            }
+        }
+        let elapsed = self.queue.now().min(deadline) - start_now;
+        let mut rates = Vec::with_capacity(loads.len());
+        for (l, start) in loads.iter().zip(start_bytes) {
+            let state = self
+                .paths
+                .get(&l.path.0)
+                .ok_or(FabricError::UnknownPath(l.path))?;
+            let bytes = state.completed_bytes - start;
+            // tflint::allow(TF005): byte counts stay far below 2^53.
+            rates.push(Rate::from_bytes_per_sec(
+                bytes as f64 / elapsed.as_secs_f64(),
+            ));
+        }
+        Ok(rates)
+    }
+
+    /// Single-stream convenience over [`Fabric::run_closed_loop`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths or fabric protocol violations.
+    pub fn measure_stream_bandwidth(
+        &mut self,
+        path: PathId,
+        threads: u32,
+        window: u32,
+        duration: SimTime,
+    ) -> Result<Rate, FabricError> {
+        let rates = self.run_closed_loop(
+            &[StreamLoad {
+                path,
+                threads,
+                window,
+            }],
+            duration,
+        )?;
+        rates
+            .first()
+            .copied()
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The reference point-to-point round trip a lease-sized fabric
+    /// measures — what [`crate::memmodel::MemoryModel`] calibrates its
+    /// remote load latency from instead of trusting the closed-form
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric failures (never expected for the reference
+    /// topology).
+    pub fn reference_load_latency(
+        params: &DatapathParams,
+        channels: usize,
+    ) -> Result<SimTime, FabricError> {
+        let bytes = 256u64 << 20;
+        let mut fabric = Fabric::assemble(
+            params.clone(),
+            WindowSpec::reference(bytes),
+            None,
+            Engine::Hybrid,
+        );
+        let path = fabric.attach_path(&PathSpec::reference(bytes, channels))?;
+        fabric.measure_load_latency(path)
+    }
+
+    /// Latency distribution of the path's completed loads (ns).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn completions(&self, path: PathId) -> Result<&Histogram, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| &s.completions)
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// Bytes the path has completed so far.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn completed_bytes(&self, path: PathId) -> Result<u64, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.completed_bytes)
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The device-window slice carved for `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_window(&self, path: PathId) -> Result<WindowSpec, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| WindowSpec {
+                base: s.window_base,
+                bytes: s.window_bytes,
+            })
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// When the path's plumbing (switch circuits) is ready for traffic.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_ready_at(&self, path: PathId) -> Result<SimTime, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.ready_at)
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The path's label.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_label(&self, path: PathId) -> Result<&str, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.label.as_str())
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The PASID the path's donor serves under.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_pasid(&self, path: PathId) -> Result<Pasid, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.pasid)
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The `(first, count)` section-table run the path occupies.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_sections(&self, path: PathId) -> Result<(u64, u64), FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| (s.first_section, s.section_count))
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The path a live link belongs to, or `None` for tombstoned slots.
+    pub fn link_path(&self, link: usize) -> Option<PathId> {
+        self.links
+            .get(link)
+            .and_then(Option::as_ref)
+            .map(|s| PathId(s.path))
+    }
+
+    /// Global link indices (= channel ids) serving `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn links_of(&self, path: PathId) -> Result<Vec<usize>, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.links.clone())
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// `(forward frames, reverse frames)` a link has transmitted, or
+    /// `None` for tombstoned slots.
+    pub fn link_frames(&self, link: usize) -> Option<(u64, u64)> {
+        self.links
+            .get(link)
+            .and_then(Option::as_ref)
+            .map(|s| (s.fwd.chan.frames_sent(), s.rev.chan.frames_sent()))
+    }
+
+    /// `(request-direction, response-direction)` frames the link's LLC
+    /// endpoints re-transmitted after loss or corruption, or `None` for
+    /// tombstoned slots.
+    pub fn link_replays(&self, link: usize) -> Option<(u64, u64)> {
+        self.links
+            .get(link)
+            .and_then(Option::as_ref)
+            .map(|s| (s.up.tx.frames_replayed(), s.down.tx.frames_replayed()))
+    }
+
+    /// Live attached paths, in attach order.
+    pub fn path_ids(&self) -> Vec<PathId> {
+        self.paths.keys().map(|&p| PathId(p)).collect()
+    }
+
+    /// Events the engine has processed.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.popped()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The calibration constants the fabric was built with.
+    pub fn params(&self) -> &DatapathParams {
+        &self.params
+    }
+
+    /// The live component inventory.
+    pub fn components(&self) -> Vec<(ComponentId, StageKind)> {
+        let mut out = vec![
+            (CAPTURE_ID, self.capture.kind()),
+            (TRANSLATE_ID, self.translate.kind()),
+            (ROUTER_ID, self.route.kind()),
+        ];
+        if let Some(sw) = &self.switch {
+            out.push((SWITCH_ID, sw.kind()));
+        }
+        for (i, slot) in self.links.iter().enumerate() {
+            if let Some(s) = slot {
+                out.push((up_id(i), s.up.kind()));
+                out.push((down_id(i), s.down.kind()));
+                out.push((fwd_id(i), s.fwd.kind()));
+                out.push((rev_id(i), s.rev.kind()));
+            }
+        }
+        for (d, donor) in self.donors.iter().enumerate() {
+            if let Some(dn) = donor {
+                out.push((donor_id(d), dn.kind()));
+            }
+        }
+        out
+    }
+
+    /// The checked port-level wiring of the live topology.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// The translation stage (section-table inspection).
+    pub fn translate_stage(&self) -> &RmmuTranslate {
+        &self.translate
+    }
+
+    /// The routing stage.
+    pub fn router_stage(&self) -> &RouterStage {
+        &self.route
+    }
+
+    /// The switching layer, when the topology has one.
+    pub fn switch_stage(&self) -> Option<&SwitchStage> {
+        self.switch.as_ref()
+    }
+
+    /// Internal counters for calibration debugging.
+    #[doc(hidden)]
+    pub fn debug_stats(&self) -> String {
+        let Some(slot) = self.links.first().and_then(Option::as_ref) else {
+            return "no live links".to_string();
+        };
+        format!(
+            "fwd: frames={} bytes={} free_at={}\nrev: frames={} bytes={} free_at={}\nrev tx: sent={} backlog={} starved={}\ninflight={}",
+            slot.fwd.chan.frames_sent(),
+            slot.fwd.chan.bytes_sent(),
+            slot.fwd.chan.free_at(),
+            slot.rev.chan.frames_sent(),
+            slot.rev.chan.bytes_sent(),
+            slot.rev.chan.free_at(),
+            slot.down.tx.frames_sent(),
+            slot.down.tx.backlog(),
+            slot.down.tx.credits().starvation_events(),
+            self.inflight.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DatapathParams {
+        DatapathParams::prototype()
+    }
+
+    fn fabric(window: WindowSpec) -> Fabric {
+        Fabric::assemble(params(), window, None, Engine::Hybrid)
+    }
+
+    #[test]
+    fn attach_carves_disjoint_windows() {
+        let mut f = fabric(WindowSpec::rack_default());
+        let a = f
+            .attach_path(&PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 512 << 20))
+            .unwrap();
+        let b = f
+            .attach_path(&PathSpec::new(NetworkId(2), Pasid(2), 0x7100_0000_0000, 256 << 20))
+            .unwrap();
+        let wa = f.path_window(a).unwrap();
+        let wb = f.path_window(b).unwrap();
+        assert_eq!(wa.base, 0x1000_0000_0000);
+        assert_eq!(wb.base, wa.base + wa.bytes, "windows must not alias");
+    }
+
+    #[test]
+    fn detach_frees_the_window_for_reuse() {
+        let mut f = fabric(WindowSpec::reference(512 << 20));
+        let a = f
+            .attach_path(&PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 512 << 20))
+            .unwrap();
+        assert!(matches!(
+            f.attach_path(&PathSpec::new(NetworkId(2), Pasid(2), 0x7100_0000_0000, 256 << 20)),
+            Err(FabricError::WindowExhausted { sections: 1 })
+        ));
+        f.detach_path(a).unwrap();
+        let b = f
+            .attach_path(&PathSpec::new(NetworkId(2), Pasid(2), 0x7100_0000_0000, 256 << 20))
+            .unwrap();
+        assert_eq!(f.path_window(b).unwrap().base, 0x1000_0000_0000);
+        assert!(matches!(
+            f.detach_path(a),
+            Err(FabricError::UnknownPath(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_networks_and_bad_specs_are_refused() {
+        let mut f = fabric(WindowSpec::rack_default());
+        f.attach_path(&PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20))
+            .unwrap();
+        assert!(matches!(
+            f.attach_path(&PathSpec::new(NetworkId(1), Pasid(2), 0x7200_0000_0000, 256 << 20)),
+            Err(FabricError::Config(_))
+        ));
+        assert!(matches!(
+            f.attach_path(&PathSpec::new(NetworkId(3), Pasid(3), 0x7300_0000_0000, 100)),
+            Err(FabricError::Config(_))
+        ));
+        assert!(matches!(
+            f.attach_path(&PathSpec::new(NetworkId(4), Pasid(4), 0x7400_0000_0000, 256 << 20).through_switch()),
+            Err(FabricError::NoSwitch)
+        ));
+    }
+
+    #[test]
+    fn reference_path_round_trip_matches_the_monolith_envelope() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        let rtt = f.measure_load_latency(p).unwrap();
+        assert!(
+            (1000..=1200).contains(&rtt.as_ns()),
+            "reference RTT {rtt} outside the paper envelope"
+        );
+    }
+
+    #[test]
+    fn busy_paths_refuse_detach_until_drained() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        f.issue_read(p).unwrap();
+        assert!(matches!(f.detach_path(p), Err(FabricError::PathBusy(_))));
+        f.drain().unwrap();
+        f.detach_path(p).unwrap();
+        assert!(f.path_ids().is_empty());
+        // Components are pruned back to the shared compute-side stages.
+        assert_eq!(f.components().len(), 3);
+        assert_eq!(f.connections().len(), 2);
+    }
+
+    #[test]
+    fn wiring_graph_is_unit_typed_and_single_driver() {
+        let mut f = fabric(WindowSpec::rack_default());
+        let p = f
+            .attach_path(
+                &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 512 << 20)
+                    .bonded_channels(2),
+            )
+            .unwrap();
+        // 2 core connections + 7 per direct link (8 when switched).
+        assert_eq!(f.connections().len(), 2 + 7 * 2);
+        let mut seen = std::collections::HashSet::new();
+        for c in f.connections() {
+            assert!(seen.insert(c.to.clone()), "double-driven port {}", c.to);
+        }
+        let links = f.links_of(p).unwrap();
+        assert_eq!(links, vec![0, 1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The composable flit-level fabric.
+//!
+//! The paper's Fig. 2 pipeline decomposed into typed components with
+//! explicit ports ([`stage`], [`port`]), an engine that executes wired
+//! components over one shared `simkit` event queue ([`engine`]), and a
+//! builder that assembles arbitrary topologies ([`builder`]):
+//! point-to-point (the reference shape, event-for-event equivalent to
+//! the pre-fabric monolithic datapath), one compute × N donors with
+//! per-network-id fan-out, and a circuit-switched rack.
+//!
+//! Paths are dynamic: [`Fabric::attach_path`] instantiates the
+//! flit-level plumbing for one lease (section-table entries, router
+//! route, LLC pairs, channels, switch circuits) and
+//! [`Fabric::detach_path`] tears it down without perturbing surviving
+//! paths — this is what `Rack::attach` leases are wired through.
+
+pub mod builder;
+pub mod engine;
+pub mod port;
+pub mod stage;
+
+pub use builder::FabricBuilder;
+pub use engine::{Completion, Fabric, FabricError, PathId, PathSpec, StreamLoad};
+pub use port::{
+    ComponentId, Connection, PortDir, PortRef, PortSpec, PortUnit, WiringError,
+};
+pub use stage::{
+    C1MasterDram, FabricComponent, LlcPair, M1Capture, RmmuTranslate, RouterStage, StageKind,
+    SwitchStage, WindowSpec, WireChannel,
+};

@@ -1,0 +1,183 @@
+//! Typed ports: the wiring contract between fabric components.
+//!
+//! Every [`crate::fabric::FabricComponent`] exposes named, directed,
+//! unit-typed ports; the builder only accepts connections between an
+//! `Out` port and an `In` port of the same [`PortUnit`]. This is the
+//! fabric-level analogue of tflint TF003's unit discipline: a wire that
+//! would hand LLC frames to a C1 master is a type error at build time,
+//! not a protocol corruption at simulation time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What flows through a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortUnit {
+    /// Host cacheline transactions (M1-captured `MemRequest`s).
+    HostTransaction,
+    /// RMMU-translated, network-tagged requests.
+    RoutedTransaction,
+    /// LLC frames on a wire.
+    Frame,
+    /// Donor responses on the way back to the core.
+    Response,
+}
+
+impl fmt::Display for PortUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortUnit::HostTransaction => write!(f, "host-txn"),
+            PortUnit::RoutedTransaction => write!(f, "routed-txn"),
+            PortUnit::Frame => write!(f, "frame"),
+            PortUnit::Response => write!(f, "response"),
+        }
+    }
+}
+
+/// Port direction, from the owning component's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortDir {
+    /// The component consumes on this port.
+    In,
+    /// The component produces on this port.
+    Out,
+}
+
+/// One port on a component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// Port name, unique within the component.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// The unit the port carries.
+    pub unit: PortUnit,
+}
+
+impl PortSpec {
+    /// A port named `name`.
+    pub fn new(name: &str, dir: PortDir, unit: PortUnit) -> Self {
+        PortSpec {
+            name: name.to_string(),
+            dir,
+            unit,
+        }
+    }
+}
+
+/// Identifier of a component instance inside one fabric.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ComponentId(pub u32);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A (component, port) endpoint of a connection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortRef {
+    /// The owning component.
+    pub component: ComponentId,
+    /// The port name on it.
+    pub port: String,
+}
+
+impl PortRef {
+    /// The port `port` on `component`.
+    pub fn new(component: ComponentId, port: &str) -> Self {
+        PortRef {
+            component,
+            port: port.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.component, self.port)
+    }
+}
+
+/// A checked wire between two ports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Connection {
+    /// The producing (`Out`) endpoint.
+    pub from: PortRef,
+    /// The consuming (`In`) endpoint.
+    pub to: PortRef,
+    /// The unit both ports agreed on.
+    pub unit: PortUnit,
+}
+
+/// Wiring violations the builder refuses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WiringError {
+    /// The referenced component does not exist in the fabric.
+    UnknownComponent(ComponentId),
+    /// The component has no port with that name.
+    UnknownPort(PortRef),
+    /// `from` is not an `Out` port or `to` is not an `In` port.
+    DirectionMismatch {
+        /// The would-be producer.
+        from: PortRef,
+        /// The would-be consumer.
+        to: PortRef,
+    },
+    /// The two ports carry different units.
+    UnitMismatch {
+        /// The producer's unit.
+        from: PortUnit,
+        /// The consumer's unit.
+        to: PortUnit,
+    },
+    /// The `In` port already has a driver.
+    PortDriven(PortRef),
+}
+
+impl fmt::Display for WiringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WiringError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            WiringError::UnknownPort(p) => write!(f, "unknown port {p}"),
+            WiringError::DirectionMismatch { from, to } => {
+                write!(f, "cannot wire {from} -> {to}: out-to-in only")
+            }
+            WiringError::UnitMismatch { from, to } => {
+                write!(f, "unit mismatch: {from} wired into {to}")
+            }
+            WiringError::PortDriven(p) => write!(f, "port {p} already driven"),
+        }
+    }
+}
+
+impl std::error::Error for WiringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let r = PortRef::new(ComponentId(3), "wire_out");
+        assert_eq!(r.to_string(), "c3.wire_out");
+        assert_eq!(PortUnit::RoutedTransaction.to_string(), "routed-txn");
+        let e = WiringError::UnitMismatch {
+            from: PortUnit::Frame,
+            to: PortUnit::Response,
+        };
+        assert_eq!(e.to_string(), "unit mismatch: frame wired into response");
+    }
+
+    #[test]
+    fn specs_compare_structurally() {
+        let a = PortSpec::new("host", PortDir::In, PortUnit::HostTransaction);
+        let b = PortSpec::new("host", PortDir::In, PortUnit::HostTransaction);
+        assert_eq!(a, b);
+        assert_ne!(a, PortSpec::new("host", PortDir::Out, PortUnit::HostTransaction));
+    }
+}

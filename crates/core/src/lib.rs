@@ -10,9 +10,14 @@
 //!   scale-out).
 //! * [`endpoint`] — the compute endpoint (OpenCAPI M1 + RMMU + routing)
 //!   and the memory-stealing endpoint (OpenCAPI C1 + PASID).
-//! * [`datapath`] — a flit-level discrete-event assembly of the whole
-//!   pipeline, used to *measure* the prototype numbers (≈950 ns flit
-//!   RTT, channel saturation, the 16 GiB/s C1 cap under bonding).
+//! * [`fabric`] — the pipeline as typed components with explicit ports,
+//!   wired into arbitrary topologies (point-to-point, 1×N fan-out,
+//!   circuit-switched rack) over one shared event queue, with dynamic
+//!   path attach/detach at flit granularity.
+//! * [`datapath`] — the historical monolithic API, now a thin facade
+//!   over the point-to-point fabric, used to *measure* the prototype
+//!   numbers (≈950 ns flit RTT, channel saturation, the 16 GiB/s C1 cap
+//!   under bonding).
 //! * [`memmodel`] — the application-level memory model calibrated
 //!   against the datapath, used by the `workloads` crate.
 //! * [`rack`] / [`attach`] — rack assembly: control plane + node agents
@@ -42,6 +47,7 @@ pub mod attach;
 pub mod config;
 pub mod datapath;
 pub mod endpoint;
+pub mod fabric;
 pub mod memmodel;
 pub mod params;
 pub mod rack;
@@ -50,6 +56,7 @@ pub mod scaling;
 pub use attach::{AttachRequest, Lease, LeaseId};
 pub use config::SystemConfig;
 pub use datapath::Datapath;
+pub use fabric::{Fabric, FabricBuilder};
 pub use memmodel::MemoryModel;
 pub use params::DatapathParams;
 pub use rack::{NodeConfig, Rack, RackBuilder, RackError};

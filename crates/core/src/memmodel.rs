@@ -40,12 +40,35 @@ pub enum Placement {
 pub struct MemoryModel {
     params: DatapathParams,
     config: SystemConfig,
+    /// Remote load-to-use latency measured on the flit-level fabric, ns;
+    /// overrides the closed-form budget when present (see
+    /// [`crate::rack::Rack::memory_model`]).
+    #[serde(default)]
+    measured_remote_ns: Option<f64>,
 }
 
 impl MemoryModel {
-    /// Builds the model for a configuration.
+    /// Builds the model for a configuration, with the closed-form remote
+    /// latency budget.
     pub fn new(params: DatapathParams, config: SystemConfig) -> Self {
-        MemoryModel { params, config }
+        MemoryModel {
+            params,
+            config,
+            measured_remote_ns: None,
+        }
+    }
+
+    /// Calibrates the remote load latency from a fabric measurement
+    /// (e.g. [`crate::fabric::Fabric::reference_load_latency`]) instead
+    /// of the analytic budget.
+    pub fn with_measured_remote(mut self, rtt: simkit::time::SimTime) -> Self {
+        self.measured_remote_ns = Some(rtt.as_ns_f64());
+        self
+    }
+
+    /// The fabric-measured remote latency override, if calibrated.
+    pub fn measured_remote_ns(&self) -> Option<f64> {
+        self.measured_remote_ns
     }
 
     /// The configuration modelled.
@@ -67,7 +90,9 @@ impl MemoryModel {
     pub fn load_latency_ns(&self, placement: Placement) -> f64 {
         match placement {
             Placement::Local => self.params.local_load_latency().as_ns_f64(),
-            Placement::Remote => self.params.remote_load_latency().as_ns_f64(),
+            Placement::Remote => self
+                .measured_remote_ns
+                .unwrap_or_else(|| self.params.remote_load_latency().as_ns_f64()),
         }
     }
 
@@ -258,6 +283,25 @@ mod tests {
         assert!((0.45..=0.65).contains(&local), "local stalls {local}");
         assert!((0.72..=0.90).contains(&remote), "remote stalls {remote}");
         assert!(remote > local + 0.15);
+    }
+
+    #[test]
+    fn measured_remote_overrides_the_budget() {
+        use simkit::time::SimTime;
+        let analytic = model(SystemConfig::SingleDisaggregated);
+        let measured = model(SystemConfig::SingleDisaggregated)
+            .with_measured_remote(SimTime::from_ns(1100));
+        assert_eq!(measured.measured_remote_ns(), Some(1100.0));
+        assert_eq!(measured.load_latency_ns(Placement::Remote), 1100.0);
+        assert_ne!(
+            measured.avg_load_latency_ns(),
+            analytic.avg_load_latency_ns()
+        );
+        // Local latency is untouched by the remote calibration.
+        assert_eq!(
+            measured.load_latency_ns(Placement::Local),
+            analytic.load_latency_ns(Placement::Local)
+        );
     }
 
     #[test]

@@ -105,6 +105,13 @@ impl DatapathParams {
         serdes + stack + cable + frame
     }
 
+    /// Latency of entering or leaving an endpoint FPGA: one serDES
+    /// crossing plus one stack crossing. The fabric charges this once at
+    /// the compute edge (core → LLC) and once per donor edge.
+    pub fn edge_crossing(&self) -> SimTime {
+        SimTime::from_ns(self.serdes_crossing_ns + self.stack_crossing_ns)
+    }
+
     /// Remote load-to-use latency: flit RTT plus the donor's DRAM
     /// service and the C1 engine overhead. ≈ 1.06 µs on the prototype.
     pub fn remote_load_latency(&self) -> SimTime {

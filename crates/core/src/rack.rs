@@ -5,7 +5,12 @@
 //! 100 Gbit/s channels) and stands up the software-defined control
 //! plane. [`Rack::attach`] then runs the paper's full flow: authorize →
 //! path search + reservation → push signed configs to the two agents →
-//! donor pins memory → borrower hotplugs a CPU-less NUMA node.
+//! donor pins memory → borrower hotplugs a CPU-less NUMA node — **and**
+//! instantiates the flit-level fabric path for the lease: section-table
+//! entries, a router route, LLC link pairs and channels on the
+//! borrower's [`Fabric`], torn back down on [`Rack::detach`]. Leased
+//! memory is thereby exercised end to end at flit granularity via
+//! [`Rack::measure_lease_rtt`] / [`Rack::run_lease_streams`].
 
 use std::collections::HashMap;
 use std::fmt;
@@ -13,13 +18,25 @@ use std::fmt;
 use ctrlplane::agent::{AgentError, NodeAgent};
 use ctrlplane::api::AttachSpec;
 use ctrlplane::auth::{Role, Token};
-use ctrlplane::service::{ControlPlane, CpError};
+use ctrlplane::graph::VertexKind;
+use ctrlplane::service::{ControlPlane, CpError, FlowGrant};
 use hostsim::node::{HostNode, NodeSpec};
+use netsim::switch::CircuitSwitch;
+use opencapi::pasid::Pasid;
+use rmmu::flow::NetworkId;
+use simkit::bandwidth::Rate;
+use simkit::time::SimTime;
 
 use crate::attach::{AttachRequest, Lease, LeaseId};
 use crate::config::SystemConfig;
+use crate::fabric::{Fabric, FabricBuilder, FabricError, PathId, PathSpec, StreamLoad};
 use crate::memmodel::MemoryModel;
 use crate::params::DatapathParams;
+
+/// Ports on the per-borrower fabric's circuit switch — enough for many
+/// concurrent switched leases (each channel takes an ingress+egress
+/// pair).
+const FABRIC_SWITCH_PORTS: u32 = 64;
 
 /// Per-node rack configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +68,8 @@ pub enum RackError {
     Agent(AgentError),
     /// Unknown lease.
     UnknownLease(LeaseId),
+    /// Flit-level fabric rejection.
+    Fabric(FabricError),
 }
 
 impl fmt::Display for RackError {
@@ -60,6 +79,7 @@ impl fmt::Display for RackError {
             RackError::ControlPlane(e) => write!(f, "control plane: {e}"),
             RackError::Agent(e) => write!(f, "agent: {e}"),
             RackError::UnknownLease(l) => write!(f, "unknown {l}"),
+            RackError::Fabric(e) => write!(f, "fabric: {e}"),
         }
     }
 }
@@ -75,6 +95,12 @@ impl From<CpError> for RackError {
 impl From<AgentError> for RackError {
     fn from(e: AgentError) -> Self {
         RackError::Agent(e)
+    }
+}
+
+impl From<FabricError> for RackError {
+    fn from(e: FabricError) -> Self {
+        RackError::Fabric(e)
     }
 }
 
@@ -161,6 +187,8 @@ impl RackBuilder {
             leases: HashMap::new(),
             next_lease: 1,
             params: self.params,
+            fabrics: HashMap::new(),
+            lease_paths: HashMap::new(),
         })
     }
 }
@@ -174,15 +202,23 @@ pub struct Rack {
     leases: HashMap<LeaseId, Lease>,
     next_lease: u64,
     params: DatapathParams,
+    /// One flit-level fabric per borrower host, created lazily on the
+    /// first lease that borrows there.
+    fabrics: HashMap<String, Fabric>,
+    /// Which fabric (by borrower host) and path each lease drives.
+    lease_paths: HashMap<LeaseId, (String, PathId)>,
 }
 
 impl Rack {
-    /// Attaches donor memory to a borrower, end to end.
+    /// Attaches donor memory to a borrower, end to end: control-plane
+    /// reservation, signed agent configs, donor pin, borrower hotplug,
+    /// **and** the flit-level fabric path (section-table entries, router
+    /// route, LLC pairs, channels) on the borrower's [`Fabric`].
     ///
     /// # Errors
     ///
-    /// Propagates control-plane and agent failures; on agent failure the
-    /// control-plane reservation is rolled back.
+    /// Propagates control-plane, agent, and fabric failures; on any
+    /// partial failure every prior step is rolled back.
     pub fn attach(&mut self, req: AttachRequest) -> Result<Lease, RackError> {
         if !self.agents.contains_key(&req.compute) {
             return Err(RackError::BadTopology(format!("unknown node {}", req.compute)));
@@ -219,14 +255,87 @@ impl Rack {
                 return Err(e.into());
             }
         };
+        // Wire the flit-level path the lease will be served over.
         let id = LeaseId(self.next_lease);
+        let spec = self.grant_path_spec(&grant, &format!("{}:{id}", req.memory));
+        let params = self.params.clone();
+        let fabric = self.fabrics.entry(req.compute.clone()).or_insert_with(|| {
+            let (fabric, _) = FabricBuilder::new(params)
+                .switch(CircuitSwitch::optical(FABRIC_SWITCH_PORTS))
+                .build()
+                .expect("an empty fabric always assembles");
+            fabric
+        });
+        let path = match fabric.attach_path(&spec) {
+            Ok(p) => p,
+            Err(e) => {
+                self.agents
+                    .get_mut(&req.compute)
+                    .expect("checked")
+                    .remove_compute(node)
+                    .expect("just hotplugged, no pages yet");
+                self.agents
+                    .get_mut(&req.memory)
+                    .expect("checked")
+                    .release_memory(pasid)
+                    .expect("just pinned");
+                self.cp.detach(&self.admin, grant.flow).expect("fresh flow");
+                return Err(e.into());
+            }
+        };
+        let window_base = fabric
+            .path_window(path)
+            .expect("path just attached")
+            .base;
         self.next_lease += 1;
-        let lease = Lease::new(id, grant.flow, node, &req);
+        let lease = Lease::new(id, grant.flow, node, &req, window_base, spec.network.0);
         self.leases.insert(id, lease.clone());
+        self.lease_paths.insert(id, (req.compute.clone(), path));
         Ok(lease)
     }
 
-    /// Tears a lease down end to end.
+    /// Derives the flit-level path of a control-plane grant: network id
+    /// and bonding from the section programming, PASID and donor EA from
+    /// the memory config, channel count from the reserved paths, and
+    /// switch traversal from the reservation's graph vertices.
+    fn grant_path_spec(&self, grant: &FlowGrant, label: &str) -> PathSpec {
+        let first = grant
+            .compute_config
+            .sections
+            .first()
+            .expect("granted flows program at least one section");
+        let graph = self.cp.graph();
+        let via_switch = grant
+            .paths
+            .iter()
+            .flat_map(|p| p.edges.iter())
+            .filter_map(|&eid| graph.edge(eid))
+            .any(|e| {
+                [e.a, e.b].into_iter().any(|v| {
+                    matches!(
+                        graph.vertex(v).map(|x| &x.kind),
+                        Some(VertexKind::SwitchPort { .. })
+                    )
+                })
+            });
+        let mut spec = PathSpec::new(
+            NetworkId(first.network),
+            Pasid(grant.memory_config.pasid),
+            grant.memory_config.ea_base,
+            grant.compute_config.window_bytes,
+        )
+        .bonded_channels(grant.paths.len().max(1))
+        .labelled(label);
+        spec.bonded = first.bonded;
+        if via_switch {
+            spec = spec.through_switch();
+        }
+        spec
+    }
+
+    /// Tears a lease down end to end: borrower unplug, flit-level path
+    /// teardown (drained first so in-flight loads retire), donor unpin,
+    /// control-plane release.
     ///
     /// # Errors
     ///
@@ -242,6 +351,14 @@ impl Rack {
             .get_mut(lease.compute())
             .expect("lease host exists")
             .remove_compute(lease.numa_node())?;
+        // Unwire the flit-level path. Surviving paths on the same fabric
+        // keep their channel indices (the slots are tombstoned).
+        if let Some((host, path)) = self.lease_paths.remove(&id) {
+            if let Some(fabric) = self.fabrics.get_mut(&host) {
+                fabric.drain()?;
+                fabric.detach_path(path)?;
+            }
+        }
         // Find the donor's pinned region for this lease via its pasid:
         // the memory config's pasid equals the flow's pasid; agents track
         // by pasid, so release whatever matches the lease bytes.
@@ -289,9 +406,116 @@ impl Rack {
         &self.params
     }
 
-    /// The calibrated memory model for a system configuration.
+    /// The borrower host's flit-level fabric, if any lease ever
+    /// instantiated one there.
+    pub fn fabric(&self, host: &str) -> Option<&Fabric> {
+        self.fabrics.get(host)
+    }
+
+    /// The fabric path a lease drives.
+    pub fn lease_path(&self, id: LeaseId) -> Option<PathId> {
+        self.lease_paths.get(&id).map(|(_, p)| *p)
+    }
+
+    fn lease_fabric(&mut self, id: LeaseId) -> Result<(&mut Fabric, PathId), RackError> {
+        let (host, path) = self
+            .lease_paths
+            .get(&id)
+            .cloned()
+            .ok_or(RackError::UnknownLease(id))?;
+        let fabric = self
+            .fabrics
+            .get_mut(&host)
+            .ok_or(RackError::UnknownLease(id))?;
+        Ok((fabric, path))
+    }
+
+    /// Measures one uncontended cacheline load over the lease's
+    /// flit-level path (load-to-use RTT).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases or fabric protocol violations.
+    pub fn measure_lease_rtt(&mut self, id: LeaseId) -> Result<SimTime, RackError> {
+        let (fabric, path) = self.lease_fabric(id)?;
+        Ok(fabric.measure_load_latency(path)?)
+    }
+
+    /// Runs a closed-loop read stream over the lease's flit-level path
+    /// and returns the sustained rate.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases or fabric protocol violations.
+    pub fn measure_lease_bandwidth(
+        &mut self,
+        id: LeaseId,
+        threads: u32,
+        window: u32,
+        duration: SimTime,
+    ) -> Result<Rate, RackError> {
+        let (fabric, path) = self.lease_fabric(id)?;
+        Ok(fabric.measure_stream_bandwidth(path, threads, window, duration)?)
+    }
+
+    /// Runs concurrent closed-loop streams — `(lease, threads, window)`
+    /// each — over one borrower's fabric, returning per-lease rates in
+    /// the order given.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases, on an empty load list, or if the leases
+    /// borrow on different hosts (their fabrics share no clock).
+    pub fn run_lease_streams(
+        &mut self,
+        loads: &[(LeaseId, u32, u32)],
+        duration: SimTime,
+    ) -> Result<Vec<Rate>, RackError> {
+        let mut host: Option<String> = None;
+        let mut streams = Vec::with_capacity(loads.len());
+        for &(id, threads, window) in loads {
+            let (h, path) = self
+                .lease_paths
+                .get(&id)
+                .cloned()
+                .ok_or(RackError::UnknownLease(id))?;
+            match &host {
+                None => host = Some(h),
+                Some(prev) if *prev == h => {}
+                Some(prev) => {
+                    return Err(RackError::BadTopology(format!(
+                        "streams span fabrics: {prev} vs {h}"
+                    )))
+                }
+            }
+            streams.push(StreamLoad {
+                path,
+                threads,
+                window,
+            });
+        }
+        let host = host.ok_or_else(|| RackError::BadTopology("no streams given".into()))?;
+        let fabric = self
+            .fabrics
+            .get_mut(&host)
+            .expect("lease paths point at live fabrics");
+        Ok(fabric.run_closed_loop(&streams, duration)?)
+    }
+
+    /// The calibrated memory model for a system configuration. The
+    /// remote load latency is *measured* on a reference point-to-point
+    /// fabric rather than taken from the closed-form budget, so the
+    /// application model and the flit-level simulation cannot drift
+    /// apart.
     pub fn memory_model(&self, config: SystemConfig) -> MemoryModel {
-        MemoryModel::new(self.params.clone(), config)
+        let model = MemoryModel::new(self.params.clone(), config);
+        match config.channels() {
+            0 => model,
+            n => match Fabric::reference_load_latency(&self.params, n as usize) {
+                Ok(rtt) => model.with_measured_remote(rtt),
+                Err(_) => model,
+            },
+        }
     }
 }
 
@@ -398,6 +622,98 @@ mod tests {
         assert_ne!(l1.id(), l2.id());
         assert_eq!(r.host("n1").unwrap().remote_bytes(), 8 * GIB);
         assert_eq!(r.host("n3").unwrap().remote_bytes(), 8 * GIB);
+    }
+
+    #[test]
+    fn leases_carve_non_aliasing_fabric_windows() {
+        let mut r = rack();
+        let a = r
+            .attach(AttachRequest::new("borrower", "donor", 16 * GIB))
+            .unwrap();
+        let b = r
+            .attach(AttachRequest::new("borrower", "donor", 8 * GIB))
+            .unwrap();
+        // Both leases live on the borrower's one fabric, in disjoint
+        // window ranges and on distinct networks.
+        assert_ne!(a.network_id(), b.network_id());
+        assert_ne!(a.window_base(), b.window_base());
+        let (lo, hi) = if a.window_base() < b.window_base() {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
+        assert!(
+            lo.window_base() + lo.bytes() <= hi.window_base(),
+            "windows alias: {:#x}+{:#x} vs {:#x}",
+            lo.window_base(),
+            lo.bytes(),
+            hi.window_base()
+        );
+        let fabric = r.fabric("borrower").unwrap();
+        assert_eq!(fabric.path_ids().len(), 2);
+    }
+
+    #[test]
+    fn lease_traffic_flows_at_flit_level() {
+        let mut r = rack();
+        let lease = r
+            .attach(AttachRequest::new("borrower", "donor", 4 * GIB))
+            .unwrap();
+        let rtt = r.measure_lease_rtt(lease.id()).unwrap();
+        assert!(
+            (1000..=1200).contains(&rtt.as_ns()),
+            "lease RTT {rtt} off the reference envelope"
+        );
+        let rate = r
+            .measure_lease_bandwidth(lease.id(), 8, 32, simkit::time::SimTime::from_us(100))
+            .unwrap();
+        let gib = rate.as_gib_per_sec();
+        assert!((8.5..=11.64).contains(&gib), "lease stream {gib} GiB/s");
+        r.detach(lease.id()).unwrap();
+        assert!(r.lease_path(lease.id()).is_none());
+        assert!(matches!(
+            r.measure_lease_rtt(lease.id()),
+            Err(RackError::UnknownLease(_))
+        ));
+    }
+
+    #[test]
+    fn detach_tears_down_the_fabric_path() {
+        let mut r = rack();
+        let a = r
+            .attach(AttachRequest::new("borrower", "donor", 4 * GIB))
+            .unwrap();
+        let b = r
+            .attach(AttachRequest::new("borrower", "donor", 4 * GIB))
+            .unwrap();
+        r.detach(a.id()).unwrap();
+        let fabric = r.fabric("borrower").unwrap();
+        assert_eq!(fabric.path_ids().len(), 1);
+        // The survivor still serves traffic.
+        let rtt = r.measure_lease_rtt(b.id()).unwrap();
+        assert!((1000..=1200).contains(&rtt.as_ns()), "{rtt}");
+        // And a fresh lease can reuse the freed window space.
+        let c = r
+            .attach(AttachRequest::new("borrower", "donor", 4 * GIB))
+            .unwrap();
+        assert_eq!(c.window_base(), a.window_base());
+    }
+
+    #[test]
+    fn memory_model_is_fabric_calibrated() {
+        let r = rack();
+        let m = r.memory_model(SystemConfig::SingleDisaggregated);
+        let measured = m.measured_remote_ns().expect("calibrated");
+        let analytic = r.params().remote_load_latency().as_ns_f64();
+        assert!(
+            (measured - analytic).abs() < 130.0,
+            "measured {measured} vs analytic {analytic}"
+        );
+        // Local configurations never cross the fabric.
+        assert!(r
+            .memory_model(SystemConfig::Local)
+            .measured_remote_ns()
+            .is_none());
     }
 
     #[test]

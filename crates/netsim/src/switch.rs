@@ -35,6 +35,9 @@ pub enum SwitchError {
     SelfLoop(PortId),
     /// No circuit exists between the given ports.
     NoCircuit(PortId),
+    /// Fewer than two ports remain free; the switch cannot host another
+    /// circuit (the §VII port-count scalability wall).
+    Exhausted,
 }
 
 impl fmt::Display for SwitchError {
@@ -44,6 +47,7 @@ impl fmt::Display for SwitchError {
             SwitchError::PortBusy(p) => write!(f, "switch port {p} already in a circuit"),
             SwitchError::SelfLoop(p) => write!(f, "cannot connect {p} to itself"),
             SwitchError::NoCircuit(p) => write!(f, "no circuit established on {p}"),
+            SwitchError::Exhausted => write!(f, "no two free ports left"),
         }
     }
 }
@@ -161,6 +165,30 @@ impl CircuitSwitch {
         Ok(now + self.reconfig)
     }
 
+    /// Picks the two lowest-numbered free ports and circuits them;
+    /// returns the port pair and the instant the circuit is usable.
+    /// This is what a fabric attach does when it routes a flit path
+    /// through the switching layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SwitchError::Exhausted`] when fewer than two ports
+    /// are free.
+    pub fn alloc_circuit(
+        &mut self,
+        now: SimTime,
+    ) -> Result<(PortId, PortId, SimTime), SwitchError> {
+        let mut free = (0..self.ports)
+            .map(PortId)
+            .filter(|p| !self.circuits.contains_key(p));
+        let (a, b) = match (free.next(), free.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(SwitchError::Exhausted),
+        };
+        let ready = self.connect(a, b, now)?;
+        Ok((a, b, ready))
+    }
+
     /// The port currently circuited to `p`, if any.
     pub fn peer(&self, p: PortId) -> Option<PortId> {
         self.circuits.get(&p).copied()
@@ -235,6 +263,23 @@ mod tests {
         s.connect(PortId(0), PortId(1), SimTime::ZERO).unwrap();
         s.connect(PortId(2), PortId(3), SimTime::ZERO).unwrap();
         assert!(s.free_ports().is_empty());
+    }
+
+    #[test]
+    fn alloc_circuit_takes_lowest_free_pair_until_exhausted() {
+        let mut s = sw();
+        let (a, b, ready) = s.alloc_circuit(SimTime::ZERO).unwrap();
+        assert_eq!((a, b), (PortId(0), PortId(1)));
+        assert_eq!(ready, SimTime::from_us(10));
+        let (c, d, _) = s.alloc_circuit(SimTime::ZERO).unwrap();
+        assert_eq!((c, d), (PortId(2), PortId(3)));
+        assert_eq!(s.alloc_circuit(SimTime::ZERO), Err(SwitchError::Exhausted));
+        // Disconnecting frees the pair for re-allocation.
+        s.disconnect(PortId(0), SimTime::ZERO).unwrap();
+        assert_eq!(
+            s.alloc_circuit(SimTime::ZERO).map(|(a, b, _)| (a, b)),
+            Ok((PortId(0), PortId(1)))
+        );
     }
 
     #[test]

@@ -257,6 +257,44 @@ impl SectionTable {
         self.entries.get(index as usize).copied().flatten()
     }
 
+    /// The first index of `run` consecutive unprogrammed sections, if
+    /// the table still has such a run (the per-lease window carving the
+    /// fabric attach path uses).
+    pub fn first_free_run(&self, run: u64) -> Option<u64> {
+        if run == 0 || run > self.sections() {
+            return None;
+        }
+        let mut start = 0usize;
+        let mut len = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.is_none() {
+                if len == 0 {
+                    start = i;
+                }
+                len += 1;
+                if len == run {
+                    return Some(start as u64);
+                }
+            } else {
+                len = 0;
+            }
+        }
+        None
+    }
+
+    /// Indices of sections programmed onto `network` (the teardown path:
+    /// detaching a flow unprograms exactly these).
+    pub fn sections_of(&self, network: NetworkId) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Some(entry) if entry.network == network => Some(i as u64),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Indices of programmed sections.
     pub fn programmed(&self) -> Vec<u64> {
         self.entries
@@ -366,6 +404,41 @@ mod tests {
             t.program(0, SectionEntry::new(0x1001, NetworkId(0))),
             Err(RmmuError::Misaligned(0x1001))
         );
+    }
+
+    #[test]
+    fn free_run_search_skips_programmed_islands() {
+        let mut t = SectionTable::new(28, 8);
+        t.program(2, SectionEntry::new(0x1000_0000, NetworkId(1)))
+            .unwrap();
+        t.program(5, SectionEntry::new(0x9000_0000, NetworkId(2)))
+            .unwrap();
+        assert_eq!(t.first_free_run(1), Some(0));
+        assert_eq!(t.first_free_run(2), Some(0));
+        // Longest gaps are two wide (0–1, 3–4, 6–7): no run of three.
+        assert_eq!(t.first_free_run(3), None);
+        assert_eq!(t.first_free_run(0), None);
+        assert_eq!(t.first_free_run(9), None);
+        // A fully programmed table has no runs.
+        let mut full = SectionTable::new(28, 2);
+        full.program(0, SectionEntry::new(0, NetworkId(1))).unwrap();
+        full.program(1, SectionEntry::new(1 << 30, NetworkId(1)))
+            .unwrap();
+        assert_eq!(full.first_free_run(1), None);
+    }
+
+    #[test]
+    fn sections_of_groups_by_network() {
+        let mut t = SectionTable::new(28, 6);
+        t.program(0, SectionEntry::new(0x1000_0000, NetworkId(7)))
+            .unwrap();
+        t.program(1, SectionEntry::new(0x5000_0000, NetworkId(7)))
+            .unwrap();
+        t.program(4, SectionEntry::new(0x9000_0000, NetworkId(8)))
+            .unwrap();
+        assert_eq!(t.sections_of(NetworkId(7)), vec![0, 1]);
+        assert_eq!(t.sections_of(NetworkId(8)), vec![4]);
+        assert!(t.sections_of(NetworkId(9)).is_empty());
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub enum RouteError {
     EmptyChannelSet,
     /// A route for this flow already exists.
     DuplicateRoute(NetworkId),
+    /// The channel is already part of the flow's route.
+    DuplicateChannel(ChannelId),
 }
 
 impl fmt::Display for RouteError {
@@ -69,6 +71,7 @@ impl fmt::Display for RouteError {
             RouteError::NoRoute(n) => write!(f, "no route installed for {n}"),
             RouteError::EmptyChannelSet => write!(f, "route needs at least one channel"),
             RouteError::DuplicateRoute(n) => write!(f, "route for {n} already installed"),
+            RouteError::DuplicateChannel(c) => write!(f, "channel {c} already in the route"),
         }
     }
 }
@@ -160,9 +163,40 @@ impl Router {
         Ok(ch)
     }
 
+    /// Grows an installed route by one channel (multi-endpoint fan-out:
+    /// a flow upgraded to bonding, or a fabric adding capacity to a live
+    /// lease). Round-robin resumes over the widened set.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no route exists for the flow or the channel is already
+    /// part of it.
+    pub fn add_channel(
+        &mut self,
+        network: NetworkId,
+        channel: ChannelId,
+    ) -> Result<(), RouteError> {
+        let route = self
+            .routes
+            .get_mut(&network)
+            .ok_or(RouteError::NoRoute(network))?;
+        if route.channels.contains(&channel) {
+            return Err(RouteError::DuplicateChannel(channel));
+        }
+        route.channels.push(channel);
+        Ok(())
+    }
+
     /// Channels a flow may use.
     pub fn channels_of(&self, network: NetworkId) -> Option<&[ChannelId]> {
         self.routes.get(&network).map(|r| r.channels.as_slice())
+    }
+
+    /// The installed flows, sorted (fabric introspection and teardown).
+    pub fn networks(&self) -> Vec<NetworkId> {
+        let mut out: Vec<NetworkId> = self.routes.keys().copied().collect();
+        out.sort();
+        out
     }
 
     /// Transactions forwarded for a flow.
@@ -232,6 +266,37 @@ mod tests {
         r.forward(NetworkId(2), false).unwrap();
         assert_eq!(r.channel_load(ChannelId(0)), 3);
         assert_eq!(r.channel_load(ChannelId(1)), 1);
+    }
+
+    #[test]
+    fn route_grows_one_channel_at_a_time() {
+        let mut r = Router::new();
+        r.add_route(NetworkId(1), vec![ChannelId(0)]).unwrap();
+        // Unbonded traffic sticks to the first channel even after growth.
+        r.add_channel(NetworkId(1), ChannelId(1)).unwrap();
+        assert_eq!(r.channels_of(NetworkId(1)).unwrap().len(), 2);
+        assert_eq!(r.forward(NetworkId(1), false).unwrap(), ChannelId(0));
+        // Bonded traffic round-robins over the widened set.
+        let picks: Vec<ChannelId> =
+            (0..4).map(|_| r.forward(NetworkId(1), true).unwrap()).collect();
+        assert!(picks.contains(&ChannelId(1)));
+        assert_eq!(
+            r.add_channel(NetworkId(1), ChannelId(1)),
+            Err(RouteError::DuplicateChannel(ChannelId(1)))
+        );
+        assert_eq!(
+            r.add_channel(NetworkId(9), ChannelId(0)),
+            Err(RouteError::NoRoute(NetworkId(9)))
+        );
+    }
+
+    #[test]
+    fn networks_lists_installed_flows_sorted() {
+        let mut r = Router::new();
+        assert!(r.networks().is_empty());
+        r.add_route(NetworkId(5), vec![ChannelId(0)]).unwrap();
+        r.add_route(NetworkId(2), vec![ChannelId(1)]).unwrap();
+        assert_eq!(r.networks(), vec![NetworkId(2), NetworkId(5)]);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! |-------|---------------------------------------------------------------|
 //! | TF001 | no wall-clock (`Instant`/`SystemTime`) in simulation crates   |
 //! | TF002 | no entropy- or ad-hoc-seeded RNG outside `simkit::rng`        |
-//! | TF003 | no bare `u64`/`f64` params with unit-implying names in public APIs |
-//! | TF004 | no `unwrap()`/`expect()`/`panic!` in non-test datapath code   |
+//! | TF003 | no bare `u64`/`f64` params with unit-implying names in public APIs (unit crates + `core::fabric`) |
+//! | TF004 | no `unwrap()`/`expect()`/`panic!` in non-test datapath code (datapath crates + `core::fabric`) |
 //! | TF005 | no truncating `as` casts on time/credit/byte values           |
 //! | TF006 | no float `==`/`!=` in stats/bandwidth code                    |
 //!
@@ -490,6 +490,14 @@ const UNIT_API_CRATES: &[&str] = &["simkit", "llc", "netsim", "routing"];
 /// Datapath crates where panics are forbidden outside tests (TF004).
 const DATAPATH_CRATES: &[&str] = &["llc", "routing", "rmmu", "opencapi", "netsim"];
 
+/// The core crate's fabric module carries the flit-level datapath after
+/// the component/port refactor, so TF003 and TF004 extend to it even
+/// though `core` as a whole (rack orchestration, models) stays out of
+/// scope.
+fn fabric_scoped(crate_name: &str, rel_path: &str) -> bool {
+    crate_name == "core" && rel_path.contains("fabric")
+}
+
 /// Crates with timing/credit arithmetic where `as` casts are audited (TF005).
 const CAST_CRATES: &[&str] = &["llc", "simkit"];
 
@@ -566,7 +574,10 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
         }
 
         // TF004: panics in datapath library code.
-        if in_scope(DATAPATH_CRATES, crate_name) && !in_test && tok.kind == Kind::Ident {
+        if (in_scope(DATAPATH_CRATES, crate_name) || fabric_scoped(crate_name, rel_path))
+            && !in_test
+            && tok.kind == Kind::Ident
+        {
             let prev_dot = i > 0 && toks[i - 1].text == ".";
             let next = toks.get(i + 1).map(|t| t.text.as_str());
             if (tok.text == "unwrap" || tok.text == "expect") && prev_dot && next == Some("(") {
@@ -653,7 +664,7 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
     }
 
     // TF003: bare u64/f64 params with unit-implying names in public APIs.
-    if in_scope(UNIT_API_CRATES, crate_name) {
+    if in_scope(UNIT_API_CRATES, crate_name) || fabric_scoped(crate_name, rel_path) {
         check_tf003(&toks, &test_mask, rel_path, &mut diags);
     }
 

@@ -97,6 +97,17 @@ fn tf003_scope_is_public_api_crates_only() {
 }
 
 #[test]
+fn tf003_covers_the_core_fabric_module() {
+    // The flit-level fabric inherits the unit discipline of the crates
+    // it composes, even though `core` as a whole is out of scope.
+    let src = "pub fn reserve(&mut self, window_bytes: u64) {}\n";
+    let diags = check_source("core", "src/fabric/builder.rs", src);
+    assert_eq!(rules_of(&diags), ["TF003"], "{}", render(&diags));
+    assert!(check_source("core", "src/datapath.rs", src).is_empty());
+    assert!(check_source("core", "src/rack.rs", src).is_empty());
+}
+
+#[test]
 fn tf003_ignores_newtype_params() {
     let src = "pub fn schedule(&mut self, delay: SimTime) {}\n";
     assert!(check_source("simkit", "src/x.rs", src).is_empty());
@@ -122,6 +133,16 @@ fn tf004_fires_on_unwrap_expect_panic() {
 fn tf004_scope_is_datapath_crates_only() {
     let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
     assert!(check_source("simkit", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf004_covers_the_core_fabric_module() {
+    // A panic in the fabric engine aborts every path on the shared
+    // event queue, so the datapath no-panic rule extends to it.
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let diags = check_source("core", "src/fabric/engine.rs", src);
+    assert_eq!(rules_of(&diags), ["TF004"], "{}", render(&diags));
+    assert!(check_source("core", "src/rack.rs", src).is_empty());
 }
 
 #[test]

@@ -1,47 +1,65 @@
-//! Failure injection: drive the LLC reliability machinery over an
-//! increasingly lossy link and watch the credit/replay protocol keep the
-//! channel exactly-once and in-order, then demonstrate the wire format's
-//! CRC catching real bit damage.
+//! Failure injection: stream over full fabric paths with increasingly
+//! lossy channels and watch the LLC credit/replay protocol keep every
+//! transaction exactly-once (at a bandwidth cost), then demonstrate the
+//! wire format's CRC catching real bit damage.
 //!
 //! ```text
 //! cargo run --example failure_injection
 //! ```
 
+use thymesisflow::core::fabric::{FabricBuilder, PathSpec};
+use thymesisflow::core::params::DatapathParams;
 use thymesisflow::llc::frame::{assemble, FrameId};
-use thymesisflow::llc::link::LlcLink;
 use thymesisflow::llc::wire::{decode, encode, WireError};
-use thymesisflow::llc::{Frame, LlcConfig};
+use thymesisflow::llc::Frame;
 use thymesisflow::netsim::fault::FaultSpec;
+use thymesisflow::simkit::time::SimTime;
 
 type Msg = (u32, usize);
 
 fn main() {
-    println!("== LLC under injected faults (1000 messages per run) ==");
+    println!("== fabric path under injected channel faults (100 us stream) ==");
     println!(
-        "{:>12} {:>12} {:>12} {:>12} {:>12}",
-        "drop %", "corrupt %", "frames sent", "replayed", "finish (us)"
+        "{:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "drop %", "corrupt %", "GiB/s", "completions", "frames", "replays"
     );
-    let msgs: Vec<Msg> = (0..1000).map(|i| (i, 1 + (i as usize % 5))).collect();
-    for (drop, corrupt) in [(0.0, 0.0), (0.01, 0.01), (0.05, 0.05), (0.10, 0.10), (0.15, 0.25)] {
-        let mut link = LlcLink::new(
-            LlcConfig::default(),
-            FaultSpec::new(drop, corrupt),
-            2026,
-        );
-        let delivered = link
-            .run_to_completion(msgs.clone())
-            .expect("link makes progress");
-        assert_eq!(delivered, msgs, "reliability violated");
+    let mut lossless = None;
+    for (drop, corrupt) in [(0.0, 0.0), (0.001, 0.001), (0.005, 0.005), (0.02, 0.02)] {
+        // Same reference topology every run; only the fault process on
+        // the path's channels changes.
+        let spec = PathSpec::reference(256 << 20, 1)
+            .with_faults(FaultSpec::new(drop, corrupt))
+            .labelled("lossy");
+        let (mut fabric, paths) = FabricBuilder::new(DatapathParams::prototype())
+            .path(spec)
+            .build()
+            .expect("reference topology assembles");
+        let path = paths[0];
+        let rate = fabric
+            .measure_stream_bandwidth(path, 8, 32, SimTime::from_us(100))
+            .expect("replay keeps the stream progressing")
+            .as_gib_per_sec();
+        let link = fabric.links_of(path).expect("live path")[0];
+        let (fwd, rev) = fabric.link_frames(link).expect("live link");
+        let (req_replays, rsp_replays) = fabric.link_replays(link).expect("live link");
         println!(
-            "{:>12.1} {:>12.1} {:>12} {:>12} {:>12.1}",
+            "{:>10.1} {:>10.1} {:>10.2} {:>12} {:>10} {:>10}",
             drop * 100.0,
             corrupt * 100.0,
-            link.tx_a().frames_sent(),
-            link.total_replays(),
-            link.now().as_us_f64(),
+            rate,
+            fabric.completions(path).expect("live path").count(),
+            fwd + rev,
+            req_replays + rsp_replays,
         );
+        match lossless {
+            None => lossless = Some(rate),
+            Some(base) => assert!(
+                rate <= base,
+                "faults cannot raise bandwidth: {rate} > {base}"
+            ),
+        }
     }
-    println!("every run delivered all 1000 messages exactly once, in order\n");
+    println!("every completed load is exactly-once; loss only costs bandwidth\n");
 
     println!("== wire-format CRC vs bit damage ==");
     let (frames, _) = assemble(vec![(7u32, 3usize), (9, 2)], 8, FrameId(0), 0);

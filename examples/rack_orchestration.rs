@@ -1,67 +1,79 @@
-//! Software-defined orchestration: drive the control plane through its
-//! REST-style JSON interface, exercise access control, inspect the
-//! audit trail.
+//! Software-defined orchestration, end to end: compose a logical server
+//! from two donors' memory, watch every lease materialise as a
+//! flit-level fabric path (section tables, router routes, LLC channels),
+//! measure the paths, exercise access control, inspect the audit trail.
 //!
 //! ```text
 //! cargo run --example rack_orchestration
 //! ```
 
+use thymesisflow::core::attach::AttachRequest;
+use thymesisflow::core::rack::{NodeConfig, RackBuilder};
 use thymesisflow::ctrlplane::api::{AttachSpec, Request};
 use thymesisflow::ctrlplane::auth::Role;
-use thymesisflow::ctrlplane::service::ControlPlane;
+use thymesisflow::simkit::time::SimTime;
 use thymesisflow::simkit::units::GIB;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A three-node rack behind one circuit switch.
-    let mut cp = ControlPlane::new("demo-secret");
-    for host in ["node-a", "node-b", "node-c"] {
-        cp.register_host(host, 2, 512 * GIB);
+    // A three-node rack: node-a will borrow from both neighbours.
+    let mut rack = RackBuilder::new()
+        .node(NodeConfig::ac922("node-a"))
+        .node(NodeConfig::ac922("node-b"))
+        .node(NodeConfig::ac922("node-c"))
+        .cable("node-a", "node-b")
+        .cable("node-a", "node-c")
+        .build()?;
+
+    // Each attach runs the full flow — authorize, path search, signed
+    // agent configs, donor pin, borrower hotplug — and then wires the
+    // lease's flit-level path on the borrower's fabric.
+    let l1 = rack.attach(AttachRequest::new("node-a", "node-b", 32 * GIB))?;
+    let l2 = rack.attach(AttachRequest::new("node-a", "node-c", 16 * GIB))?;
+    for l in [&l1, &l2] {
+        println!(
+            "{}: {} GiB from '{}' at window {:#x}, network {}",
+            l.id(),
+            l.bytes() / GIB,
+            l.memory(),
+            l.window_base(),
+            l.network_id(),
+        );
     }
-    cp.add_switch(
-        "tor-switch",
-        &[
-            ("node-a", 0),
-            ("node-b", 0),
-            ("node-c", 0),
-            ("node-a", 1),
-            ("node-b", 1),
-            ("node-c", 1),
-        ],
-        100.0,
+
+    // The borrower's fabric now carries both paths as typed components.
+    let fabric = rack.fabric("node-a").expect("leases instantiated a fabric");
+    println!(
+        "node-a fabric: {} components, {} checked connections, live paths {:?}",
+        fabric.components().len(),
+        fabric.connections().len(),
+        fabric.path_ids(),
     );
 
-    let admin = cp.auth_mut().issue_token(Role::Admin);
-    let tenant = cp.auth_mut().issue_token(Role::Tenant {
-        hosts: vec!["node-a".into(), "node-b".into()],
-    });
+    // Leased memory is exercised at flit granularity.
+    let rtt = rack.measure_lease_rtt(l1.id())?;
+    println!("lease 1 uncontended load-to-use: {rtt}");
+    let rates = rack.run_lease_streams(
+        &[(l1.id(), 8, 32), (l2.id(), 8, 32)],
+        SimTime::from_us(100),
+    )?;
+    for (l, rate) in [&l1, &l2].iter().zip(&rates) {
+        println!(
+            "{} sustained {:.2} GiB/s over its channel",
+            l.id(),
+            rate.as_gib_per_sec()
+        );
+    }
 
-    // The tenant composes a logical server: node-a borrows from node-b.
+    // Access control still gates the REST-style interface: a tenant
+    // scoped to {node-a, node-b} may not touch node-c.
+    let tenant = rack
+        .control_plane_mut()
+        .auth_mut()
+        .issue_token(Role::Tenant {
+            hosts: vec!["node-a".into(), "node-b".into()],
+        });
     let req = serde_json::to_string(&Request::Attach {
-        token: tenant.clone(),
-        spec: AttachSpec {
-            compute_host: "node-a".into(),
-            memory_host: "node-b".into(),
-            bytes: 32 * GIB,
-            bonded: false,
-        },
-    })?;
-    println!("POST /flows  -> {}", cp.handle_json(&req));
-
-    // The tenant may NOT touch node-c.
-    let req = serde_json::to_string(&Request::Attach {
-        token: tenant.clone(),
-        spec: AttachSpec {
-            compute_host: "node-a".into(),
-            memory_host: "node-c".into(),
-            bytes: 8 * GIB,
-            bonded: false,
-        },
-    })?;
-    println!("POST /flows  -> {}", cp.handle_json(&req));
-
-    // The admin can.
-    let req = serde_json::to_string(&Request::Attach {
-        token: admin.clone(),
+        token: tenant,
         spec: AttachSpec {
             compute_host: "node-a".into(),
             memory_host: "node-c".into(),
@@ -69,17 +81,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bonded: false,
         },
     })?;
-    println!("POST /flows  -> {}", cp.handle_json(&req));
+    println!(
+        "tenant POST /flows (node-c) -> {}",
+        rack.control_plane_mut().handle_json(&req)
+    );
 
-    let req = serde_json::to_string(&Request::Status { token: admin.clone() })?;
-    println!("GET  /status -> {}", cp.handle_json(&req));
-
-    // Tear flow 1 down.
-    let req = serde_json::to_string(&Request::Detach { token: admin, flow: 1 })?;
-    println!("DELETE /flows/1 -> {}", cp.handle_json(&req));
+    // Detach tears the fabric paths back down with the leases.
+    rack.detach(l1.id())?;
+    rack.detach(l2.id())?;
+    println!(
+        "after detach: remote bytes {}, fabric paths {:?}",
+        rack.host("node-a").expect("host").remote_bytes(),
+        rack.fabric("node-a").expect("fabric").path_ids(),
+    );
 
     println!("\naudit trail:");
-    for e in cp.audit() {
+    for e in rack.control_plane_mut().audit() {
         println!("  [{:>3}] {}", e.seq, e.event);
     }
     Ok(())

@@ -1,11 +1,13 @@
 //! Cross-crate integration: the full attach → allocate → migrate →
-//! detach lifecycle across rack, control plane, agents and host OS.
+//! detach lifecycle across rack, control plane, agents and host OS,
+//! down to the flit-level fabric paths leases instantiate.
 
 use thymesisflow::core::attach::AttachRequest;
 use thymesisflow::core::rack::{NodeConfig, Rack, RackBuilder};
 use thymesisflow::hostsim::migration::{MigrationDaemon, PagePlacement};
 use thymesisflow::hostsim::mmu::PAGE_BYTES;
 use thymesisflow::hostsim::numa::{AllocPolicy, NumaNodeId};
+use thymesisflow::simkit::time::SimTime;
 use thymesisflow::simkit::units::GIB;
 
 fn two_node_rack() -> Rack {
@@ -123,6 +125,58 @@ fn many_leases_across_three_nodes_then_full_teardown() {
         assert_eq!(rack.host(n).unwrap().remote_bytes(), 0, "{n}");
         assert_eq!(rack.host(n).unwrap().numa().nodes().len(), 2, "{n}");
     }
+}
+
+#[test]
+fn multi_donor_leases_run_and_detach_at_flit_level() {
+    // One borrower leases from two donors: both leases share the
+    // borrower's fabric, stream concurrently at full channel rate, and
+    // detaching one must not perturb traffic on the survivor.
+    let mut rack = RackBuilder::new()
+        .node(NodeConfig::ac922("borrower"))
+        .node(NodeConfig::ac922("d1"))
+        .node(NodeConfig::ac922("d2"))
+        .cable("borrower", "d1")
+        .cable("borrower", "d2")
+        .build()
+        .unwrap();
+    let l1 = rack.attach(AttachRequest::new("borrower", "d1", 4 * GIB)).unwrap();
+    let l2 = rack.attach(AttachRequest::new("borrower", "d2", 4 * GIB)).unwrap();
+    assert_ne!(l1.network_id(), l2.network_id());
+    assert!(l1.window_base() + l1.bytes() <= l2.window_base());
+    // Uncontended, each lease sees the reference load-to-use RTT.
+    assert!((1000..=1200).contains(&rack.measure_lease_rtt(l1.id()).unwrap().as_ns()));
+    assert!((1000..=1200).contains(&rack.measure_lease_rtt(l2.id()).unwrap().as_ns()));
+
+    // Both donors stream concurrently over one shared event queue.
+    let rates = rack
+        .run_lease_streams(
+            &[(l1.id(), 8, 32), (l2.id(), 8, 32)],
+            SimTime::from_us(100),
+        )
+        .unwrap();
+    for (i, r) in rates.iter().enumerate() {
+        let gib = r.as_gib_per_sec();
+        assert!((8.5..=11.64).contains(&gib), "lease {i} streamed {gib} GiB/s");
+    }
+
+    // Survivor baseline, then detach the other lease mid-life.
+    let before = rack
+        .measure_lease_bandwidth(l2.id(), 8, 32, SimTime::from_us(100))
+        .unwrap()
+        .as_gib_per_sec();
+    rack.detach(l1.id()).unwrap();
+    let after = rack
+        .measure_lease_bandwidth(l2.id(), 8, 32, SimTime::from_us(100))
+        .unwrap()
+        .as_gib_per_sec();
+    let drift = (after - before).abs() / before;
+    assert!(
+        drift < 0.02,
+        "survivor perturbed by detach: {before} -> {after} GiB/s"
+    );
+    rack.detach(l2.id()).unwrap();
+    assert_eq!(rack.fabric("borrower").unwrap().path_ids().len(), 0);
 }
 
 #[test]

@@ -3,6 +3,7 @@
 
 use thymesisflow::core::datapath::Datapath;
 use thymesisflow::core::endpoint::{ComputeEndpoint, EndpointError, MemoryStealingEndpoint};
+use thymesisflow::core::fabric::FabricBuilder;
 use thymesisflow::core::params::DatapathParams;
 use thymesisflow::opencapi::pasid::{Pasid, Region};
 use thymesisflow::opencapi::transaction::MemRequest;
@@ -101,6 +102,40 @@ fn full_pipeline_enforces_legality_end_to_end() {
 
     // Illegal at the donor: wrong PASID.
     assert!(memory.serve(SimTime::ZERO, &routed, Pasid(9)).is_err());
+}
+
+#[test]
+fn facade_and_raw_fabric_share_one_trajectory() {
+    // The Datapath facade and a hand-built point-to-point fabric must
+    // be the same simulation: identical event counts and bit-identical
+    // measured rates, for single and bonded channels.
+    for channels in [1usize, 2] {
+        let mut dp = Datapath::new(DatapathParams::prototype(), channels, SECTION);
+        let (mut fabric, path) =
+            FabricBuilder::point_to_point(DatapathParams::prototype(), channels, SECTION)
+                .unwrap();
+        let a = dp.measure_stream_bandwidth(8, 32, SimTime::from_us(100));
+        let b = fabric
+            .measure_stream_bandwidth(path, 8, 32, SimTime::from_us(100))
+            .unwrap();
+        assert_eq!(
+            a.as_gib_per_sec().to_bits(),
+            b.as_gib_per_sec().to_bits(),
+            "{channels}ch rates diverged: {} vs {} GiB/s",
+            a.as_gib_per_sec(),
+            b.as_gib_per_sec()
+        );
+        assert_eq!(
+            dp.events_processed(),
+            fabric.events_processed(),
+            "{channels}ch event trajectories diverged"
+        );
+        let ha = dp.completions();
+        let hb = fabric.completions(path).unwrap();
+        assert_eq!(ha.count(), hb.count());
+        assert_eq!(ha.quantile(0.5), hb.quantile(0.5));
+        assert_eq!(ha.max(), hb.max());
+    }
 }
 
 #[test]
