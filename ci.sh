@@ -17,12 +17,16 @@ echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
 echo "==> example smoke loop (release)"
-for example in quickstart rack_orchestration failure_injection cloud_workloads datacentre_motivation; do
+for example in quickstart rack_orchestration failure_injection cloud_workloads datacentre_motivation latency_breakdown; do
     echo "--> example: ${example}"
     cargo run -q --release --example "${example}" > /dev/null
 done
 
+echo "==> latency breakdown artifacts (Chrome trace_event JSON parses)"
+jq -e '.traceEvents | length > 0' target/latency_breakdown.trace.json > /dev/null
+
 echo "==> engine throughput smoke (QUICK mode, writes BENCH_engine.json)"
 QUICK=1 cargo bench -q -p bench --bench engine_throughput
+jq -e '.telemetry_overhead.overhead_frac' BENCH_engine.json > /dev/null
 
 echo "ci: all gates passed"

@@ -215,6 +215,13 @@ mod tests {
         // Two channels: an up and a down LLC pair each.
         assert_eq!(pairs, 4);
         assert!(kinds.iter().all(|(_, k)| *k != StageKind::CircuitSwitch));
-        assert_eq!(dp.fabric().links_of(dp.path()).unwrap(), vec![0, 1]);
+        let links: Vec<usize> = dp
+            .fabric()
+            .path_link_stats(dp.path())
+            .unwrap()
+            .iter()
+            .map(|s| s.link)
+            .collect();
+        assert_eq!(links, vec![0, 1]);
     }
 }

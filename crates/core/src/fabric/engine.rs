@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use llc::error::LlcError;
-use llc::frame::Frame;
+use llc::frame::{Entry, Frame};
 use llc::LlcConfig;
 use netsim::channel::{Channel, ChannelBuilder};
 use netsim::fault::FaultSpec;
@@ -37,6 +37,7 @@ use routing::{ChannelId, RouteError};
 use simkit::bandwidth::Rate;
 use simkit::event::{Engine, EventQueue};
 use simkit::stats::Histogram;
+use simkit::telemetry::{CounterId, GaugeId, Registry, Snapshot, TimerId};
 use simkit::time::SimTime;
 
 use crate::endpoint::EndpointError;
@@ -44,6 +45,9 @@ use crate::fabric::port::{ComponentId, Connection, PortRef, PortUnit, WiringErro
 use crate::fabric::stage::{
     C1MasterDram, FabricComponent, FabricMsg, LlcPair, M1Capture, RmmuTranslate, RouterStage,
     StageKind, SwitchStage, WindowSpec, WireChannel,
+};
+use crate::fabric::trace::{
+    FlitTrace, FlitTracer, HopContext, HopKind, LatencyBreakdown, SpanIds, WireDir, WireLatency,
 };
 use crate::params::DatapathParams;
 
@@ -300,6 +304,126 @@ enum Ev {
     Flush { link: usize, dir: Dir },
 }
 
+/// Unified per-link statistics: wire-channel, LLC and credit counters
+/// for both directions of one link, in one typed struct (supersedes the
+/// `Option`/tuple-returning `link_frames`/`link_replays` accessors).
+/// Mirrored into the telemetry registry by [`Fabric::telemetry_snapshot`]
+/// under `fabric.link{n}.*` paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Global link index (= channel id).
+    pub link: usize,
+    /// The path the link serves.
+    pub path: PathId,
+    /// Frames the forward (request-direction) channel transmitted.
+    pub fwd_frames: u64,
+    /// Payload bytes the forward channel transmitted.
+    pub fwd_bytes: u64,
+    /// Frames the reverse (response-direction) channel transmitted.
+    pub rev_frames: u64,
+    /// Payload bytes the reverse channel transmitted.
+    pub rev_bytes: u64,
+    /// Frames the forward channel dropped (injected faults).
+    pub fwd_dropped: u64,
+    /// Frames the forward channel corrupted.
+    pub fwd_corrupted: u64,
+    /// Frames the reverse channel dropped.
+    pub rev_dropped: u64,
+    /// Frames the reverse channel corrupted.
+    pub rev_corrupted: u64,
+    /// Request-direction frames re-transmitted after loss/corruption.
+    pub up_replays: u64,
+    /// Response-direction frames re-transmitted.
+    pub down_replays: u64,
+    /// In-order data frames the donor-side Rx delivered.
+    pub up_delivered: u64,
+    /// In-order data frames the compute-side Rx delivered.
+    pub down_delivered: u64,
+    /// Times the request-direction Tx stalled on zero credits.
+    pub up_credit_stalls: u64,
+    /// Times the response-direction Tx stalled on zero credits.
+    pub down_credit_stalls: u64,
+    /// Request-direction Tx credits currently available.
+    pub up_credits: u32,
+    /// Response-direction Tx credits currently available.
+    pub down_credits: u32,
+    /// Sealed frames waiting in the request-direction Tx.
+    pub up_backlog: usize,
+    /// Sealed frames waiting in the response-direction Tx.
+    pub down_backlog: usize,
+    /// High-water mark of the donor-side Rx ingress buffer.
+    pub up_rx_high_water: usize,
+    /// High-water mark of the compute-side Rx ingress buffer.
+    pub down_rx_high_water: usize,
+}
+
+/// Registry handles for the fabric-wide metrics.
+struct FabricTele {
+    issued: CounterId,
+    retired: CounterId,
+    rtt: TimerId,
+    hops: Vec<TimerId>,
+}
+
+impl FabricTele {
+    fn register(r: &mut Registry) -> Self {
+        FabricTele {
+            issued: r.counter("fabric.loads.issued"),
+            retired: r.counter("fabric.loads.retired"),
+            rtt: r.timer("fabric.rtt_ns"),
+            hops: HopKind::ALL
+                .iter()
+                .map(|k| r.timer(&format!("fabric.hop.{}", k.label())))
+                .collect(),
+        }
+    }
+}
+
+/// Registry handles for one link's mirrored component statistics.
+#[derive(Debug, Clone, Copy)]
+struct LinkTele {
+    fwd_frames: CounterId,
+    fwd_bytes: CounterId,
+    rev_frames: CounterId,
+    rev_bytes: CounterId,
+    up_replays: CounterId,
+    down_replays: CounterId,
+    up_delivered: CounterId,
+    down_delivered: CounterId,
+    up_credit_stalls: CounterId,
+    down_credit_stalls: CounterId,
+    up_credits: GaugeId,
+    down_credits: GaugeId,
+    up_backlog: GaugeId,
+    down_backlog: GaugeId,
+    up_rx_high_water: GaugeId,
+    down_rx_high_water: GaugeId,
+}
+
+impl LinkTele {
+    fn register(r: &mut Registry, link: usize) -> Self {
+        let p = |leaf: &str| format!("fabric.link{link}.{leaf}");
+        LinkTele {
+            fwd_frames: r.counter(&p("fwd.frames")),
+            fwd_bytes: r.counter(&p("fwd.bytes")),
+            rev_frames: r.counter(&p("rev.frames")),
+            rev_bytes: r.counter(&p("rev.bytes")),
+            up_replays: r.counter(&p("up.replays")),
+            down_replays: r.counter(&p("down.replays")),
+            up_delivered: r.counter(&p("up.delivered")),
+            down_delivered: r.counter(&p("down.delivered")),
+            up_credit_stalls: r.counter(&p("up.credit_stalls")),
+            down_credit_stalls: r.counter(&p("down.credit_stalls")),
+            up_credits: r.gauge(&p("up.credits")),
+            down_credits: r.gauge(&p("down.credits")),
+            up_backlog: r.gauge(&p("up.backlog")),
+            down_backlog: r.gauge(&p("down.backlog")),
+            up_rx_high_water: r.gauge(&p("up.rx_high_water")),
+            down_rx_high_water: r.gauge(&p("down.rx_high_water")),
+        }
+    }
+}
+
 /// One live link: the up/down LLC pairs and the two wire channels of a
 /// single physical channel between the compute endpoint and one donor.
 struct LinkSlot {
@@ -311,6 +435,7 @@ struct LinkSlot {
     path: u32,
     flush_pending: [bool; 2],
     circuit: Option<(PortId, PortId)>,
+    tele: LinkTele,
 }
 
 /// Per-path bookkeeping.
@@ -328,6 +453,7 @@ struct PathState {
     completed_bytes: u64,
     ready_at: SimTime,
     label: String,
+    tele_rtt: TimerId,
 }
 
 const CAPTURE_ID: ComponentId = ComponentId(0);
@@ -373,6 +499,9 @@ pub struct Fabric {
     inflight: HashMap<u64, (SimTime, u32)>,
     next_tag: u64,
     connections: Vec<Connection>,
+    telemetry: Registry,
+    tele: FabricTele,
+    tracer: FlitTracer,
 }
 
 impl fmt::Debug for Fabric {
@@ -407,6 +536,10 @@ impl Fabric {
             },
         ];
         connections.shrink_to_fit();
+        // Telemetry starts disabled: instrumentation is observation only
+        // and costs one predicted branch per hook until switched on.
+        let mut telemetry = Registry::new(false);
+        let tele = FabricTele::register(&mut telemetry);
         Fabric {
             params,
             window,
@@ -422,6 +555,9 @@ impl Fabric {
             inflight: HashMap::new(),
             next_tag: 0,
             connections,
+            telemetry,
+            tele,
+            tracer: FlitTracer::new(),
         }
     }
 
@@ -542,6 +678,7 @@ impl Fabric {
                 path: path_id,
                 flush_pending: [false; 2],
                 circuit,
+                tele: LinkTele::register(&mut self.telemetry, link),
             }));
             // tflint::allow(TF005): link indices stay far below u32::MAX.
             chan_ids.push(ChannelId(link as u32));
@@ -575,6 +712,9 @@ impl Fabric {
                 completed_bytes: 0,
                 ready_at,
                 label: spec.label.clone(),
+                tele_rtt: self
+                    .telemetry
+                    .timer(&format!("fabric.path{path_id}.rtt_ns")),
             },
         );
         self.next_path += 1;
@@ -719,17 +859,20 @@ impl Fabric {
         };
         let now = self.queue.now();
         self.inflight.insert(tag, (now, path.0));
+        // tflint::allow(TF005): channel ids are small link indices.
+        let link = ch.0 as usize;
         // CPU -> serDES -> FPGA stack -> LLC; a freshly switched path
         // additionally waits for its circuits to be programmed.
         let at = (now + self.edge_latency()).max(ready_at);
         self.queue.schedule(
             at,
             Ev::Offer {
-                // tflint::allow(TF005): channel ids are small link indices.
-                link: ch.0 as usize,
+                link,
                 msg: FabricMsg::Req(routed),
             },
         );
+        self.telemetry.inc(self.tele.issued);
+        self.tracer.begin(tag, path.0, link, now, at);
         Ok(())
     }
 
@@ -800,6 +943,25 @@ impl Fabric {
     /// Data frames travel with their direction; their control replies
     /// travel on the reverse channel but still belong to `dir`.
     fn transmit(&mut self, link: usize, dir: Dir, frame: Frame<FabricMsg>, now: SimTime) {
+        if self.tracer.active() {
+            if let Frame::Data { entries, .. } = &frame {
+                // Checkpoint every traced transaction riding the frame;
+                // replays overwrite, so the surviving checkpoint is the
+                // transmit that actually delivered.
+                let wd = match dir {
+                    Dir::ToMemory => WireDir::Forward,
+                    Dir::ToCompute => WireDir::Reverse,
+                };
+                for e in entries.iter() {
+                    let tag = match e {
+                        Entry::Txn(FabricMsg::Req(r)) => r.req.tag.0,
+                        Entry::Txn(FabricMsg::Resp(r)) => r.tag.0,
+                        Entry::Nop => continue,
+                    };
+                    self.tracer.wire_tx(tag, wd, now);
+                }
+            }
+        }
         let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
             return;
         };
@@ -858,6 +1020,10 @@ impl Fabric {
                         ))
                     })?;
                 let ready = donor.serve(now + stack + serdes, &routed)? + serdes + stack;
+                if self.tracer.active() {
+                    self.tracer.delivered(routed.req.tag.0, WireDir::Forward, now);
+                    self.tracer.memory_done(routed.req.tag.0, ready);
+                }
                 self.queue.schedule(
                     ready,
                     Ev::MemoryDone {
@@ -868,6 +1034,9 @@ impl Fabric {
                 Ok(())
             }
             (Dir::ToCompute, FabricMsg::Resp(resp)) => {
+                if self.tracer.active() {
+                    self.tracer.delivered(resp.tag.0, WireDir::Reverse, now);
+                }
                 // FPGA stack out + serDES back to core.
                 self.queue
                     .schedule_in(self.edge_latency(), Ev::Complete { tag: resp.tag.0 });
@@ -879,16 +1048,65 @@ impl Fabric {
         }
     }
 
+    /// The fixed per-hop latencies and component attribution of one
+    /// link, for finalizing a trace.
+    fn hop_context(&self, link: usize) -> Option<HopContext> {
+        let slot = self.links.get(link).and_then(Option::as_ref)?;
+        let wire = |c: &Channel| WireLatency {
+            crossing: c.crossing_latency(),
+            cable: c.cable_latency(),
+            extra: c.extra_latency(),
+            flight: c.flight_latency(),
+        };
+        Some(HopContext {
+            serdes: SimTime::from_ns(self.params.serdes_crossing_ns),
+            stack: SimTime::from_ns(self.params.stack_crossing_ns),
+            fwd: wire(&slot.fwd.chan),
+            rev: wire(&slot.rev.chan),
+            ids: SpanIds {
+                capture: CAPTURE_ID,
+                translate: TRANSLATE_ID,
+                router: ROUTER_ID,
+                switch: SWITCH_ID,
+                up: up_id(link),
+                down: down_id(link),
+                fwd: fwd_id(link),
+                rev: rev_id(link),
+                donor: donor_id(slot.donor),
+            },
+        })
+    }
+
     /// Retires one completed load.
     fn retire(&mut self, tag: u64, done: &mut Vec<Completion>) -> Result<(), FabricError> {
         let (issued, path) = self
             .inflight
             .remove(&tag)
             .ok_or_else(|| FabricError::Protocol(format!("completion for unissued tag {tag}")))?;
-        let latency = self.queue.now() - issued;
+        let now = self.queue.now();
+        let latency = now - issued;
         if let Some(state) = self.paths.get_mut(&path) {
             state.completions.record(latency.as_ns());
             state.completed_bytes += 128;
+        }
+        self.telemetry.inc(self.tele.retired);
+        self.telemetry.record_ns(self.tele.rtt, latency.as_ns());
+        if let Some(state) = self.paths.get(&path) {
+            self.telemetry.record_ns(state.tele_rtt, latency.as_ns());
+        }
+        if self.tracer.active() {
+            let ctx = self
+                .tracer
+                .pending_link(tag)
+                .and_then(|l| self.hop_context(l));
+            if let Some(ctx) = ctx {
+                if let Some(i) = self.tracer.finish(tag, now, &ctx) {
+                    for s in &self.tracer.traces()[i].spans {
+                        self.telemetry
+                            .record_span(self.tele.hops[s.kind.index()], s.start, s.end);
+                    }
+                }
+            }
         }
         done.push(Completion {
             tag,
@@ -1292,11 +1510,66 @@ impl Fabric {
             .map(|s| PathId(s.path))
     }
 
+    fn stats_of(slot: &LinkSlot, link: usize) -> LinkStats {
+        LinkStats {
+            link,
+            path: PathId(slot.path),
+            fwd_frames: slot.fwd.chan.frames_sent(),
+            fwd_bytes: slot.fwd.chan.bytes_sent(),
+            rev_frames: slot.rev.chan.frames_sent(),
+            rev_bytes: slot.rev.chan.bytes_sent(),
+            fwd_dropped: slot.fwd.chan.frames_dropped(),
+            fwd_corrupted: slot.fwd.chan.frames_corrupted(),
+            rev_dropped: slot.rev.chan.frames_dropped(),
+            rev_corrupted: slot.rev.chan.frames_corrupted(),
+            up_replays: slot.up.tx.frames_replayed(),
+            down_replays: slot.down.tx.frames_replayed(),
+            up_delivered: slot.up.rx.frames_delivered(),
+            down_delivered: slot.down.rx.frames_delivered(),
+            up_credit_stalls: slot.up.tx.credits().starvation_events(),
+            down_credit_stalls: slot.down.tx.credits().starvation_events(),
+            up_credits: slot.up.tx.credits().available(),
+            down_credits: slot.down.tx.credits().available(),
+            up_backlog: slot.up.tx.backlog(),
+            down_backlog: slot.down.tx.backlog(),
+            up_rx_high_water: slot.up.rx.ingress_high_water(),
+            down_rx_high_water: slot.down.rx.ingress_high_water(),
+        }
+    }
+
+    /// The unified statistics of one link, or `None` for tombstoned
+    /// slots.
+    pub fn link_stats(&self, link: usize) -> Option<LinkStats> {
+        self.links
+            .get(link)
+            .and_then(Option::as_ref)
+            .map(|s| Self::stats_of(s, link))
+    }
+
+    /// The statistics of every live link serving `path`, in channel
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_link_stats(&self, path: PathId) -> Result<Vec<LinkStats>, FabricError> {
+        let state = self
+            .paths
+            .get(&path.0)
+            .ok_or(FabricError::UnknownPath(path))?;
+        Ok(state
+            .links
+            .iter()
+            .filter_map(|&l| self.link_stats(l))
+            .collect())
+    }
+
     /// Global link indices (= channel ids) serving `path`.
     ///
     /// # Errors
     ///
     /// Fails on unknown paths.
+    #[deprecated(since = "0.4.0", note = "use `Fabric::path_link_stats`")]
     pub fn links_of(&self, path: PathId) -> Result<Vec<usize>, FabricError> {
         self.paths
             .get(&path.0)
@@ -1306,21 +1579,17 @@ impl Fabric {
 
     /// `(forward frames, reverse frames)` a link has transmitted, or
     /// `None` for tombstoned slots.
+    #[deprecated(since = "0.4.0", note = "use `Fabric::link_stats`")]
     pub fn link_frames(&self, link: usize) -> Option<(u64, u64)> {
-        self.links
-            .get(link)
-            .and_then(Option::as_ref)
-            .map(|s| (s.fwd.chan.frames_sent(), s.rev.chan.frames_sent()))
+        self.link_stats(link).map(|s| (s.fwd_frames, s.rev_frames))
     }
 
     /// `(request-direction, response-direction)` frames the link's LLC
     /// endpoints re-transmitted after loss or corruption, or `None` for
     /// tombstoned slots.
+    #[deprecated(since = "0.4.0", note = "use `Fabric::link_stats`")]
     pub fn link_replays(&self, link: usize) -> Option<(u64, u64)> {
-        self.links
-            .get(link)
-            .and_then(Option::as_ref)
-            .map(|s| (s.up.tx.frames_replayed(), s.down.tx.frames_replayed()))
+        self.link_stats(link).map(|s| (s.up_replays, s.down_replays))
     }
 
     /// Live attached paths, in attach order.
@@ -1387,6 +1656,179 @@ impl Fabric {
     /// The switching layer, when the topology has one.
     pub fn switch_stage(&self) -> Option<&SwitchStage> {
         self.switch.as_ref()
+    }
+
+    /// Enables or disables telemetry — the metrics registry and flit
+    /// span tracing together. Instrumentation is observation only: it
+    /// never schedules events or touches component state, so toggling
+    /// it cannot change a run's event trajectory.
+    ///
+    /// The registry costs a few counter bumps per retired load and is
+    /// meant to stay on; per-load span tracing costs checkpoint
+    /// bookkeeping on every hop and retains whole traces, so for long
+    /// closed-loop runs either lower [`Fabric::set_trace_capacity`]
+    /// (the tracer quiesces when full) or keep only the registry on
+    /// via [`Fabric::set_tracing`]`(false)`.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Whether telemetry is currently enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Toggles flit span tracing independently of the metrics registry,
+    /// for runs that want cheap always-on counters without per-load
+    /// trace retention. Disabling discards in-flight checkpoints.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Whether flit span tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// The metrics registry, for direct reads of registered metrics.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// A snapshot of every registered metric at the current instant,
+    /// with each live link's component statistics (frames, replays,
+    /// credits, backlog, ingress high-water) mirrored in under
+    /// `fabric.link{n}.*` paths.
+    pub fn telemetry_snapshot(&mut self) -> Snapshot {
+        self.refresh_link_metrics();
+        self.telemetry.snapshot(self.queue.now())
+    }
+
+    fn refresh_link_metrics(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        for link in 0..self.links.len() {
+            let Some((t, s)) = self
+                .links
+                .get(link)
+                .and_then(Option::as_ref)
+                .map(|slot| (slot.tele, Self::stats_of(slot, link)))
+            else {
+                continue;
+            };
+            self.telemetry.set_counter(t.fwd_frames, s.fwd_frames);
+            self.telemetry.set_counter(t.fwd_bytes, s.fwd_bytes);
+            self.telemetry.set_counter(t.rev_frames, s.rev_frames);
+            self.telemetry.set_counter(t.rev_bytes, s.rev_bytes);
+            self.telemetry.set_counter(t.up_replays, s.up_replays);
+            self.telemetry.set_counter(t.down_replays, s.down_replays);
+            self.telemetry.set_counter(t.up_delivered, s.up_delivered);
+            self.telemetry
+                .set_counter(t.down_delivered, s.down_delivered);
+            self.telemetry
+                .set_counter(t.up_credit_stalls, s.up_credit_stalls);
+            self.telemetry
+                .set_counter(t.down_credit_stalls, s.down_credit_stalls);
+            self.telemetry
+                .set_gauge(t.up_credits, u64::from(s.up_credits));
+            self.telemetry
+                .set_gauge(t.down_credits, u64::from(s.down_credits));
+            self.telemetry
+                .set_gauge(t.up_backlog, u64::try_from(s.up_backlog).unwrap_or(u64::MAX));
+            self.telemetry.set_gauge(
+                t.down_backlog,
+                u64::try_from(s.down_backlog).unwrap_or(u64::MAX),
+            );
+            self.telemetry.set_gauge(
+                t.up_rx_high_water,
+                u64::try_from(s.up_rx_high_water).unwrap_or(u64::MAX),
+            );
+            self.telemetry.set_gauge(
+                t.down_rx_high_water,
+                u64::try_from(s.down_rx_high_water).unwrap_or(u64::MAX),
+            );
+        }
+    }
+
+    /// Caps the number of finished flit traces the fabric retains.
+    pub fn set_trace_capacity(&mut self, cap: usize) {
+        self.tracer.set_capacity(cap);
+    }
+
+    /// Finished flit traces, in retire order.
+    pub fn traces(&self) -> &[FlitTrace] {
+        self.tracer.traces()
+    }
+
+    /// Drains the finished flit traces.
+    pub fn take_traces(&mut self) -> Vec<FlitTrace> {
+        self.tracer.take()
+    }
+
+    /// Traces that finished but were discarded at the retention cap.
+    pub fn traces_dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Per-hop latency attribution over the path's finished traces.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_breakdown(&self, path: PathId) -> Result<LatencyBreakdown, FabricError> {
+        if !self.paths.contains_key(&path.0) {
+            return Err(FabricError::UnknownPath(path));
+        }
+        let traces: Vec<FlitTrace> = self
+            .tracer
+            .traces()
+            .iter()
+            .filter(|t| t.path == path)
+            .cloned()
+            .collect();
+        Ok(LatencyBreakdown::from_traces(&traces))
+    }
+
+    /// Measures one uncontended cacheline load on `path` with span
+    /// tracing forced on, returning the load's complete per-hop trace.
+    /// The prior tracing state is restored afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths or if the fabric drains without the probe
+    /// completing.
+    pub fn measure_traced_load(&mut self, path: PathId) -> Result<FlitTrace, FabricError> {
+        let was = self.tracer.enabled();
+        self.tracer.set_enabled(true);
+        let tag = self.next_tag;
+        let result = self.traced_probe(path, tag);
+        self.tracer.set_enabled(was);
+        result
+    }
+
+    fn traced_probe(&mut self, path: PathId, tag: u64) -> Result<FlitTrace, FabricError> {
+        self.issue_read(path)?;
+        while let Some(done) = self.step()? {
+            if done.iter().any(|c| c.tag == tag) {
+                return self
+                    .tracer
+                    .traces()
+                    .iter()
+                    .rev()
+                    .find(|t| t.trace.0 == tag)
+                    .cloned()
+                    .ok_or_else(|| {
+                        FabricError::Protocol(
+                            "probe completed without a finished trace".into(),
+                        )
+                    });
+            }
+        }
+        Err(FabricError::Protocol(
+            "fabric drained without completing the traced probe".into(),
+        ))
     }
 
     /// Internal counters for calibration debugging.
@@ -1518,7 +1960,130 @@ mod tests {
         for c in f.connections() {
             assert!(seen.insert(c.to.clone()), "double-driven port {}", c.to);
         }
-        let links = f.links_of(p).unwrap();
+        let links: Vec<usize> = f
+            .path_link_stats(p)
+            .unwrap()
+            .iter()
+            .map(|s| s.link)
+            .collect();
         assert_eq!(links, vec![0, 1]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_link_stats() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        f.measure_load_latency(p).unwrap();
+        let s = f.link_stats(0).expect("live link");
+        assert_eq!(f.link_frames(0), Some((s.fwd_frames, s.rev_frames)));
+        assert_eq!(f.link_replays(0), Some((s.up_replays, s.down_replays)));
+        assert_eq!(f.links_of(p).unwrap(), vec![s.link]);
+        assert_eq!(s.path, p);
+        assert!(s.fwd_frames > 0 && s.rev_frames > 0);
+        assert_eq!(f.link_stats(7), None, "unknown links yield None");
+    }
+
+    #[test]
+    fn traced_load_spans_sum_exactly_to_rtt() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        let t = f.measure_traced_load(p).unwrap();
+        assert_eq!(
+            t.spans_total(),
+            t.rtt(),
+            "per-hop spans must sum exactly to the measured RTT"
+        );
+        // The paper's decomposition: 6 serDES crossings + 4 FPGA stack
+        // pipeline stages on the reference path.
+        assert_eq!(t.serdes_crossings(), 6, "paper counts 6 serDES crossings");
+        assert_eq!(t.stack_stages(), 4, "paper counts 4 stack stages");
+        let serdes = SimTime::from_ns(f.params().serdes_crossing_ns);
+        let stack = SimTime::from_ns(f.params().stack_crossing_ns);
+        for s in &t.spans {
+            if s.kind.is_serdes() {
+                assert_eq!(s.duration(), serdes, "{}", s.kind);
+            }
+            if s.kind.is_stack_stage() {
+                assert_eq!(s.duration(), stack, "{}", s.kind);
+            }
+        }
+        // The C1 span covers the DMA engine plus DRAM service: at least
+        // the configured DRAM latency, plus a few ns of cacheline DMA.
+        let dram = t.time_in(crate::fabric::trace::HopKind::C1Dram);
+        assert!(
+            dram >= SimTime::from_ns(f.params().dram_latency_ns)
+                && dram <= SimTime::from_ns(f.params().dram_latency_ns + 20),
+            "C1 span {dram} strays from the configured DRAM latency"
+        );
+        // Contiguity end to end.
+        for w in t.spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // The probe restores the prior (disabled) tracing state but
+        // keeps the finished trace.
+        assert!(!f.telemetry_enabled());
+        assert_eq!(f.traces().len(), 1);
+    }
+
+    #[test]
+    fn switched_path_traces_include_circuit_hops() {
+        use netsim::switch::CircuitSwitch;
+        let mut f = Fabric::assemble(
+            params(),
+            WindowSpec::rack_default(),
+            Some(SwitchStage::new(CircuitSwitch::optical(8))),
+            Engine::Hybrid,
+        );
+        let p = f
+            .attach_path(
+                &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20)
+                    .through_switch(),
+            )
+            .unwrap();
+        let t = f.measure_traced_load(p).unwrap();
+        assert_eq!(t.spans_total(), t.rtt());
+        assert_eq!(t.serdes_crossings(), 6);
+        assert_eq!(t.stack_stages(), 4);
+        use crate::fabric::trace::{HopKind, WireDir};
+        assert!(
+            !t.time_in(HopKind::SwitchTraversal(WireDir::Forward)).is_zero(),
+            "switched path must show a forward switch-traversal span"
+        );
+        assert!(
+            !t.time_in(HopKind::CircuitWait).is_zero(),
+            "a freshly allocated circuit delays the first load"
+        );
+    }
+
+    #[test]
+    fn telemetry_registry_tracks_loads_and_links() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        f.set_telemetry(true);
+        f.measure_load_latency(p).unwrap();
+        f.measure_load_latency(p).unwrap();
+        let snap = f.telemetry_snapshot();
+        assert_eq!(snap.counter("fabric.loads.issued"), Some(2));
+        assert_eq!(snap.counter("fabric.loads.retired"), Some(2));
+        let rtt = snap.timer("fabric.rtt_ns").expect("rtt timer");
+        assert_eq!(rtt.count(), 2);
+        let s = f.link_stats(0).expect("live link");
+        assert_eq!(snap.counter("fabric.link0.fwd.frames"), Some(s.fwd_frames));
+        assert_eq!(
+            snap.counter("fabric.link0.up.replays"),
+            Some(s.up_replays)
+        );
+        let hop = snap.timer("fabric.hop.c1_dram").expect("hop timer");
+        assert_eq!(hop.count(), 2);
+        // Disabled fabrics record nothing.
+        let mut quiet = fabric(WindowSpec::reference(256 << 20));
+        let q = quiet
+            .attach_path(&PathSpec::reference(256 << 20, 1))
+            .unwrap();
+        quiet.measure_load_latency(q).unwrap();
+        let snap = quiet.telemetry_snapshot();
+        assert_eq!(snap.counter("fabric.loads.issued"), Some(0));
+        assert!(quiet.traces().is_empty());
     }
 }

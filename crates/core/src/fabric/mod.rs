@@ -18,9 +18,14 @@ pub mod builder;
 pub mod engine;
 pub mod port;
 pub mod stage;
+pub mod trace;
 
 pub use builder::FabricBuilder;
-pub use engine::{Completion, Fabric, FabricError, PathId, PathSpec, StreamLoad};
+pub use engine::{Completion, Fabric, FabricError, LinkStats, PathId, PathSpec, StreamLoad};
+pub use trace::{
+    chrome_trace, chrome_trace_json, BreakdownRow, FlitTrace, HopKind, LatencyBreakdown,
+    SerdesSite, Span, StackSite, TraceId, WireDir,
+};
 pub use port::{
     ComponentId, Connection, PortDir, PortRef, PortSpec, PortUnit, WiringError,
 };

@@ -25,11 +25,14 @@ use netsim::switch::CircuitSwitch;
 use opencapi::pasid::Pasid;
 use rmmu::flow::NetworkId;
 use simkit::bandwidth::Rate;
+use simkit::telemetry::Snapshot;
 use simkit::time::SimTime;
 
 use crate::attach::{AttachRequest, Lease, LeaseId};
 use crate::config::SystemConfig;
-use crate::fabric::{Fabric, FabricBuilder, FabricError, PathId, PathSpec, StreamLoad};
+use crate::fabric::{
+    Fabric, FabricBuilder, FabricError, FlitTrace, LatencyBreakdown, PathId, PathSpec, StreamLoad,
+};
 use crate::memmodel::MemoryModel;
 use crate::params::DatapathParams;
 
@@ -439,6 +442,56 @@ impl Rack {
     pub fn measure_lease_rtt(&mut self, id: LeaseId) -> Result<SimTime, RackError> {
         let (fabric, path) = self.lease_fabric(id)?;
         Ok(fabric.measure_load_latency(path)?)
+    }
+
+    /// Enables or disables telemetry (metrics registry + flit span
+    /// tracing) on the fabric serving the lease. Observation only:
+    /// toggling never changes event trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases.
+    pub fn set_lease_telemetry(&mut self, id: LeaseId, enabled: bool) -> Result<(), RackError> {
+        let (fabric, _) = self.lease_fabric(id)?;
+        fabric.set_telemetry(enabled);
+        Ok(())
+    }
+
+    /// A snapshot of the serving fabric's telemetry registry — the
+    /// lease's per-path RTT timer plus the fabric-wide and per-link
+    /// metrics — taken at the fabric's current instant.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases.
+    pub fn lease_telemetry(&mut self, id: LeaseId) -> Result<Snapshot, RackError> {
+        let (fabric, _) = self.lease_fabric(id)?;
+        Ok(fabric.telemetry_snapshot())
+    }
+
+    /// Measures one traced load over the lease's path and returns the
+    /// per-hop latency attribution of every finished trace on that
+    /// path — the paper's 950 ns-style breakdown, whose spans sum
+    /// exactly to the measured RTT.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases or fabric protocol violations.
+    pub fn lease_breakdown(&mut self, id: LeaseId) -> Result<LatencyBreakdown, RackError> {
+        let (fabric, path) = self.lease_fabric(id)?;
+        fabric.measure_traced_load(path)?;
+        Ok(fabric.path_breakdown(path)?)
+    }
+
+    /// Measures one uncontended load over the lease's path with span
+    /// tracing forced on, returning the load's complete flit trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases or fabric protocol violations.
+    pub fn trace_lease_load(&mut self, id: LeaseId) -> Result<FlitTrace, RackError> {
+        let (fabric, path) = self.lease_fabric(id)?;
+        Ok(fabric.measure_traced_load(path)?)
     }
 
     /// Runs a closed-loop read stream over the lease's flit-level path

@@ -35,6 +35,9 @@ pub struct Channel {
     lanes: usize,
     line: SerializedLine,
     flight_latency: SimTime,
+    crossing_latency: SimTime,
+    cable_latency: SimTime,
+    extra_latency: SimTime,
     faults: FaultInjector,
     frames_sent: u64,
 }
@@ -54,6 +57,22 @@ impl Channel {
     /// serialization.
     pub fn flight_latency(&self) -> SimTime {
         self.flight_latency
+    }
+
+    /// The serDES-crossing share of [`Channel::flight_latency`].
+    pub fn crossing_latency(&self) -> SimTime {
+        self.crossing_latency
+    }
+
+    /// The cable-propagation share of [`Channel::flight_latency`].
+    pub fn cable_latency(&self) -> SimTime {
+        self.cable_latency
+    }
+
+    /// The extra fixed latency (e.g. a switch traversal) share of
+    /// [`Channel::flight_latency`].
+    pub fn extra_latency(&self) -> SimTime {
+        self.extra_latency
     }
 
     /// Transmits one frame of `bytes`, returning its fate and arrival
@@ -179,14 +198,17 @@ impl ChannelBuilder {
         // RTT budget counts "two [crossings] for the network" round trip;
         // the endpoint stacks add their own crossings in the `core`
         // datapath assembly.
-        let flight = self.lane.crossing_latency()
-            + self.cable.propagation_delay()
-            + self.extra_latency;
+        let crossing = self.lane.crossing_latency();
+        let cable = self.cable.propagation_delay();
+        let flight = crossing + cable + self.extra_latency;
         Channel {
             lane: self.lane,
             lanes: self.lanes,
             line: SerializedLine::new(rate),
             flight_latency: flight,
+            crossing_latency: crossing,
+            cable_latency: cable,
+            extra_latency: self.extra_latency,
             faults: FaultInjector::new(self.faults, self.seed),
             frames_sent: 0,
         }

@@ -13,6 +13,9 @@
 //! * [`queue`] — bounded FIFOs with occupancy accounting.
 //! * [`sweep`] — parallel sweep harness with deterministic per-point
 //!   RNG streams (worker count never changes the output).
+//! * [`telemetry`] — a metrics registry (counters, gauges,
+//!   histogram-backed timers) keyed by hierarchical paths, clocked by
+//!   simulated time and near-free when disabled.
 //!
 //! # Example
 //!
@@ -33,10 +36,12 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
 pub use rng::DetRng;
 pub use stats::Histogram;
+pub use telemetry::Registry;
 pub use time::SimTime;

@@ -188,6 +188,30 @@ impl Histogram {
             self.max = self.max.max(other.max);
         }
     }
+
+    /// Bucket-wise difference `self − earlier` (saturating), for diffing
+    /// two snapshots of the same cumulative histogram. `earlier` must be a
+    /// prefix of `self`'s recordings for the result to be meaningful.
+    ///
+    /// `min`/`max` of the difference are reconstructed from the surviving
+    /// bucket edges, so they carry the same ~3% relative error as
+    /// quantiles rather than being exact.
+    pub fn subtract(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (a, b)) in self.counts.iter().zip(&earlier.counts).enumerate() {
+            let c = a.saturating_sub(*b);
+            if c == 0 {
+                continue;
+            }
+            out.counts[i] = c;
+            out.total += c;
+            let edge = Self::value_of(i).min(self.max);
+            out.min = out.min.min(edge);
+            out.max = out.max.max(edge);
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -332,6 +356,74 @@ mod tests {
         assert_eq!(a.count(), 12);
         assert_eq!(a.min(), 100);
         assert!(a.max() >= 1_000_000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record_n(42, 9);
+        let before = (a.count(), a.min(), a.max(), a.mean());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.mean()), before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 9);
+        assert_eq!(empty.min(), 42);
+    }
+
+    #[test]
+    fn merged_quantile_extremes() {
+        // p0 / p100 after merging disjoint ranges land on the global
+        // extremes (within bucket resolution), not on either input's.
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+        }
+        for v in 900_000..=1_000_000u64 {
+            high.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.quantile(0.0), 1);
+        let p100 = low.quantile(1.0);
+        assert!(p100 >= 1_000_000 - 1_000_000 / 20, "p100 {p100}");
+        assert!(p100 <= low.max());
+    }
+
+    #[test]
+    fn empty_histogram_quantile_edges() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(17);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 17, "q={q}");
+        }
+    }
+
+    #[test]
+    fn subtract_recovers_interval_recordings() {
+        let mut earlier = Histogram::new();
+        earlier.record_n(10, 3);
+        let mut later = earlier.clone();
+        later.record_n(10, 2);
+        later.record_n(5_000, 4);
+        let d = later.subtract(&earlier);
+        assert_eq!(d.count(), 6);
+        assert_eq!(d.min(), 10);
+        assert!((d.mean() - (2.0 * 10.0 + 4.0 * 5_000.0) / 6.0).abs() < 1e-9);
+        // Subtracting everything yields an empty histogram.
+        let none = later.subtract(&later);
+        assert!(none.is_empty());
+        assert_eq!(none.quantile(1.0), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | TF004 | no `unwrap()`/`expect()`/`panic!` in non-test datapath code (datapath crates + `core::fabric`) |
 //! | TF005 | no truncating `as` casts on time/credit/byte values           |
 //! | TF006 | no float `==`/`!=` in stats/bandwidth code                    |
+//! | TF007 | no wall-clock reads (`Instant::now`/`SystemTime::now`/`UNIX_EPOCH`) in simulation crates, tests included |
 //!
 //! A finding is suppressed by a `// tflint::allow(TFnnn)` comment on the
 //! same line or the line directly above; allows should carry a reason.
@@ -38,12 +39,13 @@ pub const RULES: &[(&str, &str)] = &[
     ("TF004", "no unwrap()/expect()/panic! in non-test datapath code"),
     ("TF005", "no truncating `as` casts on time/credit/byte values"),
     ("TF006", "no float ==/!= comparisons in stats/bandwidth code"),
+    ("TF007", "no wall-clock reads (Instant::now/SystemTime::now/UNIX_EPOCH) in simulation crates, tests included"),
 ];
 
 /// One lint finding, anchored to a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule ID (`TF001`..`TF006`).
+    /// Rule ID (`TF001`..`TF007`).
     pub rule: &'static str,
     /// Path of the offending file, as given to the checker.
     pub file: String,
@@ -638,6 +640,32 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
                         ),
                     );
                 }
+            }
+        }
+
+        // TF007: wall-clock *reads*. TF001 bans the types in library
+        // code; actual clock reads are banned even inside test code,
+        // because tests pin deterministic-replay trajectories and a
+        // wall-clock read invalidates the comparison. Telemetry and
+        // span tracing must run off `SimTime` alone.
+        if in_scope(SIM_CRATES, crate_name) && tok.kind == Kind::Ident {
+            let clock_read = (tok.text == "Instant" || tok.text == "SystemTime")
+                && toks.get(i + 1).is_some_and(|t| t.text == "::")
+                && toks.get(i + 2).is_some_and(|t| t.text == "now");
+            if clock_read || tok.text == "UNIX_EPOCH" {
+                push(
+                    &mut diags,
+                    "TF007",
+                    tok,
+                    format!(
+                        "wall-clock read `{}` breaks deterministic replay (even in tests); stamp with the event queue's `SimTime` instead",
+                        if tok.text == "UNIX_EPOCH" {
+                            "UNIX_EPOCH".to_string()
+                        } else {
+                            format!("{}::now", tok.text)
+                        }
+                    ),
+                );
             }
         }
 

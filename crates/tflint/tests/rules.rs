@@ -11,9 +11,15 @@ fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
 
 #[test]
 fn tf001_fires_on_wall_clock() {
+    // The `::now()` read additionally trips TF007.
     let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
     let diags = check_source("llc", "src/x.rs", src);
-    assert_eq!(rules_of(&diags), ["TF001", "TF001"], "{}", render(&diags));
+    assert_eq!(
+        rules_of(&diags),
+        ["TF001", "TF001", "TF007"],
+        "{}",
+        render(&diags)
+    );
     assert_eq!(diags[0].line, 1);
 }
 
@@ -21,13 +27,25 @@ fn tf001_fires_on_wall_clock() {
 fn tf001_fires_on_system_time() {
     let src = "fn t() { let _ = std::time::SystemTime::now(); }\n";
     let diags = check_source("simkit", "src/x.rs", src);
-    assert_eq!(rules_of(&diags), ["TF001"]);
+    assert_eq!(rules_of(&diags), ["TF001", "TF007"]);
+}
+
+#[test]
+fn tf001_fires_on_bare_type_mention_without_tf007() {
+    // Holding the type without reading the clock is a TF001-only find.
+    let src = "fn t(deadline: std::time::Instant) {}\n";
+    let diags = check_source("llc", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF001"], "{}", render(&diags));
 }
 
 #[test]
 fn tf001_allow_suppresses() {
-    let src = "// tflint::allow(TF001): host-facing timer, not sim time\nfn t() { let _ = std::time::SystemTime::now(); }\n";
+    // A wall-clock *read* needs both rules allowed; the type alone
+    // needs only TF001.
+    let src = "// tflint::allow(TF001, TF007): host-facing timer, not sim time\nfn t() { let _ = std::time::SystemTime::now(); }\n";
     assert!(check_source("llc", "src/x.rs", src).is_empty());
+    let typed = "// tflint::allow(TF001): host-facing deadline\nfn t(deadline: std::time::Instant) {}\n";
+    assert!(check_source("llc", "src/x.rs", typed).is_empty());
 }
 
 // ------------------------------------------------------------------ TF002
@@ -218,6 +236,61 @@ fn tf006_allow_suppresses() {
     assert!(check_source("bench", "src/x.rs", src).is_empty());
 }
 
+// ------------------------------------------------------------------ TF007
+
+#[test]
+fn tf007_fires_on_instant_now() {
+    let src = "fn t() { let _ = Instant::now(); }\n";
+    let diags = check_source("core", "src/x.rs", src);
+    assert!(
+        rules_of(&diags).contains(&"TF007"),
+        "{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn tf007_fires_on_unix_epoch() {
+    let src = "fn t() -> u64 { SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs() }\n";
+    let diags = check_source("workloads", "src/x.rs", src);
+    assert!(
+        rules_of(&diags).contains(&"TF007"),
+        "UNIX_EPOCH read must fire: {}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn tf007_fires_even_inside_test_code() {
+    // TF001 exempts `#[cfg(test)]`; TF007 does not — a wall-clock read
+    // in a test invalidates deterministic-replay comparisons just the
+    // same.
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = Instant::now(); }\n}\n";
+    let diags = check_source("simkit", "src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["TF007"], "{}", render(&diags));
+}
+
+#[test]
+fn tf007_ignores_elapsed_and_other_idents() {
+    let src = "fn t(start: SimTime, now: SimTime) -> SimTime { now.saturating_sub(start) }\n";
+    assert!(check_source("simkit", "src/x.rs", src).is_empty());
+    let elapsed = "fn t() { let elapsed = queue.now(); }\n";
+    assert!(check_source("core", "src/x.rs", elapsed).is_empty());
+}
+
+#[test]
+fn tf007_scope_is_sim_crates_only() {
+    let src = "fn t() { let _ = Instant::now(); }\n";
+    assert!(check_source("bench", "src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tf007_allow_suppresses() {
+    let src =
+        "fn t() { let _ = Instant::now(); } // tflint::allow(TF001, TF007): host profiling\n";
+    assert!(check_source("core", "src/x.rs", src).is_empty());
+}
+
 // ----------------------------------------------------------------- general
 
 #[test]
@@ -239,7 +312,7 @@ fn diagnostics_render_with_location() {
 
 #[test]
 fn seeded_violations_of_every_rule_are_caught() {
-    // One file per rule scope, exercising all six rules at once — the
+    // One file per rule scope, exercising all seven rules at once — the
     // acceptance check that tflint "exits non-zero on seeded violations
     // of each rule".
     let cases: &[(&str, &str, &str)] = &[
@@ -249,6 +322,11 @@ fn seeded_violations_of_every_rule_are_caught() {
         ("TF004", "rmmu", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"),
         ("TF005", "simkit", "fn f(t_ps: u64) -> u32 { t_ps as u32 }\n"),
         ("TF006", "workloads", "fn f(x: f64) -> bool { x != 2.5 }\n"),
+        (
+            "TF007",
+            "core",
+            "#[cfg(test)]\nmod t { #[test] fn f() { let _ = SystemTime::now(); } }\n",
+        ),
     ];
     for (rule, krate, src) in cases {
         let diags = check_source(krate, "src/x.rs", src);

@@ -39,17 +39,15 @@ fn main() {
             .measure_stream_bandwidth(path, 8, 32, SimTime::from_us(100))
             .expect("replay keeps the stream progressing")
             .as_gib_per_sec();
-        let link = fabric.links_of(path).expect("live path")[0];
-        let (fwd, rev) = fabric.link_frames(link).expect("live link");
-        let (req_replays, rsp_replays) = fabric.link_replays(link).expect("live link");
+        let stats = fabric.path_link_stats(path).expect("live path")[0];
         println!(
             "{:>10.1} {:>10.1} {:>10.2} {:>12} {:>10} {:>10}",
             drop * 100.0,
             corrupt * 100.0,
             rate,
             fabric.completions(path).expect("live path").count(),
-            fwd + rev,
-            req_replays + rsp_replays,
+            stats.fwd_frames + stats.rev_frames,
+            stats.up_replays + stats.down_replays,
         );
         match lossless {
             None => lossless = Some(rate),
