@@ -17,13 +17,17 @@ echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
 echo "==> example smoke loop (release)"
-for example in quickstart rack_orchestration failure_injection cloud_workloads datacentre_motivation latency_breakdown; do
+for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown; do
     echo "--> example: ${example}"
     cargo run -q --release --example "${example}" > /dev/null
 done
 
 echo "==> latency breakdown artifacts (Chrome trace_event JSON parses)"
 jq -e '.traceEvents | length > 0' target/latency_breakdown.trace.json > /dev/null
+
+echo "==> chaos scenario smoke (link flap + donor crash, exactly-once asserts)"
+cargo test -q -p thymesisflow-core --test chaos_sweep
+cargo test -q -p llc --test prop_loss_burst
 
 echo "==> engine throughput smoke (QUICK mode, writes BENCH_engine.json)"
 QUICK=1 cargo bench -q -p bench --bench engine_throughput

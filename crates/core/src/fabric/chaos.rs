@@ -1,0 +1,275 @@
+//! Scheduled failure injection and typed fault resolution.
+//!
+//! Statistical loss ([`netsim::fault::FaultSpec`]) exercises the LLC
+//! replay protocol; this module injects the failures replay *cannot*
+//! mask: cut cables, dead lanes, crashed donors and failed switch
+//! ports, each scheduled at an exact simulated instant on the fabric's
+//! own event queue. A [`ChaosPlan`] is a deterministic script — the
+//! same plan on the same topology yields the same trajectory, so chaos
+//! runs sweep and replay exactly like healthy ones.
+//!
+//! The contract the fabric upholds under a plan is *exactly-once or
+//! typed fault*: every load in flight when a failure lands either
+//! completes normally (the outage was shorter than the detection
+//! window, or a surviving bonded lane carried it) or resolves to one
+//! [`LoadFault`] naming the failure — never both, and never silence.
+
+use simkit::time::SimTime;
+
+use netsim::switch::PortId;
+
+use crate::fabric::engine::PathId;
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Hard-down a link's both physical channels (a cut cable).
+    LinkDown {
+        /// Global link index (= channel id).
+        link: usize,
+    },
+    /// Restore a hard-downed link. Scheduled automatically by
+    /// [`ChaosEvent::LinkFlap`]; may also be scripted directly.
+    LinkUp {
+        /// Global link index.
+        link: usize,
+    },
+    /// Down then up: the link is dark for `down_for`, then restored.
+    /// Shorter than the detection window, a flap costs only replays.
+    LinkFlap {
+        /// Global link index.
+        link: usize,
+        /// How long the link stays dark.
+        down_for: SimTime,
+    },
+    /// Fail one bonded serDES lane on both directions of a link: the
+    /// channel keeps running at `N-1` lanes and proportionally reduced
+    /// bandwidth. Failing the last lane is a [`ChaosEvent::LinkDown`].
+    LaneFail {
+        /// Global link index.
+        link: usize,
+    },
+    /// The donor host dies mid-service: every path it serves loses all
+    /// its links, and every in-flight load on them resolves to a fault.
+    DonorCrash {
+        /// Donor index (see [`crate::fabric::Fabric::path_donor`]).
+        donor: usize,
+    },
+    /// A circuit-switch port fails. The switch re-programs the affected
+    /// circuit around it (one reconfiguration latency of darkness) or,
+    /// with no free ports left, the link riding it dies.
+    SwitchPortFail {
+        /// The failing switch port.
+        port: PortId,
+    },
+}
+
+/// A deterministic failure script: `(instant, event)` pairs handed to
+/// [`crate::fabric::Fabric::schedule_chaos`].
+///
+/// # Example
+///
+/// ```
+/// use thymesisflow_core::fabric::{ChaosPlan, ChaosEvent};
+/// use simkit::time::SimTime;
+///
+/// let plan = ChaosPlan::new()
+///     .link_flap(SimTime::from_us(5), 0, SimTime::from_us(10))
+///     .donor_crash(SimTime::from_us(40), 0);
+/// assert_eq!(plan.events().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: Vec<(SimTime, ChaosEvent)>,
+}
+
+impl ChaosPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Schedules an arbitrary event.
+    pub fn at(mut self, at: SimTime, event: ChaosEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// Cuts `link` at `at`.
+    pub fn link_down(self, at: SimTime, link: usize) -> Self {
+        self.at(at, ChaosEvent::LinkDown { link })
+    }
+
+    /// Restores `link` at `at`.
+    pub fn link_up(self, at: SimTime, link: usize) -> Self {
+        self.at(at, ChaosEvent::LinkUp { link })
+    }
+
+    /// Darkens `link` at `at` for `down_for`.
+    pub fn link_flap(self, at: SimTime, link: usize, down_for: SimTime) -> Self {
+        self.at(at, ChaosEvent::LinkFlap { link, down_for })
+    }
+
+    /// Fails one bonded lane of `link` at `at`.
+    pub fn lane_fail(self, at: SimTime, link: usize) -> Self {
+        self.at(at, ChaosEvent::LaneFail { link })
+    }
+
+    /// Crashes donor `donor` at `at`.
+    pub fn donor_crash(self, at: SimTime, donor: usize) -> Self {
+        self.at(at, ChaosEvent::DonorCrash { donor })
+    }
+
+    /// Fails switch port `port` at `at`.
+    pub fn switch_port_fail(self, at: SimTime, port: PortId) -> Self {
+        self.at(at, ChaosEvent::SwitchPortFail { port })
+    }
+
+    /// The scripted `(instant, event)` pairs, in insertion order (the
+    /// queue's FIFO tie-break keeps coincident events in this order).
+    pub fn events(&self) -> &[(SimTime, ChaosEvent)] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// How the fabric detects dead links once a [`ChaosPlan`] is armed.
+///
+/// A per-link watchdog samples the link's LLC progress counters every
+/// `watchdog_period`; each silent sample while work is outstanding is a
+/// strike (and re-kicks tail replay, the keepalive), and `dead_after`
+/// consecutive strikes declare the link dead. An outage shorter than
+/// `watchdog_period × dead_after` is therefore survivable; a longer one
+/// resolves every stranded load to a typed [`LoadFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Interval between watchdog samples of a suspect link.
+    pub watchdog_period: SimTime,
+    /// Consecutive progress-free samples before the link is declared
+    /// dead.
+    pub dead_after: u32,
+}
+
+impl RecoveryConfig {
+    /// The detection window: silence longer than this kills the link.
+    pub fn detection_window(&self) -> SimTime {
+        let mut w = SimTime::ZERO;
+        for _ in 0..self.dead_after {
+            w = w + self.watchdog_period;
+        }
+        w
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            watchdog_period: SimTime::from_us(5),
+            dead_after: 4,
+        }
+    }
+}
+
+/// Why a load (or a lease) faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The link went silent past the detection window and was declared
+    /// dead.
+    LinkDead {
+        /// The dead link.
+        link: usize,
+    },
+    /// The donor host crashed.
+    DonorCrash {
+        /// The crashed donor's index.
+        donor: usize,
+    },
+    /// The circuit-switch port failed and no spare circuit existed.
+    SwitchPortFail {
+        /// The failed port.
+        port: PortId,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::LinkDead { link } => write!(f, "link {link} declared dead"),
+            FaultKind::DonorCrash { donor } => write!(f, "donor {donor} crashed"),
+            FaultKind::SwitchPortFail { port } => {
+                write!(f, "switch port {} failed", port.0)
+            }
+        }
+    }
+}
+
+/// The typed resolution of one in-flight load that could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadFault {
+    /// The load's tag.
+    pub tag: u64,
+    /// The path it was issued on.
+    pub path: PathId,
+    /// When the fault was resolved.
+    pub at: SimTime,
+    /// Why.
+    pub kind: FaultKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_preserves_script_order() {
+        let plan = ChaosPlan::new()
+            .link_flap(SimTime::from_us(5), 0, SimTime::from_us(2))
+            .lane_fail(SimTime::from_us(5), 1)
+            .donor_crash(SimTime::from_us(9), 0);
+        let evs = plan.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs[0],
+            (
+                SimTime::from_us(5),
+                ChaosEvent::LinkFlap {
+                    link: 0,
+                    down_for: SimTime::from_us(2)
+                }
+            )
+        );
+        assert_eq!(evs[1], (SimTime::from_us(5), ChaosEvent::LaneFail { link: 1 }));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn detection_window_is_period_times_strikes() {
+        let cfg = RecoveryConfig {
+            watchdog_period: SimTime::from_us(3),
+            dead_after: 5,
+        };
+        assert_eq!(cfg.detection_window(), SimTime::from_us(15));
+        let dflt = RecoveryConfig::default();
+        assert_eq!(dflt.detection_window(), SimTime::from_us(20));
+    }
+
+    #[test]
+    fn fault_kinds_render_their_component() {
+        assert_eq!(
+            FaultKind::LinkDead { link: 3 }.to_string(),
+            "link 3 declared dead"
+        );
+        assert_eq!(
+            FaultKind::DonorCrash { donor: 1 }.to_string(),
+            "donor 1 crashed"
+        );
+        assert_eq!(
+            FaultKind::SwitchPortFail { port: PortId(7) }.to_string(),
+            "switch port 7 failed"
+        );
+    }
+}

@@ -41,6 +41,7 @@ use simkit::telemetry::{CounterId, GaugeId, Registry, Snapshot, TimerId};
 use simkit::time::SimTime;
 
 use crate::endpoint::EndpointError;
+use crate::fabric::chaos::{ChaosEvent, ChaosPlan, FaultKind, LoadFault, RecoveryConfig};
 use crate::fabric::port::{ComponentId, Connection, PortRef, PortUnit, WiringError};
 use crate::fabric::stage::{
     C1MasterDram, FabricComponent, FabricMsg, LlcPair, M1Capture, RmmuTranslate, RouterStage,
@@ -204,6 +205,14 @@ pub enum FabricError {
     UnknownPath(PathId),
     /// The path still has loads in flight.
     PathBusy(PathId),
+    /// The path lost its last link to an injected failure; loads can no
+    /// longer be issued on it. Detach it and re-attach elsewhere.
+    PathFaulted {
+        /// The poisoned path.
+        path: PathId,
+        /// The failure that killed it.
+        kind: FaultKind,
+    },
     /// A connection violated the port typing rules.
     Wiring(WiringError),
     /// The path specification is malformed.
@@ -227,6 +236,9 @@ impl fmt::Display for FabricError {
             FabricError::NoSwitch => write!(f, "topology has no circuit switch"),
             FabricError::UnknownPath(p) => write!(f, "unknown {p}"),
             FabricError::PathBusy(p) => write!(f, "{p} still has loads in flight"),
+            FabricError::PathFaulted { path, kind } => {
+                write!(f, "{path} is poisoned: {kind}")
+            }
             FabricError::Wiring(e) => write!(f, "wiring: {e}"),
             FabricError::Config(msg) => write!(f, "bad path spec: {msg}"),
             FabricError::Protocol(msg) => write!(f, "fabric invariant violated: {msg}"),
@@ -302,13 +314,16 @@ enum Ev {
     Complete { tag: u64 },
     /// Seal whatever is staged on a direction (adaptive batching).
     Flush { link: usize, dir: Dir },
+    /// A scripted failure lands (see [`ChaosPlan`]).
+    Chaos(ChaosEvent),
+    /// The link-down watchdog samples a suspect link's progress.
+    Watchdog { link: usize },
 }
 
 /// Unified per-link statistics: wire-channel, LLC and credit counters
-/// for both directions of one link, in one typed struct (supersedes the
-/// `Option`/tuple-returning `link_frames`/`link_replays` accessors).
-/// Mirrored into the telemetry registry by [`Fabric::telemetry_snapshot`]
-/// under `fabric.link{n}.*` paths.
+/// for both directions of one link, in one typed struct. Mirrored into
+/// the telemetry registry by [`Fabric::telemetry_snapshot`] under
+/// `fabric.link{n}.*` paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkStats {
     /// Global link index (= channel id).
@@ -363,6 +378,14 @@ struct FabricTele {
     retired: CounterId,
     rtt: TimerId,
     hops: Vec<TimerId>,
+    chaos_events: CounterId,
+    lanes_failed: CounterId,
+    links_failed: CounterId,
+    loads_faulted: CounterId,
+    late_completions: CounterId,
+    switch_reroutes: CounterId,
+    detect: TimerId,
+    downtime: TimerId,
 }
 
 impl FabricTele {
@@ -375,6 +398,14 @@ impl FabricTele {
                 .iter()
                 .map(|k| r.timer(&format!("fabric.hop.{}", k.label())))
                 .collect(),
+            chaos_events: r.counter("fabric.chaos.events"),
+            lanes_failed: r.counter("fabric.chaos.lanes_failed"),
+            links_failed: r.counter("fabric.recovery.links_failed"),
+            loads_faulted: r.counter("fabric.recovery.loads_faulted"),
+            late_completions: r.counter("fabric.recovery.late_completions"),
+            switch_reroutes: r.counter("fabric.recovery.switch_reroutes"),
+            detect: r.timer("fabric.recovery.detect_ns"),
+            downtime: r.timer("fabric.recovery.downtime_ns"),
         }
     }
 }
@@ -436,6 +467,15 @@ struct LinkSlot {
     flush_pending: [bool; 2],
     circuit: Option<(PortId, PortId)>,
     tele: LinkTele,
+    /// A watchdog sample is already scheduled for this link.
+    watchdog_pending: bool,
+    /// Consecutive progress-free watchdog samples.
+    strikes: u32,
+    /// Progress marker at the last watchdog sample: txns acked and
+    /// frames delivered, both directions.
+    progress: (usize, usize, u64, u64),
+    /// When the link went hard-down (for recovery-latency spans).
+    down_since: Option<SimTime>,
 }
 
 /// Per-path bookkeeping.
@@ -454,6 +494,8 @@ struct PathState {
     ready_at: SimTime,
     label: String,
     tele_rtt: TimerId,
+    /// Set once the path loses its last link: no further issues.
+    poisoned: Option<FaultKind>,
 }
 
 const CAPTURE_ID: ComponentId = ComponentId(0);
@@ -496,12 +538,22 @@ pub struct Fabric {
     paths: BTreeMap<u32, PathState>,
     next_path: u32,
     queue: EventQueue<Ev>,
-    inflight: HashMap<u64, (SimTime, u32)>,
+    inflight: HashMap<u64, (SimTime, u32, usize)>,
     next_tag: u64,
     connections: Vec<Connection>,
     telemetry: Registry,
     tele: FabricTele,
     tracer: FlitTracer,
+    /// Armed by [`Fabric::schedule_chaos`]; `None` keeps every healthy
+    /// run's event trajectory untouched (no watchdog events exist).
+    recovery: Option<RecoveryConfig>,
+    /// Typed resolutions of loads that could not complete.
+    faults: Vec<LoadFault>,
+    /// Tags resolved as faulted, so a completion racing its own fault
+    /// is absorbed instead of tripping the unissued-tag invariant.
+    faulted: HashMap<u64, FaultKind>,
+    /// Completions absorbed because their load had already faulted.
+    late_completions: u64,
 }
 
 impl fmt::Debug for Fabric {
@@ -558,6 +610,10 @@ impl Fabric {
             telemetry,
             tele,
             tracer: FlitTracer::new(),
+            recovery: None,
+            faults: Vec::new(),
+            faulted: HashMap::new(),
+            late_completions: 0,
         }
     }
 
@@ -679,6 +735,10 @@ impl Fabric {
                 flush_pending: [false; 2],
                 circuit,
                 tele: LinkTele::register(&mut self.telemetry, link),
+                watchdog_pending: false,
+                strikes: 0,
+                progress: (0, 0, 0, 0),
+                down_since: None,
             }));
             // tflint::allow(TF005): link indices stay far below u32::MAX.
             chan_ids.push(ChannelId(link as u32));
@@ -715,6 +775,7 @@ impl Fabric {
                 tele_rtt: self
                     .telemetry
                     .timer(&format!("fabric.path{path_id}.rtt_ns")),
+                poisoned: None,
             },
         );
         self.next_path += 1;
@@ -798,14 +859,18 @@ impl Fabric {
         if !self.paths.contains_key(&path.0) {
             return Err(FabricError::UnknownPath(path));
         }
-        if self.inflight.values().any(|(_, p)| *p == path.0) {
+        if self.inflight.values().any(|(_, p, _)| *p == path.0) {
             return Err(FabricError::PathBusy(path));
         }
         let state = self
             .paths
             .remove(&path.0)
             .ok_or(FabricError::UnknownPath(path))?;
-        self.route.remove_route(state.network)?;
+        // A poisoned path already lost its route (and possibly its
+        // circuits) when its last link died; tear down what remains.
+        if self.route.router().channels_of(state.network).is_some() {
+            self.route.remove_route(state.network)?;
+        }
         for s in self.translate.table().sections_of(state.network) {
             self.translate.unprogram(s)?;
         }
@@ -814,7 +879,9 @@ impl Fabric {
         for &l in &state.links {
             if let Some(slot) = self.links.get_mut(l).and_then(Option::take) {
                 if let (Some((a, _)), Some(sw)) = (slot.circuit, self.switch.as_mut()) {
-                    sw.switch.disconnect(a, now)?;
+                    if sw.switch.peer(a).is_some() {
+                        sw.switch.disconnect(a, now)?;
+                    }
                 }
             }
             dead.extend([up_id(l), down_id(l), fwd_id(l), rev_id(l)]);
@@ -827,17 +894,23 @@ impl Fabric {
         Ok(())
     }
 
-    /// Issues one cacheline read on `path` at the current instant.
+    /// Issues one cacheline read on `path` at the current instant,
+    /// returning the load's tag (matched by [`Completion::tag`] or, if
+    /// an injected failure strands it, [`LoadFault::tag`]).
     ///
     /// # Errors
     ///
-    /// Fails on unknown paths or if a pipeline stage rejects the load
-    /// (which a correctly attached path never does).
-    pub fn issue_read(&mut self, path: PathId) -> Result<(), FabricError> {
+    /// Fails on unknown paths, on paths poisoned by an injected failure
+    /// ([`FabricError::PathFaulted`]), or if a pipeline stage rejects
+    /// the load (which a correctly attached path never does).
+    pub fn issue_read(&mut self, path: PathId) -> Result<u64, FabricError> {
         let state = self
             .paths
             .get_mut(&path.0)
             .ok_or(FabricError::UnknownPath(path))?;
+        if let Some(kind) = state.poisoned {
+            return Err(FabricError::PathFaulted { path, kind });
+        }
         let tag = self.next_tag;
         self.next_tag += 1;
         // Walk the path's window in cacheline strides.
@@ -858,9 +931,9 @@ impl Fabric {
             bonded: t.bonded,
         };
         let now = self.queue.now();
-        self.inflight.insert(tag, (now, path.0));
         // tflint::allow(TF005): channel ids are small link indices.
         let link = ch.0 as usize;
+        self.inflight.insert(tag, (now, path.0, link));
         // CPU -> serDES -> FPGA stack -> LLC; a freshly switched path
         // additionally waits for its circuits to be programmed.
         let at = (now + self.edge_latency()).max(ready_at);
@@ -873,7 +946,7 @@ impl Fabric {
         );
         self.telemetry.inc(self.tele.issued);
         self.tracer.begin(tag, path.0, link, now, at);
-        Ok(())
+        Ok(tag)
     }
 
     /// Adaptive batching: seal immediately once a full frame's payload
@@ -989,7 +1062,12 @@ impl Fabric {
                     intact: false,
                 },
             ),
-            Delivery::Dropped => {}
+            // A lost frame is only silence until someone notices: with
+            // recovery armed, losing a frame puts the link under watch
+            // (the watchdog re-kicks replay and eventually declares the
+            // link dead). Unarmed fabrics keep the historical
+            // trajectory: replay alone recovers statistical loss.
+            Delivery::Dropped => self.arm_watchdog(link),
         }
     }
 
@@ -1079,10 +1157,20 @@ impl Fabric {
 
     /// Retires one completed load.
     fn retire(&mut self, tag: u64, done: &mut Vec<Completion>) -> Result<(), FabricError> {
-        let (issued, path) = self
-            .inflight
-            .remove(&tag)
-            .ok_or_else(|| FabricError::Protocol(format!("completion for unissued tag {tag}")))?;
+        let Some((issued, path, _link)) = self.inflight.remove(&tag) else {
+            if self.faulted.contains_key(&tag) {
+                // The completion raced its own fault resolution: the
+                // response was already past the failed component when
+                // the fault was declared. The typed fault stands; the
+                // late completion is absorbed, never double-delivered.
+                self.late_completions += 1;
+                self.telemetry.inc(self.tele.late_completions);
+                return Ok(());
+            }
+            return Err(FabricError::Protocol(format!(
+                "completion for unissued tag {tag}"
+            )));
+        };
         let now = self.queue.now();
         let latency = now - issued;
         if let Some(state) = self.paths.get_mut(&path) {
@@ -1278,6 +1366,8 @@ impl Fabric {
                     self.retire(tag, &mut done)?;
                 }
             }
+            Ev::Chaos(ev) => self.apply_chaos(ev)?,
+            Ev::Watchdog { link } => self.watchdog_fire(link)?,
         }
         Ok(Some(done))
     }
@@ -1292,6 +1382,386 @@ impl Fabric {
         Ok(())
     }
 
+    /// Schedules a failure script on the event queue and arms link-down
+    /// recovery (with [`RecoveryConfig::default`] unless
+    /// [`Fabric::set_recovery`] configured it). Events dated in the
+    /// past land at the current instant.
+    pub fn schedule_chaos(&mut self, plan: &ChaosPlan) {
+        if self.recovery.is_none() {
+            self.recovery = Some(RecoveryConfig::default());
+        }
+        let now = self.queue.now();
+        for &(at, ev) in plan.events() {
+            self.queue.schedule(at.max(now), Ev::Chaos(ev));
+        }
+    }
+
+    /// Arms (or re-tunes) link-down detection without scheduling any
+    /// failure — useful when only statistical loss is injected but
+    /// stranded loads must still resolve.
+    pub fn set_recovery(&mut self, cfg: RecoveryConfig) {
+        self.recovery = Some(cfg);
+    }
+
+    /// The armed recovery configuration, if any.
+    pub fn recovery_config(&self) -> Option<RecoveryConfig> {
+        self.recovery
+    }
+
+    /// Typed resolutions of every load an injected failure stranded, in
+    /// resolution order.
+    pub fn faults(&self) -> &[LoadFault] {
+        &self.faults
+    }
+
+    /// Drains the accumulated [`LoadFault`]s.
+    pub fn take_faults(&mut self) -> Vec<LoadFault> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Completions absorbed because their load had already been
+    /// resolved as faulted (the response raced the failure declaration).
+    pub fn late_completions(&self) -> u64 {
+        self.late_completions
+    }
+
+    /// Why `path` can no longer issue loads, or `None` while healthy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_fault(&self, path: PathId) -> Result<Option<FaultKind>, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.poisoned)
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// The donor index serving `path` (the target for
+    /// [`ChaosEvent::DonorCrash`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn path_donor(&self, path: PathId) -> Result<usize, FabricError> {
+        self.paths
+            .get(&path.0)
+            .map(|s| s.donor)
+            .ok_or(FabricError::UnknownPath(path))
+    }
+
+    /// Whether a live link is currently hard-down (`None` for
+    /// tombstoned slots).
+    pub fn link_is_down(&self, link: usize) -> Option<bool> {
+        self.links
+            .get(link)
+            .and_then(Option::as_ref)
+            .map(|s| s.fwd.chan.is_down() || s.rev.chan.is_down())
+    }
+
+    /// Lands one scripted failure.
+    fn apply_chaos(&mut self, ev: ChaosEvent) -> Result<(), FabricError> {
+        self.telemetry.inc(self.tele.chaos_events);
+        let now = self.queue.now();
+        match ev {
+            ChaosEvent::LinkDown { link } => self.link_down(link),
+            ChaosEvent::LinkUp { link } => self.link_up(link)?,
+            ChaosEvent::LinkFlap { link, down_for } => {
+                self.link_down(link);
+                self.queue
+                    .schedule(now + down_for, Ev::Chaos(ChaosEvent::LinkUp { link }));
+            }
+            ChaosEvent::LaneFail { link } => {
+                let left = {
+                    let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut)
+                    else {
+                        return Ok(());
+                    };
+                    slot.fwd.chan.fail_lane();
+                    slot.rev.chan.fail_lane()
+                };
+                self.telemetry.inc(self.tele.lanes_failed);
+                if left == 0 {
+                    // The last lane: a lane failure is now a cut cable.
+                    self.link_down(link);
+                }
+            }
+            ChaosEvent::DonorCrash { donor } => self.donor_crash(donor)?,
+            ChaosEvent::SwitchPortFail { port } => self.switch_port_fail(port)?,
+        }
+        Ok(())
+    }
+
+    /// Takes both physical channels of a link hard-down and puts the
+    /// link under watchdog supervision.
+    fn link_down(&mut self, link: usize) {
+        let now = self.queue.now();
+        let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+            return;
+        };
+        slot.fwd.chan.set_down(true);
+        slot.rev.chan.set_down(true);
+        if slot.down_since.is_none() {
+            slot.down_since = Some(now);
+        }
+        self.arm_watchdog(link);
+    }
+
+    /// Restores a hard-downed link and shoves whatever the outage
+    /// stranded back onto the live wire.
+    fn link_up(&mut self, link: usize) -> Result<(), FabricError> {
+        let now = self.queue.now();
+        let down_at = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return Ok(());
+            };
+            slot.fwd.chan.set_down(false);
+            slot.rev.chan.set_down(false);
+            slot.strikes = 0;
+            slot.down_since.take()
+        };
+        if let Some(at) = down_at {
+            self.telemetry.record_span(self.tele.downtime, at, now);
+        }
+        self.kick_link(link)
+    }
+
+    /// Tail-replay keepalive: re-queues the oldest unacknowledged frame
+    /// on both directions and pumps them through the channels.
+    fn kick_link(&mut self, link: usize) -> Result<(), FabricError> {
+        {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return Ok(());
+            };
+            slot.up.tx.kick_tail_replay();
+            slot.down.tx.kick_tail_replay();
+        }
+        self.pump(link, Dir::ToMemory)?;
+        self.pump(link, Dir::ToCompute)
+    }
+
+    /// Schedules one watchdog sample for `link`, if recovery is armed
+    /// and none is pending. Never fires on healthy unarmed fabrics, so
+    /// their event trajectories are untouched.
+    fn arm_watchdog(&mut self, link: usize) {
+        let Some(cfg) = self.recovery else {
+            return;
+        };
+        let at = self.queue.now() + cfg.watchdog_period;
+        let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+            return;
+        };
+        if slot.watchdog_pending {
+            return;
+        }
+        slot.watchdog_pending = true;
+        self.queue.schedule(at, Ev::Watchdog { link });
+    }
+
+    /// One watchdog sample: a strike if the link owes work and made no
+    /// progress since the last sample, a keepalive kick and re-arm
+    /// while strikes are below the threshold, and a dead declaration at
+    /// it. Goes quiet (no re-arm) once the link owes nothing, so a
+    /// drained queue stays drained.
+    fn watchdog_fire(&mut self, link: usize) -> Result<(), FabricError> {
+        let Some(cfg) = self.recovery else {
+            return Ok(());
+        };
+        let (declare_dead, rearm) = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return Ok(());
+            };
+            slot.watchdog_pending = false;
+            let waiting = !slot.up.tx.is_idle() || !slot.down.tx.is_idle();
+            let marker = (
+                slot.up.tx.txns_acked(),
+                slot.down.tx.txns_acked(),
+                slot.up.rx.frames_delivered(),
+                slot.down.rx.frames_delivered(),
+            );
+            if !waiting {
+                slot.strikes = 0;
+                slot.progress = marker;
+                (false, false)
+            } else if marker != slot.progress {
+                slot.progress = marker;
+                slot.strikes = 0;
+                (false, true)
+            } else {
+                slot.strikes += 1;
+                (slot.strikes >= cfg.dead_after, slot.strikes < cfg.dead_after)
+            }
+        };
+        if declare_dead {
+            return self.fail_link(link, FaultKind::LinkDead { link });
+        }
+        if rearm {
+            self.kick_link(link)?;
+            // The kick may have re-armed already (a retransmit dropped
+            // on the still-dark channel); arming is idempotent.
+            self.arm_watchdog(link);
+        }
+        Ok(())
+    }
+
+    /// Permanently removes a dead link: tombstones the slot, frees any
+    /// surviving circuit end, prunes the wiring graph, resolves the
+    /// link's in-flight loads to typed faults, and re-programs the
+    /// path's route around the loss — or poisons the path if this was
+    /// its last link.
+    fn fail_link(&mut self, link: usize, kind: FaultKind) -> Result<(), FabricError> {
+        let Some(slot) = self.links.get_mut(link).and_then(Option::take) else {
+            return Ok(());
+        };
+        let now = self.queue.now();
+        if let Some(since) = slot.down_since {
+            self.telemetry.record_span(self.tele.detect, since, now);
+        }
+        if let (Some((a, _)), Some(sw)) = (slot.circuit, self.switch.as_mut()) {
+            // A failed port already tore the circuit; only live ones
+            // still need disconnecting.
+            if sw.switch.peer(a).is_some() {
+                sw.switch.disconnect(a, now)?;
+            }
+        }
+        let dead = [up_id(link), down_id(link), fwd_id(link), rev_id(link)];
+        self.connections
+            .retain(|c| !dead.contains(&c.from.component) && !dead.contains(&c.to.component));
+        // Resolve this link's stranded loads, in tag order so the fault
+        // log is independent of hash-map iteration order.
+        let mut stranded: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, &(_, _, l))| l == link)
+            .map(|(&t, _)| t)
+            .collect();
+        stranded.sort_unstable();
+        for tag in stranded {
+            self.fault_tag(tag, kind);
+        }
+        // Degrade the path to its surviving links, or poison it.
+        let path = slot.path;
+        if let Some(state) = self.paths.get_mut(&path) {
+            state.links.retain(|&l| l != link);
+            let network = state.network;
+            let survivors: Vec<ChannelId> = state
+                .links
+                .iter()
+                // tflint::allow(TF005): link indices stay far below u32::MAX.
+                .map(|&l| ChannelId(l as u32))
+                .collect();
+            if survivors.is_empty() {
+                state.poisoned = Some(kind);
+                if self.route.router().channels_of(network).is_some() {
+                    self.route.remove_route(network)?;
+                }
+            } else {
+                self.route.remove_route(network)?;
+                self.route.add_route(network, survivors)?;
+            }
+        }
+        self.telemetry.inc(self.tele.links_failed);
+        Ok(())
+    }
+
+    /// Resolves one in-flight load to a typed fault.
+    fn fault_tag(&mut self, tag: u64, kind: FaultKind) {
+        let Some((_, path, _)) = self.inflight.remove(&tag) else {
+            return;
+        };
+        self.faulted.insert(tag, kind);
+        self.faults.push(LoadFault {
+            tag,
+            path: PathId(path),
+            at: self.queue.now(),
+            kind,
+        });
+        self.tracer.abandon(tag);
+        self.telemetry.inc(self.tele.loads_faulted);
+    }
+
+    /// The donor host dies: every link it serves dies with it, every
+    /// stranded load on them resolves to a [`FaultKind::DonorCrash`].
+    fn donor_crash(&mut self, donor: usize) -> Result<(), FabricError> {
+        if self.donors.get_mut(donor).and_then(Option::take).is_none() {
+            return Ok(()); // already detached — nothing left to crash
+        }
+        let dead = donor_id(donor);
+        self.connections
+            .retain(|c| c.from.component != dead && c.to.component != dead);
+        let doomed: Vec<usize> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|slot| slot.donor == donor)
+                    .map(|_| i)
+            })
+            .collect();
+        for link in doomed {
+            self.fail_link(link, FaultKind::DonorCrash { donor })?;
+        }
+        Ok(())
+    }
+
+    /// A switch port fails: the circuit riding it is re-programmed
+    /// around the failed port (one reconfiguration latency of darkness,
+    /// drained by the same flap machinery), or — with no spare ports —
+    /// the link dies.
+    fn switch_port_fail(&mut self, port: PortId) -> Result<(), FabricError> {
+        let now = self.queue.now();
+        {
+            let Some(sw) = self.switch.as_mut() else {
+                return Ok(()); // no switch in this topology
+            };
+            if sw.switch.fail_port(port).is_err() {
+                return Ok(()); // unknown or already failed
+            }
+        }
+        let Some(link) = self.links.iter().position(|s| {
+            s.as_ref()
+                .and_then(|slot| slot.circuit)
+                .is_some_and(|(a, b)| a == port || b == port)
+        }) else {
+            return Ok(()); // the port carried no live circuit
+        };
+        let realloc = match self.switch.as_mut() {
+            Some(sw) => sw.switch.alloc_circuit(now),
+            None => return Ok(()),
+        };
+        match realloc {
+            Ok((a, b, ready)) => {
+                // Re-point the wiring graph at the new ports and flap
+                // the link for the reconfiguration window.
+                let (up, fwd) = (up_id(link), fwd_id(link));
+                self.connections.retain(|c| {
+                    !(c.from.component == up && c.to.component == SWITCH_ID)
+                        && !(c.from.component == SWITCH_ID && c.to.component == fwd)
+                });
+                self.connect(
+                    PortRef::new(up, "wire_out"),
+                    PortRef::new(SWITCH_ID, &format!("p{}_in", a.0)),
+                    PortUnit::Frame,
+                )?;
+                self.connect(
+                    PortRef::new(SWITCH_ID, &format!("p{}_out", b.0)),
+                    PortRef::new(fwd, "in"),
+                    PortUnit::Frame,
+                )?;
+                if let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) {
+                    slot.circuit = Some((a, b));
+                }
+                self.link_down(link);
+                self.queue
+                    .schedule(ready.max(now), Ev::Chaos(ChaosEvent::LinkUp { link }));
+                self.telemetry.inc(self.tele.switch_reroutes);
+                Ok(())
+            }
+            Err(_) => self.fail_link(link, FaultKind::SwitchPortFail { port }),
+        }
+    }
+
     /// Measures the round trip of one uncontended cacheline load on
     /// `path` (load-to-use: flit RTT plus donor DRAM).
     ///
@@ -1300,8 +1770,7 @@ impl Fabric {
     /// Fails on unknown paths or if the fabric drains without the load
     /// completing (a simulator bug on a lossless path).
     pub fn measure_load_latency(&mut self, path: PathId) -> Result<SimTime, FabricError> {
-        let tag = self.next_tag;
-        self.issue_read(path)?;
+        let tag = self.issue_read(path)?;
         while let Some(done) = self.step()? {
             if let Some(c) = done.iter().find(|c| c.tag == tag) {
                 return Ok(c.latency);
@@ -1564,34 +2033,6 @@ impl Fabric {
             .collect())
     }
 
-    /// Global link indices (= channel ids) serving `path`.
-    ///
-    /// # Errors
-    ///
-    /// Fails on unknown paths.
-    #[deprecated(since = "0.4.0", note = "use `Fabric::path_link_stats`")]
-    pub fn links_of(&self, path: PathId) -> Result<Vec<usize>, FabricError> {
-        self.paths
-            .get(&path.0)
-            .map(|s| s.links.clone())
-            .ok_or(FabricError::UnknownPath(path))
-    }
-
-    /// `(forward frames, reverse frames)` a link has transmitted, or
-    /// `None` for tombstoned slots.
-    #[deprecated(since = "0.4.0", note = "use `Fabric::link_stats`")]
-    pub fn link_frames(&self, link: usize) -> Option<(u64, u64)> {
-        self.link_stats(link).map(|s| (s.fwd_frames, s.rev_frames))
-    }
-
-    /// `(request-direction, response-direction)` frames the link's LLC
-    /// endpoints re-transmitted after loss or corruption, or `None` for
-    /// tombstoned slots.
-    #[deprecated(since = "0.4.0", note = "use `Fabric::link_stats`")]
-    pub fn link_replays(&self, link: usize) -> Option<(u64, u64)> {
-        self.link_stats(link).map(|s| (s.up_replays, s.down_replays))
-    }
-
     /// Live attached paths, in attach order.
     pub fn path_ids(&self) -> Vec<PathId> {
         self.paths.keys().map(|&p| PathId(p)).collect()
@@ -1802,14 +2243,13 @@ impl Fabric {
     pub fn measure_traced_load(&mut self, path: PathId) -> Result<FlitTrace, FabricError> {
         let was = self.tracer.enabled();
         self.tracer.set_enabled(true);
-        let tag = self.next_tag;
-        let result = self.traced_probe(path, tag);
+        let result = self.traced_probe(path);
         self.tracer.set_enabled(was);
         result
     }
 
-    fn traced_probe(&mut self, path: PathId, tag: u64) -> Result<FlitTrace, FabricError> {
-        self.issue_read(path)?;
+    fn traced_probe(&mut self, path: PathId) -> Result<FlitTrace, FabricError> {
+        let tag = self.issue_read(path)?;
         while let Some(done) = self.step()? {
             if done.iter().any(|c| c.tag == tag) {
                 return self
@@ -1970,18 +2410,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_link_stats() {
+    fn link_stats_cover_live_links_only() {
         let mut f = fabric(WindowSpec::reference(256 << 20));
         let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
         f.measure_load_latency(p).unwrap();
         let s = f.link_stats(0).expect("live link");
-        assert_eq!(f.link_frames(0), Some((s.fwd_frames, s.rev_frames)));
-        assert_eq!(f.link_replays(0), Some((s.up_replays, s.down_replays)));
-        assert_eq!(f.links_of(p).unwrap(), vec![s.link]);
         assert_eq!(s.path, p);
         assert!(s.fwd_frames > 0 && s.rev_frames > 0);
+        let per_path = f.path_link_stats(p).unwrap();
+        assert_eq!(per_path.len(), 1);
+        assert_eq!(per_path[0].link, s.link);
         assert_eq!(f.link_stats(7), None, "unknown links yield None");
+        f.detach_path(p).unwrap();
+        assert_eq!(f.link_stats(0), None, "tombstoned links yield None");
     }
 
     #[test]
@@ -2054,6 +2495,204 @@ mod tests {
             !t.time_in(HopKind::CircuitWait).is_zero(),
             "a freshly allocated circuit delays the first load"
         );
+    }
+
+    /// Issues `n` loads, runs the fabric dry, and returns the tags that
+    /// completed. Every issued tag must resolve: completion or fault.
+    fn run_exactly_once(f: &mut Fabric, path: PathId, n: usize) -> Vec<u64> {
+        let issued: Vec<u64> = (0..n).map(|_| f.issue_read(path).unwrap()).collect();
+        let mut completed = Vec::new();
+        while let Some(done) = f.step().unwrap() {
+            completed.extend(done.iter().map(|c| c.tag));
+        }
+        let faulted: Vec<u64> = f.faults().iter().map(|l| l.tag).collect();
+        for &t in &issued {
+            let c = completed.contains(&t);
+            let l = faulted.contains(&t);
+            assert!(
+                c ^ l,
+                "tag {t} must resolve exactly once (completed={c}, faulted={l})"
+            );
+        }
+        assert_eq!(completed.len() + faulted.len(), issued.len());
+        completed
+    }
+
+    #[test]
+    fn flap_shorter_than_detection_window_completes_every_load() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        // Dark for 10 µs — half the default 20 µs detection window.
+        f.schedule_chaos(
+            &ChaosPlan::new().link_flap(SimTime::from_ns(500), 0, SimTime::from_us(10)),
+        );
+        let completed = run_exactly_once(&mut f, p, 16);
+        assert_eq!(completed.len(), 16, "a survivable flap costs only latency");
+        assert!(f.faults().is_empty());
+        assert_eq!(f.link_is_down(0), Some(false));
+        assert!(f.path_fault(p).unwrap().is_none());
+        let replays = f.link_stats(0).unwrap();
+        assert!(
+            replays.up_replays + replays.down_replays > 0,
+            "the outage must have been bridged by replay"
+        );
+    }
+
+    #[test]
+    fn hard_link_down_resolves_stranded_loads_to_typed_faults() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        f.schedule_chaos(&ChaosPlan::new().link_down(SimTime::from_ns(300), 0));
+        let completed = run_exactly_once(&mut f, p, 8);
+        assert!(
+            !f.faults().is_empty(),
+            "a permanent cut must strand at least one load"
+        );
+        for fault in f.faults() {
+            assert_eq!(fault.path, p);
+            assert_eq!(fault.kind, FaultKind::LinkDead { link: 0 });
+            assert!(
+                fault.at >= SimTime::from_us(20),
+                "death cannot be declared before the detection window"
+            );
+        }
+        assert_eq!(f.path_fault(p).unwrap(), Some(FaultKind::LinkDead { link: 0 }));
+        assert!(matches!(
+            f.issue_read(p),
+            Err(FabricError::PathFaulted { .. })
+        ));
+        // The poisoned path detaches cleanly and frees its window.
+        f.detach_path(p).unwrap();
+        assert!(f.path_ids().is_empty());
+        let _ = completed;
+    }
+
+    #[test]
+    fn bonded_path_degrades_to_surviving_links() {
+        let mut f = fabric(WindowSpec::rack_default());
+        let p = f
+            .attach_path(
+                &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 512 << 20)
+                    .bonded_channels(2),
+            )
+            .unwrap();
+        f.schedule_chaos(&ChaosPlan::new().link_down(SimTime::from_ns(300), 0));
+        run_exactly_once(&mut f, p, 8);
+        // Link 0 died; link 1 carries on. The path stays issuable.
+        assert_eq!(f.link_is_down(0), None, "dead links are tombstoned");
+        assert_eq!(f.link_is_down(1), Some(false));
+        assert!(f.path_fault(p).unwrap().is_none());
+        let tag = f.issue_read(p).unwrap();
+        let mut late = Vec::new();
+        while let Some(done) = f.step().unwrap() {
+            late.extend(done.iter().map(|c| c.tag));
+        }
+        assert!(late.contains(&tag), "the degraded path must still serve loads");
+    }
+
+    #[test]
+    fn lane_failure_degrades_bandwidth_without_faulting() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        f.schedule_chaos(&ChaosPlan::new().lane_fail(SimTime::from_ns(100), 0));
+        let completed = run_exactly_once(&mut f, p, 8);
+        assert_eq!(completed.len(), 8, "a lane failure is graceful degradation");
+        assert!(f.faults().is_empty());
+        let healthy = Fabric::reference_load_latency(&params(), 1).unwrap();
+        let degraded = f.completions(p).unwrap().max();
+        assert!(
+            degraded > healthy.as_ns(),
+            "N-1 lanes must serialize slower: {degraded} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn donor_crash_faults_every_inflight_load_and_poisons_the_path() {
+        let mut f = fabric(WindowSpec::reference(256 << 20));
+        let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
+        let donor = f.path_donor(p).unwrap();
+        f.schedule_chaos(&ChaosPlan::new().donor_crash(SimTime::from_ns(400), donor));
+        run_exactly_once(&mut f, p, 8);
+        assert!(!f.faults().is_empty());
+        for fault in f.faults() {
+            assert_eq!(fault.kind, FaultKind::DonorCrash { donor });
+            assert_eq!(
+                fault.at,
+                SimTime::from_ns(400),
+                "a crash resolves its stranded loads at the instant it lands"
+            );
+        }
+        assert_eq!(
+            f.path_fault(p).unwrap(),
+            Some(FaultKind::DonorCrash { donor })
+        );
+        f.detach_path(p).unwrap();
+    }
+
+    #[test]
+    fn switch_port_failure_reroutes_around_the_port() {
+        use netsim::switch::CircuitSwitch;
+        let mut f = Fabric::assemble(
+            params(),
+            WindowSpec::rack_default(),
+            Some(SwitchStage::new(CircuitSwitch::optical(8))),
+            Engine::Hybrid,
+        );
+        let p = f
+            .attach_path(
+                &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20)
+                    .through_switch(),
+            )
+            .unwrap();
+        // Warm up so the circuit-wait is behind us, then fail one of
+        // the two ports the path's circuit rides.
+        f.measure_load_latency(p).unwrap();
+        let port = PortId(0);
+        f.schedule_chaos(&ChaosPlan::new().switch_port_fail(f.now(), port));
+        let completed = run_exactly_once(&mut f, p, 8);
+        assert_eq!(
+            completed.len(),
+            8,
+            "with spare ports the switch re-programs around the failure"
+        );
+        assert!(f.faults().is_empty());
+        assert!(f.path_fault(p).unwrap().is_none());
+        let sw = f.switch_stage().unwrap().switch();
+        assert!(sw.is_port_failed(port));
+        assert!(sw.reconfigurations() >= 2, "tear-down plus re-program");
+        // The rewired graph still types and has no double-driven port.
+        let mut seen = std::collections::HashSet::new();
+        for c in f.connections() {
+            assert!(seen.insert(c.to.clone()), "double-driven port {}", c.to);
+        }
+    }
+
+    #[test]
+    fn switch_port_failure_without_spares_kills_the_link() {
+        use netsim::switch::CircuitSwitch;
+        // A 2-port switch: the path's circuit uses both, no spares.
+        let mut f = Fabric::assemble(
+            params(),
+            WindowSpec::rack_default(),
+            Some(SwitchStage::new(CircuitSwitch::optical(2))),
+            Engine::Hybrid,
+        );
+        let p = f
+            .attach_path(
+                &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20)
+                    .through_switch(),
+            )
+            .unwrap();
+        f.measure_load_latency(p).unwrap();
+        f.schedule_chaos(&ChaosPlan::new().switch_port_fail(f.now(), PortId(0)));
+        run_exactly_once(&mut f, p, 4);
+        assert_eq!(
+            f.path_fault(p).unwrap(),
+            Some(FaultKind::SwitchPortFail { port: PortId(0) })
+        );
+        for fault in f.faults() {
+            assert_eq!(fault.kind, FaultKind::SwitchPortFail { port: PortId(0) });
+        }
     }
 
     #[test]

@@ -15,12 +15,14 @@
 //! paths — this is what `Rack::attach` leases are wired through.
 
 pub mod builder;
+pub mod chaos;
 pub mod engine;
 pub mod port;
 pub mod stage;
 pub mod trace;
 
 pub use builder::FabricBuilder;
+pub use chaos::{ChaosEvent, ChaosPlan, FaultKind, LoadFault, RecoveryConfig};
 pub use engine::{Completion, Fabric, FabricError, LinkStats, PathId, PathSpec, StreamLoad};
 pub use trace::{
     chrome_trace, chrome_trace_json, BreakdownRow, FlitTrace, HopKind, LatencyBreakdown,

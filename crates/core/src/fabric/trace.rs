@@ -494,6 +494,12 @@ impl FlitTracer {
     }
 
     /// The link a live trace rides, if the tag is being traced.
+    /// Discards the live checkpoints of a load resolved as faulted —
+    /// a half-traced load can never finalize.
+    pub(crate) fn abandon(&mut self, tag: u64) {
+        self.live.remove(&tag);
+    }
+
     pub(crate) fn pending_link(&self, tag: u64) -> Option<usize> {
         self.live.get(&tag).map(|p| p.link)
     }

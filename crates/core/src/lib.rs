@@ -59,4 +59,4 @@ pub use datapath::Datapath;
 pub use fabric::{Fabric, FabricBuilder};
 pub use memmodel::MemoryModel;
 pub use params::DatapathParams;
-pub use rack::{NodeConfig, Rack, RackBuilder, RackError};
+pub use rack::{LeaseFault, LeaseResolution, NodeConfig, Rack, RackBuilder, RackError};

@@ -12,13 +12,14 @@
 //! memory is thereby exercised end to end at flit granularity via
 //! [`Rack::measure_lease_rtt`] / [`Rack::run_lease_streams`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use ctrlplane::agent::{AgentError, NodeAgent};
 use ctrlplane::api::AttachSpec;
 use ctrlplane::auth::{Role, Token};
 use ctrlplane::graph::VertexKind;
+use ctrlplane::retry::{RetryPolicy, RetryStats};
 use ctrlplane::service::{ControlPlane, CpError, FlowGrant};
 use hostsim::node::{HostNode, NodeSpec};
 use netsim::switch::CircuitSwitch;
@@ -31,7 +32,8 @@ use simkit::time::SimTime;
 use crate::attach::{AttachRequest, Lease, LeaseId};
 use crate::config::SystemConfig;
 use crate::fabric::{
-    Fabric, FabricBuilder, FabricError, FlitTrace, LatencyBreakdown, PathId, PathSpec, StreamLoad,
+    ChaosPlan, Fabric, FabricBuilder, FabricError, FlitTrace, LatencyBreakdown, PathId, PathSpec,
+    StreamLoad,
 };
 use crate::memmodel::MemoryModel;
 use crate::params::DatapathParams;
@@ -73,6 +75,9 @@ pub enum RackError {
     UnknownLease(LeaseId),
     /// Flit-level fabric rejection.
     Fabric(FabricError),
+    /// The named host crashed; it can neither donate nor borrow until
+    /// the operator re-provisions it.
+    HostDown(String),
 }
 
 impl fmt::Display for RackError {
@@ -83,6 +88,7 @@ impl fmt::Display for RackError {
             RackError::Agent(e) => write!(f, "agent: {e}"),
             RackError::UnknownLease(l) => write!(f, "unknown {l}"),
             RackError::Fabric(e) => write!(f, "fabric: {e}"),
+            RackError::HostDown(h) => write!(f, "host {h} is down"),
         }
     }
 }
@@ -105,6 +111,43 @@ impl From<FabricError> for RackError {
     fn from(e: FabricError) -> Self {
         RackError::Fabric(e)
     }
+}
+
+/// What happened to one lease when its donor host died.
+///
+/// Emitted by [`Rack::crash_donor`], one per lease the dead host was
+/// serving — the typed fault the borrower receives instead of silence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseFault {
+    /// The lease that lost its donor.
+    pub lease: LeaseId,
+    /// The borrower host that was using the memory.
+    pub borrower: String,
+    /// The donor host that crashed.
+    pub donor: String,
+    /// The leased window size.
+    pub bytes: u64,
+    /// In-flight loads the crash resolved to typed fabric faults.
+    pub loads_faulted: usize,
+    /// How the evacuation resolved.
+    pub resolution: LeaseResolution,
+}
+
+/// The outcome of evacuating one lease off a dead donor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeaseResolution {
+    /// The window was re-homed on a surviving donor under a new lease.
+    /// The borrower keeps its remote memory; the *contents* died with
+    /// the donor and the new window starts cold.
+    Migrated {
+        /// The replacement lease.
+        lease: LeaseId,
+        /// The surviving donor now serving it.
+        donor: String,
+    },
+    /// No surviving donor could host the window: the lease is gone and
+    /// the borrower's remote NUMA node was unplugged.
+    Poisoned,
 }
 
 /// Builds a [`Rack`].
@@ -192,6 +235,7 @@ impl RackBuilder {
             params: self.params,
             fabrics: HashMap::new(),
             lease_paths: HashMap::new(),
+            failed_hosts: HashSet::new(),
         })
     }
 }
@@ -210,6 +254,9 @@ pub struct Rack {
     fabrics: HashMap<String, Fabric>,
     /// Which fabric (by borrower host) and path each lease drives.
     lease_paths: HashMap<LeaseId, (String, PathId)>,
+    /// Hosts declared dead by [`Rack::crash_donor`]. They neither donate
+    /// nor borrow until an operator re-provisions them.
+    failed_hosts: HashSet<String>,
 }
 
 impl Rack {
@@ -228,6 +275,11 @@ impl Rack {
         }
         if !self.agents.contains_key(&req.memory) {
             return Err(RackError::BadTopology(format!("unknown node {}", req.memory)));
+        }
+        for host in [&req.compute, &req.memory] {
+            if self.failed_hosts.contains(host.as_str()) {
+                return Err(RackError::HostDown(host.clone()));
+            }
         }
         let grant = self.cp.attach(
             &self.admin,
@@ -295,6 +347,162 @@ impl Rack {
         self.leases.insert(id, lease.clone());
         self.lease_paths.insert(id, (req.compute.clone(), path));
         Ok(lease)
+    }
+
+    /// Attaches with bounded retry: transient control-plane rejections
+    /// (donor exhausted, no path, no disjoint second path for bonding)
+    /// back off exponentially and try again — capacity churns as other
+    /// tenants detach — while permanent rejections fail fast. The
+    /// returned [`RetryStats`] reports attempts made and simulated time
+    /// spent backing off.
+    ///
+    /// # Errors
+    ///
+    /// As [`Rack::attach`]; a transient error is returned only once
+    /// `policy.max_attempts` attempts are exhausted.
+    pub fn attach_with_retry(
+        &mut self,
+        req: AttachRequest,
+        policy: &RetryPolicy,
+    ) -> Result<(Lease, RetryStats), RackError> {
+        let max = policy.max_attempts.max(1);
+        let mut stats = RetryStats {
+            attempts: 0,
+            backoff_total: SimTime::ZERO,
+            attempt_time_total: SimTime::ZERO,
+            transient_errors: Vec::new(),
+        };
+        loop {
+            stats.attempts += 1;
+            match self.attach(req.clone()) {
+                Ok(lease) => return Ok((lease, stats)),
+                Err(RackError::ControlPlane(e))
+                    if e.is_transient() && stats.attempts < max =>
+                {
+                    stats.attempt_time_total =
+                        stats.attempt_time_total + policy.attempt_timeout;
+                    stats.backoff_total =
+                        stats.backoff_total + policy.backoff_after(stats.attempts);
+                    stats.transient_errors.push(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Declares a donor host dead and evacuates every lease it served.
+    ///
+    /// Models the paper's worst failure case: the memory-stealing
+    /// endpoint vanishes mid-service. For each affected lease, in
+    /// ascending lease order: the borrower fabric's donor component is
+    /// crashed (every in-flight load resolves to a typed fault — never
+    /// silence), the poisoned path is torn down, the borrower's remote
+    /// NUMA node is unplugged, the control-plane reservation is
+    /// released, and the window is re-homed on a surviving donor when
+    /// one has capacity and connectivity ([`LeaseResolution::Migrated`])
+    /// or reported lost ([`LeaseResolution::Poisoned`]). The crashed
+    /// host's own pinned-memory accounting is left as it died — its
+    /// state is gone — and the host refuses new attachments
+    /// ([`RackError::HostDown`]) until re-provisioned.
+    ///
+    /// Returns one [`LeaseFault`] per evacuated lease.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown hosts, or if a borrower still has pages
+    /// allocated on a dying node (the unplug is refused rather than
+    /// losing data silently).
+    pub fn crash_donor(&mut self, host: &str) -> Result<Vec<LeaseFault>, RackError> {
+        if !self.agents.contains_key(host) {
+            return Err(RackError::BadTopology(format!("unknown node {host}")));
+        }
+        self.failed_hosts.insert(host.to_string());
+        let mut victims: Vec<LeaseId> = self
+            .leases
+            .values()
+            .filter(|l| l.memory() == host)
+            .map(|l| l.id())
+            .collect();
+        victims.sort();
+        let mut faults = Vec::with_capacity(victims.len());
+        for id in victims {
+            faults.push(self.evacuate(id, host)?);
+        }
+        Ok(faults)
+    }
+
+    /// Evacuates one lease off the crashed donor `host`.
+    fn evacuate(&mut self, id: LeaseId, host: &str) -> Result<LeaseFault, RackError> {
+        let lease = self
+            .leases
+            .get(&id)
+            .cloned()
+            .ok_or(RackError::UnknownLease(id))?;
+        // Land the crash on the serving fabric: in-flight loads on the
+        // lease's path resolve to typed faults and the path poisons.
+        let mut loads_faulted = 0;
+        if let Some((fabric_host, path)) = self.lease_paths.remove(&id) {
+            if let Some(fabric) = self.fabrics.get_mut(&fabric_host) {
+                let donor = fabric.path_donor(path)?;
+                let before = fabric.faults().len();
+                fabric.schedule_chaos(&ChaosPlan::new().donor_crash(fabric.now(), donor));
+                fabric.drain()?;
+                loads_faulted = fabric.faults().len() - before;
+                fabric.detach_path(path)?;
+            }
+        }
+        // The borrower unplugs the now-dead remote node. The crashed
+        // donor's pinned accounting is deliberately not released — that
+        // state died with the host.
+        self.agents
+            .get_mut(lease.compute())
+            .expect("lease host exists")
+            .remove_compute(lease.numa_node())?;
+        self.cp.detach(&self.admin, lease.flow())?;
+        self.leases.remove(&id);
+        // Re-home the window on a surviving donor, smallest name first
+        // for determinism. Capacity or connectivity rejections move on
+        // to the next candidate; fabric errors are real bugs.
+        let mut candidates: Vec<String> = self
+            .agents
+            .keys()
+            .filter(|h| {
+                h.as_str() != lease.compute() && !self.failed_hosts.contains(h.as_str())
+            })
+            .cloned()
+            .collect();
+        candidates.sort();
+        for candidate in candidates {
+            let mut req = AttachRequest::new(lease.compute(), &candidate, lease.bytes());
+            if lease.is_bonded() {
+                req = req.bonded();
+            }
+            match self.attach(req) {
+                Ok(new) => {
+                    return Ok(LeaseFault {
+                        lease: id,
+                        borrower: lease.compute().to_string(),
+                        donor: host.to_string(),
+                        bytes: lease.bytes(),
+                        loads_faulted,
+                        resolution: LeaseResolution::Migrated {
+                            lease: new.id(),
+                            donor: candidate,
+                        },
+                    })
+                }
+                Err(RackError::ControlPlane(_) | RackError::Agent(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(LeaseFault {
+            lease: id,
+            borrower: lease.compute().to_string(),
+            donor: host.to_string(),
+            bytes: lease.bytes(),
+            loads_faulted,
+            resolution: LeaseResolution::Poisoned,
+        })
     }
 
     /// Derives the flit-level path of a control-plane grant: network id
@@ -413,6 +621,12 @@ impl Rack {
     /// instantiated one there.
     pub fn fabric(&self, host: &str) -> Option<&Fabric> {
         self.fabrics.get(host)
+    }
+
+    /// Mutable access to a borrower host's fabric — chaos injection and
+    /// direct load issue for failure testing.
+    pub fn fabric_mut(&mut self, host: &str) -> Option<&mut Fabric> {
+        self.fabrics.get_mut(host)
     }
 
     /// The fabric path a lease drives.
@@ -767,6 +981,129 @@ mod tests {
             .memory_model(SystemConfig::Local)
             .measured_remote_ns()
             .is_none());
+    }
+
+    #[test]
+    fn donor_crash_migrates_leases_to_a_surviving_donor() {
+        let mut r = RackBuilder::new()
+            .node(NodeConfig::ac922("n1"))
+            .node(NodeConfig::ac922("n2"))
+            .node(NodeConfig::ac922("n3"))
+            .cable("n1", "n2")
+            .cable("n1", "n3")
+            .build()
+            .unwrap();
+        let lease = r.attach(AttachRequest::new("n1", "n2", 8 * GIB)).unwrap();
+        // Put loads in flight on the lease's path, then kill the donor
+        // mid-service: the fabric must fault them, never drop them.
+        let path = r.lease_path(lease.id()).unwrap();
+        let fabric = r.fabric_mut("n1").unwrap();
+        let issued: Vec<u64> = (0..4).map(|_| fabric.issue_read(path).unwrap()).collect();
+        let faults = r.crash_donor("n2").unwrap();
+        assert_eq!(faults.len(), 1);
+        let f = &faults[0];
+        assert_eq!(f.lease, lease.id());
+        assert_eq!(f.borrower, "n1");
+        assert_eq!(f.donor, "n2");
+        assert_eq!(f.bytes, 8 * GIB);
+        assert_eq!(f.loads_faulted, issued.len());
+        let LeaseResolution::Migrated { lease: new, donor } = &f.resolution else {
+            panic!("n3 has capacity and a cable: {:?}", f.resolution);
+        };
+        assert_eq!(donor, "n3");
+        // Every stranded load shows up in the fabric's typed fault log.
+        let fabric = r.fabric("n1").unwrap();
+        for tag in issued {
+            assert!(fabric.faults().iter().any(|l| l.tag == tag));
+        }
+        // The replacement lease serves traffic; the borrower never lost
+        // its remote capacity.
+        assert_eq!(r.host("n1").unwrap().remote_bytes(), 8 * GIB);
+        let rtt = r.measure_lease_rtt(*new).unwrap();
+        assert!((1000..=1200).contains(&rtt.as_ns()), "{rtt}");
+        assert_eq!(r.leases().count(), 1);
+        // The dead host refuses new business.
+        assert!(matches!(
+            r.attach(AttachRequest::new("n1", "n2", GIB)),
+            Err(RackError::HostDown(h)) if h == "n2"
+        ));
+    }
+
+    #[test]
+    fn donor_crash_without_spare_poisons_the_lease() {
+        let mut r = rack();
+        let lease = r
+            .attach(AttachRequest::new("borrower", "donor", 16 * GIB))
+            .unwrap();
+        let faults = r.crash_donor("donor").unwrap();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].resolution, LeaseResolution::Poisoned);
+        assert_eq!(faults[0].lease, lease.id());
+        // The borrower lost the window: node unplugged, lease gone.
+        assert_eq!(r.host("borrower").unwrap().remote_bytes(), 0);
+        assert_eq!(r.leases().count(), 0);
+        assert!(r.lease_path(lease.id()).is_none());
+    }
+
+    #[test]
+    fn donor_crash_spares_other_donors_leases() {
+        let mut r = RackBuilder::new()
+            .node(NodeConfig::ac922("n1"))
+            .node(NodeConfig::ac922("n2"))
+            .node(NodeConfig::ac922("n3"))
+            .cable("n1", "n2")
+            .cable("n1", "n3")
+            .build()
+            .unwrap();
+        let doomed = r.attach(AttachRequest::new("n1", "n2", 8 * GIB)).unwrap();
+        let safe = r.attach(AttachRequest::new("n1", "n3", 4 * GIB)).unwrap();
+        let faults = r.crash_donor("n2").unwrap();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].lease, doomed.id());
+        // n3's lease rides through on the shared borrower fabric. (The
+        // migration target for the doomed lease is also n3, so n1 now
+        // holds two leases there.)
+        let rtt = r.measure_lease_rtt(safe.id()).unwrap();
+        assert!((1000..=1200).contains(&rtt.as_ns()), "{rtt}");
+        assert_eq!(r.host("n1").unwrap().remote_bytes(), 12 * GIB);
+    }
+
+    #[test]
+    fn attach_with_retry_rides_through_transient_exhaustion() {
+        let mut r = rack();
+        // Reserve the whole donor so the next attach is transient-busy.
+        let hog = r
+            .attach(AttachRequest::new("borrower", "donor", 512 * GIB))
+            .unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: simkit::time::SimTime::from_us(10),
+            attempt_timeout: simkit::time::SimTime::from_us(5),
+        };
+        let err = r
+            .attach_with_retry(AttachRequest::new("borrower", "donor", GIB), &policy)
+            .unwrap_err();
+        assert!(matches!(err, RackError::ControlPlane(e) if e.is_transient()));
+        // Capacity frees; the same request now succeeds on attempt one.
+        r.detach(hog.id()).unwrap();
+        let (lease, stats) = r
+            .attach_with_retry(AttachRequest::new("borrower", "donor", GIB), &policy)
+            .unwrap();
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.backoff_total, simkit::time::SimTime::ZERO);
+        assert_eq!(lease.bytes(), GIB);
+    }
+
+    #[test]
+    fn attach_with_retry_fails_fast_on_permanent_errors() {
+        let mut r = rack();
+        let err = r
+            .attach_with_retry(
+                AttachRequest::new("ghost", "donor", GIB),
+                &RetryPolicy::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RackError::BadTopology(_)));
     }
 
     #[test]

@@ -52,9 +52,11 @@ pub mod api;
 pub mod auth;
 pub mod graph;
 pub mod path;
+pub mod retry;
 pub mod service;
 
 pub use api::{AttachSpec, Request, Response};
 pub use auth::{AccessControl, Role, Token};
 pub use graph::{EdgeId, Graph, VertexId, VertexKind};
+pub use retry::{attach_with_retry, RetryPolicy, RetryStats};
 pub use service::{ControlPlane, CpError, FlowGrant, FlowHandle};

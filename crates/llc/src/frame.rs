@@ -20,9 +20,53 @@ use crate::flit::{FlitSized, FLIT_BYTES};
 pub struct FrameId(pub u64);
 
 impl FrameId {
-    /// The next identifier in sequence.
+    /// The next identifier in sequence. Wraps at `u64::MAX`: frame ids
+    /// form a serial-number space, not a linear one, so a long-lived
+    /// link rolls over instead of panicking.
     pub fn next(self) -> FrameId {
-        FrameId(self.0 + 1)
+        FrameId(self.0.wrapping_add(1))
+    }
+
+    /// The previous identifier in sequence (wrapping).
+    pub fn prev(self) -> FrameId {
+        FrameId(self.0.wrapping_sub(1))
+    }
+
+    /// Serial-number comparison (RFC 1982 style): `self` is *before*
+    /// `other` when the wrapping distance from `self` to `other` is less
+    /// than half the id space. Protocol-order checks (duplicate/gap
+    /// detection, cumulative acks) must use this instead of the derived
+    /// `Ord`, which breaks across the `u64::MAX → 0` wrap. The window of
+    /// outstanding ids is bounded by the replay buffer (≪ 2⁶³), so the
+    /// half-space rule is always unambiguous.
+    pub fn seq_cmp(self, other: FrameId) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else if other.0.wrapping_sub(self.0) < (1 << 63) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    }
+
+    /// Serial `self < other`.
+    pub fn seq_lt(self, other: FrameId) -> bool {
+        self.seq_cmp(other) == std::cmp::Ordering::Less
+    }
+
+    /// Serial `self <= other`.
+    pub fn seq_le(self, other: FrameId) -> bool {
+        self.seq_cmp(other) != std::cmp::Ordering::Greater
+    }
+
+    /// Serial `self > other`.
+    pub fn seq_gt(self, other: FrameId) -> bool {
+        self.seq_cmp(other) == std::cmp::Ordering::Greater
+    }
+
+    /// Serial `self >= other`.
+    pub fn seq_ge(self, other: FrameId) -> bool {
+        self.seq_cmp(other) != std::cmp::Ordering::Less
     }
 }
 
@@ -330,6 +374,26 @@ mod tests {
         for (i, f) in frames.iter().enumerate() {
             assert_eq!(f.id(), Some(FrameId(5 + i as u64)));
         }
+    }
+
+    #[test]
+    fn frame_ids_wrap_and_compare_serially() {
+        let last = FrameId(u64::MAX);
+        let first = last.next();
+        assert_eq!(first, FrameId(0));
+        assert_eq!(first.prev(), last);
+        // Across the wrap the derived Ord inverts, but serial order holds.
+        assert!(last.seq_lt(first));
+        assert!(first.seq_gt(last));
+        assert!(last.seq_le(last));
+        assert!(first.seq_ge(last));
+        assert_eq!(last.seq_cmp(last), std::cmp::Ordering::Equal);
+        // Assembly rolls straight through the wrap with sequential ids.
+        let txns: Vec<Msg> = (0..4).map(|i| (i, 7)).collect();
+        let (frames, next) = assemble(txns, 8, FrameId(u64::MAX - 1), 0);
+        let ids: Vec<u64> = frames.iter().map(|f| f.id().unwrap().0).collect();
+        assert_eq!(ids, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        assert_eq!(next, FrameId(2));
     }
 
     #[test]

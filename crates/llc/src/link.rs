@@ -251,6 +251,15 @@ impl<T: FlitSized + Clone> LlcLink<T> {
             .collect())
     }
 
+    /// Takes both directions of the wire hard-down or restores them —
+    /// failure injection for loss-burst testing. While down every frame
+    /// handed to the wire is silently lost, exactly what a cut cable
+    /// looks like; serialization state survives restoration.
+    pub fn set_link_down(&mut self, down: bool) {
+        self.chan_ab.set_down(down);
+        self.chan_ba.set_down(down);
+    }
+
     /// Everything delivered so far, with timestamps.
     pub fn deliveries(&self) -> &[Delivered<T>] {
         &self.delivered

@@ -82,13 +82,13 @@ impl<T: Clone> ReplayBuffer<T> {
         Ok(())
     }
 
-    /// Drops every frame with id ≤ `through` (cumulative ack). Returns
-    /// the number of *transactions* the acknowledged frames carried, so
-    /// the Tx can account for them as delivered.
+    /// Drops every frame with id serially ≤ `through` (cumulative ack).
+    /// Returns the number of *transactions* the acknowledged frames
+    /// carried, so the Tx can account for them as delivered.
     pub fn ack_through(&mut self, through: FrameId) -> usize {
         let mut acked_txns = 0;
         while let Some(front) = self.frames.front().and_then(Frame::id) {
-            if front <= through {
+            if front.seq_le(through) {
                 if let Some(f) = self.frames.pop_front() {
                     acked_txns += f.txn_count();
                 }
@@ -99,13 +99,14 @@ impl<T: Clone> ReplayBuffer<T> {
         acked_txns
     }
 
-    /// Returns clones of every retained frame with id ≥ `from`, in order.
-    /// Frames older than `from` were already received and are skipped.
+    /// Returns clones of every retained frame with id serially ≥ `from`,
+    /// in order. Frames older than `from` were already received and are
+    /// skipped.
     pub fn frames_from(&mut self, from: FrameId) -> Vec<Frame<T>> {
         self.replays_served += 1;
         self.frames
             .iter()
-            .filter(|f| f.id().is_some_and(|id| id >= from))
+            .filter(|f| f.id().is_some_and(|id| id.seq_ge(from)))
             .cloned()
             .collect()
     }
@@ -185,6 +186,28 @@ mod tests {
         rb.retain(data(7)).unwrap();
         assert_eq!(rb.ack_through(FrameId(3)), 0);
         assert_eq!(rb.len(), 1);
+    }
+
+    #[test]
+    fn ack_and_replay_survive_id_wraparound() {
+        let mut rb = ReplayBuffer::new(8);
+        // Retain u64::MAX-1, u64::MAX, 0, 1 — a run across the wrap.
+        rb.retain(data(u64::MAX - 1)).unwrap();
+        rb.retain(data(u64::MAX)).unwrap();
+        rb.retain(data(0)).unwrap();
+        rb.retain(data(1)).unwrap();
+        // Ack through the wrap point drops the two pre-wrap frames.
+        rb.ack_through(FrameId(u64::MAX));
+        assert_eq!(rb.oldest(), Some(FrameId(0)));
+        assert_eq!(rb.len(), 2);
+        // Replay from a pre-wrap id returns everything still retained.
+        rb.retain(data(2)).unwrap();
+        let ids: Vec<u64> = rb
+            .frames_from(FrameId(0))
+            .iter()
+            .map(|f| f.id().unwrap().0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

@@ -274,6 +274,40 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_sweep_classifies_every_error() {
+        // The exhaustive form of `single_bit_damage_is_caught`: each
+        // flipped bit must land in exactly one detector — the two magic
+        // bytes trip BadMagic, every other bit (header, payload, and the
+        // CRC field itself) trips BadCrc. A clean decode or any other
+        // error kind is a detector hole.
+        let (frames, _) = assemble(vec![(7u32, 3usize), (9, 2)], 8, FrameId(0), 3);
+        let control: Frame<Msg> = Frame::Control(Control::ReplayRequest(FrameId(99)));
+        for clean in [encode(&frames[0]), encode(&control)] {
+            let total = clean.len() * 8;
+            let mut bad_magic = 0;
+            let mut bad_crc = 0;
+            for bit in 0..total {
+                let mut damaged = clean.clone();
+                damaged[bit / 8] ^= 1 << (bit % 8);
+                match decode::<Msg>(&damaged) {
+                    Err(WireError::BadMagic) => {
+                        assert!(bit < 16, "bit {bit}: BadMagic outside the magic");
+                        bad_magic += 1;
+                    }
+                    Err(WireError::BadCrc { .. }) => {
+                        assert!(bit >= 16, "bit {bit}: BadCrc inside the magic");
+                        bad_crc += 1;
+                    }
+                    Err(e) => panic!("bit {bit}: unexpected error {e}"),
+                    Ok(_) => panic!("bit {bit}: undetected corruption"),
+                }
+            }
+            assert_eq!(bad_magic, 16);
+            assert_eq!(bad_crc, total - 16);
+        }
+    }
+
+    #[test]
     fn bad_lengths_and_magic_rejected() {
         assert_eq!(
             decode::<Msg>(&[0u8; 16]),

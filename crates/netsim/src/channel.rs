@@ -40,16 +40,58 @@ pub struct Channel {
     extra_latency: SimTime,
     faults: FaultInjector,
     frames_sent: u64,
+    down: bool,
+    down_drops: u64,
+    lanes_failed: usize,
 }
 
 impl Channel {
-    /// Aggregate payload rate of the bonded lanes.
+    /// Aggregate payload rate of the currently-working bonded lanes.
     pub fn payload_rate(&self) -> Rate {
         Rate::from_bytes_per_sec(self.lane.payload_rate().bytes_per_sec() * self.lanes as f64)
     }
 
-    /// Number of bonded lanes.
+    /// Number of currently-working bonded lanes.
     pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of lanes lost to [`Channel::fail_lane`] so far.
+    pub fn lanes_failed(&self) -> usize {
+        self.lanes_failed
+    }
+
+    /// Whether the channel is hard-down (every transmit is lost).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Takes the channel hard-down or restores it. While down, every
+    /// frame handed to [`Channel::transmit`] is silently lost — exactly
+    /// what a cut cable looks like to the sender. Serialization state is
+    /// kept so a restored link resumes with its FIFO history intact.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// Fails one bonded lane: the channel keeps running at `N-1` lanes
+    /// with proportionally reduced payload bandwidth (frames already
+    /// serializing keep their completion instants). Failing the last
+    /// lane takes the channel hard-down. Returns the number of lanes
+    /// still working.
+    pub fn fail_lane(&mut self) -> usize {
+        if self.lanes == 0 {
+            return 0;
+        }
+        self.lanes -= 1;
+        self.lanes_failed += 1;
+        if self.lanes == 0 {
+            self.down = true;
+        } else {
+            self.line.set_rate(Rate::from_bytes_per_sec(
+                self.lane.payload_rate().bytes_per_sec() * self.lanes as f64,
+            ));
+        }
         self.lanes
     }
 
@@ -79,6 +121,10 @@ impl Channel {
     /// instant. Frames serialize in FIFO order behind earlier traffic.
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> Delivery {
         self.frames_sent += 1;
+        if self.down {
+            self.down_drops += 1;
+            return Delivery::Dropped;
+        }
         let serialized = self.line.enqueue(now, bytes);
         let at = serialized + self.flight_latency;
         match self.faults.roll() {
@@ -113,9 +159,15 @@ impl Channel {
         self.line.utilization(horizon)
     }
 
-    /// Frames lost by injected faults so far.
+    /// Frames lost by injected faults so far, plus frames swallowed
+    /// while the channel was hard-down.
     pub fn frames_dropped(&self) -> u64 {
-        self.faults.drops()
+        self.faults.drops() + self.down_drops
+    }
+
+    /// Frames swallowed while the channel was hard-down.
+    pub fn down_drops(&self) -> u64 {
+        self.down_drops
     }
 
     /// Frames corrupted by injected faults so far.
@@ -211,6 +263,9 @@ impl ChannelBuilder {
             extra_latency: self.extra_latency,
             faults: FaultInjector::new(self.faults, self.seed),
             frames_sent: 0,
+            down: false,
+            down_drops: 0,
+            lanes_failed: 0,
         }
     }
 }
@@ -274,6 +329,50 @@ mod tests {
         }
         assert!(dropped > 400 && dropped < 600, "dropped {dropped}");
         assert_eq!(ch.frames_dropped(), dropped);
+    }
+
+    #[test]
+    fn hard_down_swallows_frames_and_restores() {
+        let mut ch = ChannelBuilder::thymesisflow_default().build();
+        assert!(!ch.is_down());
+        ch.set_down(true);
+        for _ in 0..10 {
+            assert_eq!(ch.transmit(SimTime::ZERO, 64), Delivery::Dropped);
+        }
+        assert_eq!(ch.down_drops(), 10);
+        assert_eq!(ch.frames_dropped(), 10);
+        // A restored link delivers again (link flap round trip).
+        ch.set_down(false);
+        assert!(matches!(
+            ch.transmit(SimTime::ZERO, 64),
+            Delivery::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn lane_failure_degrades_bandwidth_proportionally() {
+        let mut ch = ChannelBuilder::thymesisflow_default().build();
+        let four_lane = ch.payload_rate().bytes_per_sec();
+        assert_eq!(ch.fail_lane(), 3);
+        assert_eq!(ch.lanes(), 3);
+        assert_eq!(ch.lanes_failed(), 1);
+        let three_lane = ch.payload_rate().bytes_per_sec();
+        assert!((three_lane / four_lane - 0.75).abs() < 1e-9);
+        // Serialization now drains at the degraded rate.
+        let a = ch.transmit(SimTime::ZERO, 1024).arrival().unwrap();
+        let b = ch.transmit(SimTime::ZERO, 1024).arrival().unwrap();
+        let gap = (b - a).as_ps();
+        assert_eq!(gap, ch.payload_rate().transfer_time(1024).as_ps());
+    }
+
+    #[test]
+    fn failing_the_last_lane_takes_the_channel_down() {
+        let mut ch = ChannelBuilder::thymesisflow_default().lanes(1).build();
+        assert_eq!(ch.fail_lane(), 0);
+        assert!(ch.is_down());
+        assert_eq!(ch.transmit(SimTime::ZERO, 64), Delivery::Dropped);
+        // Further fail_lane calls are harmless no-ops.
+        assert_eq!(ch.fail_lane(), 0);
     }
 
     #[test]

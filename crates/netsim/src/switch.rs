@@ -6,7 +6,7 @@
 //! latency and port-count limits. This model captures exactly those
 //! trade-offs for the control plane to reason about.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -38,6 +38,9 @@ pub enum SwitchError {
     /// Fewer than two ports remain free; the switch cannot host another
     /// circuit (the §VII port-count scalability wall).
     Exhausted,
+    /// The port has been marked failed and cannot carry circuits until
+    /// repaired.
+    PortFailed(PortId),
 }
 
 impl fmt::Display for SwitchError {
@@ -48,6 +51,7 @@ impl fmt::Display for SwitchError {
             SwitchError::SelfLoop(p) => write!(f, "cannot connect {p} to itself"),
             SwitchError::NoCircuit(p) => write!(f, "no circuit established on {p}"),
             SwitchError::Exhausted => write!(f, "no two free ports left"),
+            SwitchError::PortFailed(p) => write!(f, "switch port {p} is failed"),
         }
     }
 }
@@ -76,6 +80,7 @@ impl std::error::Error for SwitchError {}
 pub struct CircuitSwitch {
     ports: u32,
     circuits: HashMap<PortId, PortId>,
+    failed: BTreeSet<PortId>,
     reconfig: SimTime,
     traversal: SimTime,
     reconfigurations: u64,
@@ -92,6 +97,7 @@ impl CircuitSwitch {
         CircuitSwitch {
             ports,
             circuits: HashMap::new(),
+            failed: BTreeSet::new(),
             reconfig: reconfiguration,
             traversal,
             reconfigurations: 0,
@@ -127,6 +133,55 @@ impl CircuitSwitch {
         }
     }
 
+    fn check_usable(&self, p: PortId) -> Result<(), SwitchError> {
+        self.check_port(p)?;
+        if self.failed.contains(&p) {
+            Err(SwitchError::PortFailed(p))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Marks a port failed: any circuit through it is torn down (one
+    /// reconfiguration) and the port is excluded from future circuits
+    /// until [`CircuitSwitch::repair_port`]. Returns the orphaned peer
+    /// port, if a circuit was cut.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port is unknown.
+    pub fn fail_port(&mut self, p: PortId) -> Result<Option<PortId>, SwitchError> {
+        self.check_port(p)?;
+        self.failed.insert(p);
+        let peer = self.circuits.remove(&p);
+        if let Some(peer) = peer {
+            self.circuits.remove(&peer);
+            self.reconfigurations += 1;
+        }
+        Ok(peer)
+    }
+
+    /// Returns a failed port to service.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port is unknown.
+    pub fn repair_port(&mut self, p: PortId) -> Result<(), SwitchError> {
+        self.check_port(p)?;
+        self.failed.remove(&p);
+        Ok(())
+    }
+
+    /// Whether a port is currently marked failed.
+    pub fn is_port_failed(&self, p: PortId) -> bool {
+        self.failed.contains(&p)
+    }
+
+    /// Ports currently marked failed, in ascending order.
+    pub fn failed_ports(&self) -> Vec<PortId> {
+        self.failed.iter().copied().collect()
+    }
+
     /// Establishes a bidirectional circuit; returns the instant it is
     /// usable.
     ///
@@ -134,8 +189,8 @@ impl CircuitSwitch {
     ///
     /// Fails if a port is unknown, busy, or `a == b`.
     pub fn connect(&mut self, a: PortId, b: PortId, now: SimTime) -> Result<SimTime, SwitchError> {
-        self.check_port(a)?;
-        self.check_port(b)?;
+        self.check_usable(a)?;
+        self.check_usable(b)?;
         if a == b {
             return Err(SwitchError::SelfLoop(a));
         }
@@ -180,7 +235,7 @@ impl CircuitSwitch {
     ) -> Result<(PortId, PortId, SimTime), SwitchError> {
         let mut free = (0..self.ports)
             .map(PortId)
-            .filter(|p| !self.circuits.contains_key(p));
+            .filter(|p| !self.circuits.contains_key(p) && !self.failed.contains(p));
         let (a, b) = match (free.next(), free.next()) {
             (Some(a), Some(b)) => (a, b),
             _ => return Err(SwitchError::Exhausted),
@@ -199,11 +254,11 @@ impl CircuitSwitch {
         self.circuits.len() / 2
     }
 
-    /// Ports with no circuit.
+    /// Ports with no circuit and not marked failed.
     pub fn free_ports(&self) -> Vec<PortId> {
         (0..self.ports)
             .map(PortId)
-            .filter(|p| !self.circuits.contains_key(p))
+            .filter(|p| !self.circuits.contains_key(p) && !self.failed.contains(p))
             .collect()
     }
 
@@ -280,6 +335,41 @@ mod tests {
             s.alloc_circuit(SimTime::ZERO).map(|(a, b, _)| (a, b)),
             Ok((PortId(0), PortId(1)))
         );
+    }
+
+    #[test]
+    fn failed_port_cuts_circuit_and_blocks_reuse() {
+        let mut s = sw();
+        s.connect(PortId(0), PortId(1), SimTime::ZERO).unwrap();
+        // Failing a circuited port orphans its peer.
+        assert_eq!(s.fail_port(PortId(0)), Ok(Some(PortId(1))));
+        assert_eq!(s.peer(PortId(1)), None);
+        assert_eq!(s.circuit_count(), 0);
+        assert!(s.is_port_failed(PortId(0)));
+        assert_eq!(s.failed_ports(), vec![PortId(0)]);
+        // The failed port rejects new circuits; allocation routes around.
+        assert_eq!(
+            s.connect(PortId(0), PortId(2), SimTime::ZERO),
+            Err(SwitchError::PortFailed(PortId(0)))
+        );
+        let (a, b, _) = s.alloc_circuit(SimTime::ZERO).unwrap();
+        assert_eq!((a, b), (PortId(1), PortId(2)));
+        assert_eq!(s.free_ports(), vec![PortId(3)]);
+        // Repair returns it to the free pool.
+        s.repair_port(PortId(0)).unwrap();
+        assert!(!s.is_port_failed(PortId(0)));
+        assert_eq!(s.free_ports(), vec![PortId(0), PortId(3)]);
+    }
+
+    #[test]
+    fn failing_an_idle_port_orphans_nobody() {
+        let mut s = sw();
+        assert_eq!(s.fail_port(PortId(2)), Ok(None));
+        assert_eq!(s.fail_port(PortId(9)), Err(SwitchError::UnknownPort(PortId(9))));
+        // Enough failures exhaust the switch.
+        s.fail_port(PortId(0)).unwrap();
+        s.fail_port(PortId(1)).unwrap();
+        assert_eq!(s.alloc_circuit(SimTime::ZERO), Err(SwitchError::Exhausted));
     }
 
     #[test]

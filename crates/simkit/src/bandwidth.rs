@@ -116,6 +116,14 @@ impl SerializedLine {
         self.rate
     }
 
+    /// Re-rates the line in place (e.g. a bonded channel losing a lane).
+    /// In-flight transfers keep their already-computed completion
+    /// instants; only transfers enqueued after the call drain at the new
+    /// rate. Counters (`bytes_sent`, busy time) are preserved.
+    pub fn set_rate(&mut self, rate: Rate) {
+        self.rate = rate;
+    }
+
     /// Enqueues a transfer of `bytes` arriving at `now`; returns the
     /// instant serialization *completes* (queueing + transfer).
     pub fn enqueue(&mut self, now: SimTime, bytes: u64) -> SimTime {

@@ -14,6 +14,7 @@
 //! | TF005 | no truncating `as` casts on time/credit/byte values           |
 //! | TF006 | no float `==`/`!=` in stats/bandwidth code                    |
 //! | TF007 | no wall-clock reads (`Instant::now`/`SystemTime::now`/`UNIX_EPOCH`) in simulation crates, tests included |
+//! | TF008 | no `unwrap()`/`expect()` in failure-recovery modules (chaos/recovery/retry files, any crate) |
 //!
 //! A finding is suppressed by a `// tflint::allow(TFnnn)` comment on the
 //! same line or the line directly above; allows should carry a reason.
@@ -40,12 +41,13 @@ pub const RULES: &[(&str, &str)] = &[
     ("TF005", "no truncating `as` casts on time/credit/byte values"),
     ("TF006", "no float ==/!= comparisons in stats/bandwidth code"),
     ("TF007", "no wall-clock reads (Instant::now/SystemTime::now/UNIX_EPOCH) in simulation crates, tests included"),
+    ("TF008", "no unwrap()/expect() in failure-recovery modules (chaos/recovery/retry files, any crate)"),
 ];
 
 /// One lint finding, anchored to a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule ID (`TF001`..`TF007`).
+    /// Rule ID (`TF001`..`TF008`).
     pub rule: &'static str,
     /// Path of the offending file, as given to the checker.
     pub file: String,
@@ -500,6 +502,16 @@ fn fabric_scoped(crate_name: &str, rel_path: &str) -> bool {
     crate_name == "core" && rel_path.contains("fabric")
 }
 
+/// Failure-recovery modules where panics are forbidden regardless of
+/// crate (TF008). A recovery path that panics converts the typed fault
+/// it existed to deliver into silence — the exact failure mode the
+/// chaos harness exists to rule out. Scoped by file name so the rule
+/// follows the code wherever recovery machinery lives.
+fn recovery_scoped(rel_path: &str) -> bool {
+    let file = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    file.contains("chaos") || file.contains("recovery") || file.contains("retry")
+}
+
 /// Crates with timing/credit arithmetic where `as` casts are audited (TF005).
 const CAST_CRATES: &[&str] = &["llc", "simkit"];
 
@@ -602,6 +614,29 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
                         .to_string(),
                 );
             }
+        }
+
+        // TF008: panics in failure-recovery modules. TF004 covers the
+        // datapath crates and core::fabric; this extends the no-panic
+        // rule to chaos/recovery/retry files in every other crate.
+        if recovery_scoped(rel_path)
+            && !(in_scope(DATAPATH_CRATES, crate_name) || fabric_scoped(crate_name, rel_path))
+            && !in_test
+            && tok.kind == Kind::Ident
+            && (tok.text == "unwrap" || tok.text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            push(
+                &mut diags,
+                "TF008",
+                tok,
+                format!(
+                    "`.{}()` in recovery code turns the typed fault it should deliver into a panic; propagate the error or justify with tflint::allow",
+                    tok.text
+                ),
+            );
         }
 
         // TF005: truncating casts on unit-carrying values.

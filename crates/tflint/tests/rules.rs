@@ -291,6 +291,45 @@ fn tf007_allow_suppresses() {
     assert!(check_source("core", "src/x.rs", src).is_empty());
 }
 
+// ------------------------------------------------------------------ TF008
+
+#[test]
+fn tf008_fires_in_recovery_modules_of_any_crate() {
+    // ctrlplane is outside TF004's datapath scope, but its retry module
+    // is recovery code: a panic there swallows the typed fault.
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.expect(\"boom\") }\n";
+    let diags = check_source("ctrlplane", "src/retry.rs", src);
+    assert_eq!(rules_of(&diags), ["TF008", "TF008"], "{}", render(&diags));
+    let diags = check_source("core", "src/recovery.rs", src);
+    assert_eq!(rules_of(&diags), ["TF008", "TF008"], "{}", render(&diags));
+}
+
+#[test]
+fn tf008_defers_to_tf004_inside_the_datapath() {
+    // core::fabric::chaos is both recovery- and fabric-scoped; TF004
+    // owns it so a violation reports exactly once.
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let diags = check_source("core", "src/fabric/chaos.rs", src);
+    assert_eq!(rules_of(&diags), ["TF004"], "{}", render(&diags));
+    let diags = check_source("llc", "src/recovery.rs", src);
+    assert_eq!(rules_of(&diags), ["TF004"], "{}", render(&diags));
+}
+
+#[test]
+fn tf008_scope_is_recovery_files_only() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(check_source("ctrlplane", "src/service.rs", src).is_empty());
+    assert!(check_source("core", "src/rack.rs", src).is_empty());
+}
+
+#[test]
+fn tf008_ignores_test_code_and_allow_suppresses() {
+    let test_only = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+    assert!(check_source("ctrlplane", "src/retry.rs", test_only).is_empty());
+    let allowed = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // tflint::allow(TF008): invariant held by caller\n";
+    assert!(check_source("ctrlplane", "src/retry.rs", allowed).is_empty());
+}
+
 // ----------------------------------------------------------------- general
 
 #[test]
@@ -312,7 +351,7 @@ fn diagnostics_render_with_location() {
 
 #[test]
 fn seeded_violations_of_every_rule_are_caught() {
-    // One file per rule scope, exercising all seven rules at once — the
+    // One file per rule scope, exercising all eight rules at once — the
     // acceptance check that tflint "exits non-zero on seeded violations
     // of each rule".
     let cases: &[(&str, &str, &str)] = &[
@@ -327,9 +366,11 @@ fn seeded_violations_of_every_rule_are_caught() {
             "core",
             "#[cfg(test)]\nmod t { #[test] fn f() { let _ = SystemTime::now(); } }\n",
         ),
+        ("TF008", "ctrlplane", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"),
     ];
     for (rule, krate, src) in cases {
-        let diags = check_source(krate, "src/x.rs", src);
+        let rel = if *rule == "TF008" { "src/retry.rs" } else { "src/x.rs" };
+        let diags = check_source(krate, rel, src);
         assert!(
             diags.iter().any(|d| d.rule == *rule),
             "{rule} did not fire in {krate}: {}",

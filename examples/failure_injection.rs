@@ -64,16 +64,32 @@ fn main() {
     let clean = encode(&frames[0]);
     let ok: Frame<Msg> = decode(&clean).expect("clean frame decodes");
     println!("clean frame: {} bytes -> {:?}", clean.len(), ok.id());
-    let mut caught = 0;
+    let mut bad_magic = 0;
+    let mut bad_crc = 0;
     let total = clean.len() * 8;
     for bit in 0..total {
         let mut damaged = clean.clone();
         damaged[bit / 8] ^= 1 << (bit % 8);
+        // Exactly two outcomes are legitimate: a flip inside the two
+        // magic bytes fails the magic check, and every other flip —
+        // including one in the CRC field itself — fails the CRC. Any
+        // other error kind (or a clean decode) is a detector hole.
         match decode::<Msg>(&damaged) {
-            Err(WireError::BadCrc { .. }) | Err(WireError::BadMagic) | Err(_) => caught += 1,
-            Ok(f) if f == frames[0] => {} // damage in dead padding
+            Err(WireError::BadMagic) => {
+                assert!(bit < 16, "bit {bit} outside the magic raised BadMagic");
+                bad_magic += 1;
+            }
+            Err(WireError::BadCrc { .. }) => {
+                assert!(bit >= 16, "bit {bit} inside the magic raised BadCrc");
+                bad_crc += 1;
+            }
+            Err(e) => panic!("unexpected decode error at bit {bit}: {e}"),
             Ok(_) => panic!("undetected corruption at bit {bit}"),
         }
     }
-    println!("flipped each of {total} bits once: {caught} rejected, 0 silent corruptions");
+    assert_eq!(bad_magic, 16, "every magic bit must trip the magic check");
+    assert_eq!(bad_crc, total - 16, "every other bit must trip the CRC");
+    println!(
+        "flipped each of {total} bits once: {bad_magic} bad-magic + {bad_crc} bad-crc, 0 silent corruptions"
+    );
 }
