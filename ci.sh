@@ -10,8 +10,13 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
-echo "==> tflint (domain-aware static analysis)"
-cargo run -q -p tflint -- check
+echo "==> tflint (workspace-aware static analysis + allow audit)"
+cargo run -q -p tflint -- check --audit-allows
+
+echo "==> tflint JSON report (schema-stable CI artifact)"
+cargo run -q -p tflint -- check --format json --audit-allows > target/tflint.json
+jq -e '.schema == 1 and .count == 0 and (.diagnostics | type == "array")' target/tflint.json > /dev/null
+cargo run -q -p tflint -- rules > /dev/null
 
 echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q

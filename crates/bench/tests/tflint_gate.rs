@@ -1,10 +1,4 @@
-//! Static-analysis gate: `cargo test` fails if this crate violates any
-//! tflint rule. Run `cargo run -p tflint -- check` for the whole
-//! workspace at once.
+//! Static-analysis gate: `cargo test` fails on any tflint rule
+//! violation or stale/reasonless `tflint::allow` in this crate.
 
-#[test]
-fn crate_passes_tflint() {
-    let diags = tflint::check_crate(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
-        .expect("crate source readable");
-    assert!(diags.is_empty(), "\n{}", tflint::render(&diags));
-}
+tflint::gate!();

@@ -175,7 +175,7 @@ impl FabricBuilder {
 
 /// The per-donor path spec the fan-out topologies use.
 fn donor_share(d: usize, share: u64) -> PathSpec {
-    // tflint::allow(TF005): donor counts are single digits.
+    // Donor counts are single digits, far below u32::MAX.
     PathSpec::new(
         NetworkId(d as u32 + 1),
         Pasid(100 + d as u32),

@@ -79,7 +79,7 @@ impl fmt::Display for ComponentId {
 }
 
 /// A (component, port) endpoint of a connection.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PortRef {
     /// The owning component.
     pub component: ComponentId,

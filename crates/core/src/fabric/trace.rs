@@ -22,7 +22,7 @@
 //! table; [`chrome_trace`] renders traces as Chrome `trace_event` JSON
 //! (load into `chrome://tracing` or Perfetto).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::Value;
@@ -387,7 +387,7 @@ const DEFAULT_TRACE_CAP: usize = 16_384;
 #[derive(Debug, Default)]
 pub(crate) struct FlitTracer {
     enabled: bool,
-    live: HashMap<u64, Pending>,
+    live: BTreeMap<u64, Pending>,
     finished: Vec<FlitTrace>,
     cap: usize,
     dropped: u64,

@@ -12,7 +12,7 @@
 //! memory is thereby exercised end to end at flit granularity via
 //! [`Rack::measure_lease_rtt`] / [`Rack::run_lease_streams`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use ctrlplane::agent::{AgentError, NodeAgent};
@@ -195,7 +195,7 @@ impl RackBuilder {
     pub fn build(self) -> Result<Rack, RackError> {
         let mut cp = ControlPlane::new("rack-secret");
         let admin = cp.auth_mut().issue_token(Role::Admin);
-        let mut agents = HashMap::new();
+        let mut agents = BTreeMap::new();
         for n in &self.nodes {
             if agents.contains_key(&n.spec.name) {
                 return Err(RackError::BadTopology(format!(
@@ -230,12 +230,12 @@ impl RackBuilder {
             cp,
             admin,
             agents,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_lease: 1,
             params: self.params,
-            fabrics: HashMap::new(),
-            lease_paths: HashMap::new(),
-            failed_hosts: HashSet::new(),
+            fabrics: BTreeMap::new(),
+            lease_paths: BTreeMap::new(),
+            failed_hosts: BTreeSet::new(),
         })
     }
 }
@@ -245,18 +245,18 @@ impl RackBuilder {
 pub struct Rack {
     cp: ControlPlane,
     admin: Token,
-    agents: HashMap<String, NodeAgent>,
-    leases: HashMap<LeaseId, Lease>,
+    agents: BTreeMap<String, NodeAgent>,
+    leases: BTreeMap<LeaseId, Lease>,
     next_lease: u64,
     params: DatapathParams,
     /// One flit-level fabric per borrower host, created lazily on the
     /// first lease that borrows there.
-    fabrics: HashMap<String, Fabric>,
+    fabrics: BTreeMap<String, Fabric>,
     /// Which fabric (by borrower host) and path each lease drives.
-    lease_paths: HashMap<LeaseId, (String, PathId)>,
+    lease_paths: BTreeMap<LeaseId, (String, PathId)>,
     /// Hosts declared dead by [`Rack::crash_donor`]. They neither donate
     /// nor borrow until an operator re-provisions them.
-    failed_hosts: HashSet<String>,
+    failed_hosts: BTreeSet<String>,
 }
 
 impl Rack {

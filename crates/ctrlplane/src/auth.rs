@@ -6,13 +6,13 @@
 //! agents and network elements firmware accept configuration updates
 //! only from a trusted control plane."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 /// A bearer token issued by the control plane.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Token(pub String);
 
 /// Privilege level of a token.
@@ -52,7 +52,7 @@ impl std::error::Error for AuthError {}
 /// The token registry.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct AccessControl {
-    tokens: HashMap<Token, Role>,
+    tokens: BTreeMap<Token, Role>,
     next_serial: u64,
     denials: u64,
 }
@@ -72,8 +72,17 @@ impl AccessControl {
     }
 
     /// Revokes a token.
-    pub fn revoke(&mut self, token: &Token) -> bool {
-        self.tokens.remove(token).is_some()
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`AuthError::UnknownToken`] when the token was never
+    /// issued or is already revoked, so double-revocation is visible to
+    /// the caller instead of folding into a silent no-op.
+    pub fn revoke(&mut self, token: &Token) -> Result<(), AuthError> {
+        self.tokens
+            .remove(token)
+            .map(|_| ())
+            .ok_or(AuthError::UnknownToken)
     }
 
     /// The role of a token.
@@ -177,12 +186,12 @@ mod tests {
             Err(AuthError::UnknownToken)
         );
         let t = ac.issue_token(Role::Admin);
-        assert!(ac.revoke(&t));
+        assert_eq!(ac.revoke(&t), Ok(()));
         assert_eq!(
             ac.authorize_attach(&t, "a", "b"),
             Err(AuthError::UnknownToken)
         );
-        assert!(!ac.revoke(&t));
+        assert_eq!(ac.revoke(&t), Err(AuthError::UnknownToken));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! switch ports; undirected edges are physical links with a bandwidth
 //! capacity and a running reservation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -125,9 +125,9 @@ impl std::error::Error for GraphError {}
 /// The system-state graph.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Graph {
-    vertices: HashMap<VertexId, Vertex>,
-    edges: HashMap<EdgeId, Edge>,
-    adjacency: HashMap<VertexId, Vec<EdgeId>>,
+    vertices: BTreeMap<VertexId, Vertex>,
+    edges: BTreeMap<EdgeId, Edge>,
+    adjacency: BTreeMap<VertexId, Vec<EdgeId>>,
     next_vertex: u64,
     next_edge: u64,
 }

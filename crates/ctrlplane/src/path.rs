@@ -6,7 +6,7 @@
 //! hops among paths whose every edge still has the required bandwidth.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::graph::{EdgeId, Graph, GraphError, VertexId};
 
@@ -30,10 +30,10 @@ pub fn find_path(
     if from == to {
         return Some(Vec::new());
     }
-    let mut visited: HashMap<VertexId, EdgeId> = HashMap::new();
+    let mut visited: BTreeMap<VertexId, EdgeId> = BTreeMap::new();
     let mut queue = VecDeque::new();
     queue.push_back(from);
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     seen.insert(from);
     while let Some(v) = queue.pop_front() {
         for &eid in graph.incident(v) {

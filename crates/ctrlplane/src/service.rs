@@ -1,7 +1,7 @@
 //! The control-plane service: state, attach/detach orchestration, the
 //! JSON entry point and the audit trail.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -126,8 +126,8 @@ pub struct ControlPlane {
     secret: String,
     graph: Graph,
     auth: AccessControl,
-    hosts: HashMap<String, HostRecord>,
-    flows: HashMap<FlowHandle, FlowRecord>,
+    hosts: BTreeMap<String, HostRecord>,
+    flows: BTreeMap<FlowHandle, FlowRecord>,
     next_flow: u64,
     next_network: u32,
     next_pasid: u32,
@@ -141,8 +141,8 @@ impl ControlPlane {
             secret: secret.to_string(),
             graph: Graph::new(),
             auth: AccessControl::new(),
-            hosts: HashMap::new(),
-            flows: HashMap::new(),
+            hosts: BTreeMap::new(),
+            flows: BTreeMap::new(),
             next_flow: 1,
             next_network: 1,
             next_pasid: 1,

@@ -1,6 +1,6 @@
 //! The two data-centre models.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -25,7 +25,7 @@ pub trait DataCentre {
 pub struct FixedDataCentre {
     cpu_free: Vec<f64>,
     mem_free: Vec<f64>,
-    allocations: HashMap<u64, (usize, f64, f64)>,
+    allocations: BTreeMap<u64, (usize, f64, f64)>,
 }
 
 impl FixedDataCentre {
@@ -39,7 +39,7 @@ impl FixedDataCentre {
         FixedDataCentre {
             cpu_free: vec![1.0; servers],
             mem_free: vec![1.0; servers],
-            allocations: HashMap::new(),
+            allocations: BTreeMap::new(),
         }
     }
 
@@ -113,10 +113,10 @@ pub struct DisaggregatedDataCentre {
     // Established circuits between compute and memory modules: the
     // point-to-point links are shared by every flow between the same
     // module pair, so a link is consumed per *pair*, not per task.
-    circuits: HashMap<(usize, usize), u32>,
+    circuits: BTreeMap<(usize, usize), u32>,
     cpu_links_used: Vec<u32>,
     mem_links_used: Vec<u32>,
-    allocations: HashMap<u64, Placement>,
+    allocations: BTreeMap<u64, Placement>,
     max_links: u32,
 }
 
@@ -149,10 +149,10 @@ impl DisaggregatedDataCentre {
         DisaggregatedDataCentre {
             cpu_free: vec![1.0; modules],
             mem_free: vec![1.0; modules],
-            circuits: HashMap::new(),
+            circuits: BTreeMap::new(),
             cpu_links_used: vec![0; modules],
             mem_links_used: vec![0; modules],
-            allocations: HashMap::new(),
+            allocations: BTreeMap::new(),
             max_links: links,
         }
     }

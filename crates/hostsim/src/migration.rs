@@ -7,7 +7,7 @@
 //! period, migrates the hottest remote pages to the local node while
 //! capacity lasts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -19,7 +19,7 @@ pub type PageId = u64;
 /// Where each page of a working set lives.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct PagePlacement {
-    map: HashMap<PageId, NumaNodeId>,
+    map: BTreeMap<PageId, NumaNodeId>,
 }
 
 impl PagePlacement {
@@ -81,7 +81,7 @@ impl PagePlacement {
 pub struct MigrationDaemon {
     local: NumaNodeId,
     hot_threshold: u64,
-    counters: HashMap<PageId, u64>,
+    counters: BTreeMap<PageId, u64>,
     migrations: u64,
 }
 
@@ -92,7 +92,7 @@ impl MigrationDaemon {
         MigrationDaemon {
             local,
             hot_threshold: hot_threshold.max(1),
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
             migrations: 0,
         }
     }

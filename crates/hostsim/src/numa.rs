@@ -10,7 +10,7 @@
 //! kernel's round-robin interleave policy across the local node and the
 //! CPU-less remote node.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -135,7 +135,7 @@ impl std::error::Error for NumaError {}
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct NumaTopology {
     nodes: Vec<NumaNode>,
-    distances: HashMap<(NumaNodeId, NumaNodeId), u32>,
+    distances: BTreeMap<(NumaNodeId, NumaNodeId), u32>,
 }
 
 impl NumaTopology {
@@ -261,8 +261,8 @@ impl NumaTopology {
         policy: &AllocPolicy,
         local: NumaNodeId,
         pages: u64,
-    ) -> Result<HashMap<NumaNodeId, u64>, NumaError> {
-        let mut placed: HashMap<NumaNodeId, u64> = HashMap::new();
+    ) -> Result<BTreeMap<NumaNodeId, u64>, NumaError> {
+        let mut placed: BTreeMap<NumaNodeId, u64> = BTreeMap::new();
         let mut remaining = pages;
         match policy {
             AllocPolicy::Bind(node) => {

@@ -63,6 +63,7 @@ impl CreditCounter {
     }
 
     /// Consumes one credit if available; records starvation otherwise.
+    // tflint::allow(TF013): denial is backpressure — the protocol's normal flow-control signal, not a collapsed error.
     pub fn try_consume(&mut self) -> bool {
         let granted = if self.available > 0 {
             self.available -= 1;

@@ -6,7 +6,7 @@
 //! latency and port-count limits. This model captures exactly those
 //! trade-offs for the control plane to reason about.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -79,7 +79,7 @@ impl std::error::Error for SwitchError {}
 #[derive(Debug, Clone)]
 pub struct CircuitSwitch {
     ports: u32,
-    circuits: HashMap<PortId, PortId>,
+    circuits: BTreeMap<PortId, PortId>,
     failed: BTreeSet<PortId>,
     reconfig: SimTime,
     traversal: SimTime,
@@ -96,7 +96,7 @@ impl CircuitSwitch {
         assert!(ports >= 2, "a switch needs at least two ports");
         CircuitSwitch {
             ports,
-            circuits: HashMap::new(),
+            circuits: BTreeMap::new(),
             failed: BTreeSet::new(),
             reconfig: reconfiguration,
             traversal,

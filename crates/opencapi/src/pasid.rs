@@ -5,7 +5,7 @@
 //! memory-stealing endpoint hardware." A C1-mode device may only master
 //! transactions inside regions registered under a valid PASID.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -78,7 +78,7 @@ impl std::error::Error for PasidError {}
 /// ```
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct PasidTable {
-    entries: HashMap<Pasid, Region>,
+    entries: BTreeMap<Pasid, Region>,
 }
 
 impl PasidTable {

@@ -7,7 +7,7 @@
 //! and its weighted variant ([`RoundRobin::with_weight`]) sketches that
 //! bandwidth-allocation direction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 /// A (optionally weighted) round-robin arbiter over keys of type `K`.
@@ -27,7 +27,7 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct RoundRobin<K> {
     order: Vec<K>,
-    weights: HashMap<usize, u32>,
+    weights: BTreeMap<usize, u32>,
     cursor: usize,
     remaining: u32,
     grants: u64,
@@ -44,7 +44,7 @@ impl<K: Eq + Hash + Clone> RoundRobin<K> {
     pub fn new() -> Self {
         RoundRobin {
             order: Vec::new(),
-            weights: HashMap::new(),
+            weights: BTreeMap::new(),
             cursor: 0,
             remaining: 0,
             grants: 0,

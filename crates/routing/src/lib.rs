@@ -32,7 +32,7 @@ pub mod arbiter;
 
 pub use arbiter::RoundRobin;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -88,8 +88,8 @@ struct Route {
 /// The per-endpoint routing table.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Router {
-    routes: HashMap<NetworkId, Route>,
-    per_channel: HashMap<ChannelId, u64>,
+    routes: BTreeMap<NetworkId, Route>,
+    per_channel: BTreeMap<ChannelId, u64>,
 }
 
 impl Router {

@@ -49,7 +49,7 @@ pub fn bytes_per_sec_to_gib(bps: f64) -> f64 {
 pub fn f64_to_u64_saturating(x: f64) -> u64 {
     // Float→int `as` saturates by definition in Rust (NaN → 0), so this
     // single audited cast is safe by construction.
-    // tflint::allow(TF005): the one blessed float→integer gate.
+    // (The one blessed float→integer gate; TF005 audits casts elsewhere.)
     x as u64
 }
 

@@ -15,22 +15,43 @@
 //! | TF006 | no float `==`/`!=` in stats/bandwidth code                    |
 //! | TF007 | no wall-clock reads (`Instant::now`/`SystemTime::now`/`UNIX_EPOCH`) in simulation crates, tests included |
 //! | TF008 | no `unwrap()`/`expect()` in failure-recovery modules (chaos/recovery/retry files, any crate) |
+//! | TF009 | no iteration over `HashMap`/`HashSet` in deterministic crates (keyed lookup stays allowed) |
+//! | TF010 | no `static mut`/`thread_local!`/cell-based interior mutability in sim crates outside `simkit::sweep` |
+//! | TF011 | no `std::sync` primitives (`Mutex`/`RwLock`/atomics/...) outside `simkit::sweep` |
+//! | TF012 | no order-sensitive float accumulation over unordered collections |
+//! | TF013 | no public fallible `&mut self` APIs returning bare `bool`/`Option<()>` where the crate has a typed error |
 //!
-//! A finding is suppressed by a `// tflint::allow(TFnnn)` comment on the
-//! same line or the line directly above; allows should carry a reason.
+//! A finding is suppressed by a `// tflint::allow(TFnnn): reason`
+//! comment on the same line or the line directly above; the reason is
+//! mandatory. The `--audit-allows` mode (and the per-crate gates) turn
+//! allow hygiene into findings of its own: **ALW001** an allow names a
+//! rule it no longer suppresses (stale), **ALW002** an allow carries no
+//! reason.
 //!
-//! The issue that introduced this tool asked for a `syn`-based parser;
-//! this container has no registry access, so the tool instead carries a
-//! small hand-rolled lexer (comments/strings/lifetimes handled, tokens
-//! carry line:column spans). The rules only need token patterns, not
-//! type information, so the diagnostics are identical in practice.
+//! # Two-pass architecture
 //!
-//! Run it as `cargo run -p tflint -- check`, or let the per-crate
-//! `tflint_gate` tests run it under plain `cargo test`.
+//! TF001–TF008 are per-file token-pattern rules. TF009–TF013 are
+//! *workspace-aware*: a first pass lexes every file and builds a
+//! lightweight item/import index per crate (mod/use/fn/struct/enum/
+//! impl spans, `HashMap`/`HashSet`-typed field and binding names,
+//! `use ... as` aliases of the hash containers, and the crate's typed
+//! error types); a second pass runs the cross-file rules over each
+//! file's tokens with the whole-crate index in scope. That is how an
+//! iteration in `rack.rs` over a map *declared* in `engine.rs` is
+//! caught without type inference — and why the index needs no `syn`
+//! (the registry is unavailable; the hand-rolled lexer carries
+//! line:column spans, which is all the rules need).
+//!
+//! Run it as `cargo run -p tflint -- check [--format json]
+//! [--audit-allows]`, or let the per-crate [`gate!`] tests run it under
+//! plain `cargo test`.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::Path;
+
+use serde::Value;
 
 /// Rule IDs with one-line descriptions, for `--help`-style output.
 pub const RULES: &[(&str, &str)] = &[
@@ -42,12 +63,27 @@ pub const RULES: &[(&str, &str)] = &[
     ("TF006", "no float ==/!= comparisons in stats/bandwidth code"),
     ("TF007", "no wall-clock reads (Instant::now/SystemTime::now/UNIX_EPOCH) in simulation crates, tests included"),
     ("TF008", "no unwrap()/expect() in failure-recovery modules (chaos/recovery/retry files, any crate)"),
+    ("TF009", "no iteration over HashMap/HashSet in deterministic crates (use BTreeMap/BTreeSet, an index-keyed Vec, or an explicit sort; keyed lookup stays allowed)"),
+    ("TF010", "no static mut/thread_local!/RefCell-style interior mutability in sim crates outside simkit::sweep"),
+    ("TF011", "no std::sync primitives (Mutex/RwLock/Condvar/atomics/mpsc) outside simkit::sweep"),
+    ("TF012", "no order-sensitive float accumulation (sum/product/fold) over unordered hash collections"),
+    ("TF013", "no public fallible &mut self API returning bare bool/Option<()> where the crate defines a typed error"),
 ];
+
+/// Allow-audit rule IDs (reported by `--audit-allows` and the gates).
+pub const AUDIT_RULES: &[(&str, &str)] = &[
+    ("ALW001", "tflint::allow names a rule it no longer suppresses (stale allow)"),
+    ("ALW002", "tflint::allow carries no reason after the rule list"),
+];
+
+/// Version of the JSON diagnostic schema emitted by [`render_json`].
+/// Bump only on breaking shape changes; CI parses this output.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
 
 /// One lint finding, anchored to a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule ID (`TF001`..`TF008`).
+    /// Rule ID (`TF001`..`TF013`, or `ALW001`/`ALW002` from the audit).
     pub rule: &'static str,
     /// Path of the offending file, as given to the checker.
     pub file: String,
@@ -69,6 +105,20 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// The stable [`Value`]-tree shape of one diagnostic: a map with
+    /// exactly the keys `rule`, `file`, `line`, `col`, `message`.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("rule".into(), Value::Str(self.rule.into())),
+            ("file".into(), Value::Str(self.file.clone())),
+            ("line".into(), Value::UInt(u64::from(self.line))),
+            ("col".into(), Value::UInt(u64::from(self.col))),
+            ("message".into(), Value::Str(self.message.clone())),
+        ])
+    }
+}
+
 /// Renders diagnostics one per line (empty string when clean).
 pub fn render(diags: &[Diagnostic]) -> String {
     diags
@@ -76,6 +126,25 @@ pub fn render(diags: &[Diagnostic]) -> String {
         .map(Diagnostic::to_string)
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// The machine-readable report as a [`Value`] tree. Top-level keys are
+/// schema-stable: `schema`, `count`, `diagnostics`.
+pub fn diagnostics_value(diags: &[Diagnostic]) -> Value {
+    Value::Map(vec![
+        ("schema".into(), Value::UInt(JSON_SCHEMA_VERSION)),
+        ("count".into(), Value::UInt(diags.len() as u64)),
+        (
+            "diagnostics".into(),
+            Value::Seq(diags.iter().map(Diagnostic::to_value).collect()),
+        ),
+    ])
+}
+
+/// Renders the report as one JSON document (for `--format json`).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    // The vendored writer is infallible for a `Value` tree.
+    serde_json::to_string(&diagnostics_value(diags)).unwrap_or_else(|_| "{}".to_string())
 }
 
 // ------------------------------------------------------------------ lexer
@@ -99,12 +168,15 @@ struct Tok {
     col: u32,
 }
 
-/// A `// tflint::allow(RULE, ...)` comment: the rules it names plus the
-/// line it sits on. It suppresses findings on its own line and the next.
+/// A `// tflint::allow(RULE, ...): reason` comment: the rules it names,
+/// the line it sits on, and the reason text after the rule list. It
+/// suppresses findings on its own line and the next.
 #[derive(Debug, Clone)]
 struct Allow {
     line: u32,
+    col: u32,
     rules: Vec<String>,
+    reason: Option<String>,
 }
 
 struct Lexed {
@@ -153,7 +225,7 @@ fn lex(src: &str) -> Lexed {
         if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
             let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
             let comment = &src[i..end];
-            if let Some(a) = parse_allow(comment, tline) {
+            if let Some(a) = parse_allow(comment, tline, tcol) {
                 allows.push(a);
             }
             advance!(end - i);
@@ -371,9 +443,14 @@ fn raw_string_len(s: &str) -> Option<usize> {
     }
 }
 
-fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
-    let idx = comment.find("tflint::allow(")?;
-    let rest = &comment[idx + "tflint::allow(".len()..];
+fn parse_allow(comment: &str, line: u32, col: u32) -> Option<Allow> {
+    // The marker must open the comment (`// tflint::allow(...)`), so
+    // prose that merely *mentions* the syntax is not an allow.
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    let rest = body.strip_prefix("tflint::allow(")?;
     let close = rest.find(')')?;
     let rules: Vec<String> = rest[..close]
         .split(',')
@@ -381,10 +458,22 @@ fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
         .filter(|r| !r.is_empty())
         .collect();
     if rules.is_empty() {
+        return None;
+    }
+    let trailer = rest[close + 1..]
+        .trim_start_matches([':', '-', '—', ' ', '\t'])
+        .trim();
+    let reason = if trailer.is_empty() {
         None
     } else {
-        Some(Allow { line, rules })
-    }
+        Some(trailer.to_string())
+    };
+    Some(Allow {
+        line,
+        col,
+        rules,
+        reason,
+    })
 }
 
 // --------------------------------------------------------- test-code map
@@ -470,9 +559,303 @@ fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
     mask
 }
 
+// -------------------------------------------------------- workspace index
+
+/// The kind of a top-level-ish item recorded by the index pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name` (inline or file).
+    Mod,
+    /// `use path::to::thing [as alias];` — `name` is the full path text.
+    Use,
+    /// `fn name`.
+    Fn,
+    /// `struct Name`.
+    Struct,
+    /// `enum Name`.
+    Enum,
+    /// `trait Name`.
+    Trait,
+    /// `impl [Trait for] Type` — `name` is the type text.
+    Impl,
+}
+
+/// One indexed item: enough span information to anchor cross-file
+/// rules without a full parse.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What kind of item this is.
+    pub kind: ItemKind,
+    /// The item's name (for `Use`, the imported path).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// Whether the item is `pub` (never true for `Impl`).
+    pub is_pub: bool,
+}
+
+/// Per-crate facts derived from pass one, consumed by the cross-file
+/// rules in pass two.
+#[derive(Debug, Default, Clone)]
+struct CrateIndex {
+    /// Field/binding names declared with a `HashMap`/`HashSet` type
+    /// anywhere in the crate (TF009/TF012 receiver set).
+    hash_named: BTreeSet<String>,
+    /// Local names the hash containers are visible under: `HashMap`,
+    /// `HashSet`, plus any `use ... as Alias` renames.
+    hash_types: BTreeSet<String>,
+    /// Public typed error types (`pub struct/enum *Error`) the crate
+    /// defines (TF013 only fires where one exists).
+    error_types: BTreeSet<String>,
+}
+
+/// The cross-crate index built by pass one: per crate, the item list
+/// per file and the derived rule facts.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    crates: BTreeMap<String, CrateIndex>,
+    /// Items per (crate, file), in source order.
+    items: BTreeMap<(String, String), Vec<Item>>,
+}
+
+impl WorkspaceIndex {
+    /// The indexed items of one file, if it was scanned.
+    pub fn items(&self, crate_name: &str, rel_path: &str) -> Option<&[Item]> {
+        self.items
+            .get(&(crate_name.to_string(), rel_path.to_string()))
+            .map(Vec::as_slice)
+    }
+
+    /// Names known to be `HashMap`/`HashSet`-typed anywhere in `crate_name`.
+    pub fn hash_named(&self, crate_name: &str) -> impl Iterator<Item = &str> {
+        self.crates
+            .get(crate_name)
+            .into_iter()
+            .flat_map(|c| c.hash_named.iter().map(String::as_str))
+    }
+
+    /// Typed error types `crate_name` defines.
+    pub fn error_types(&self, crate_name: &str) -> impl Iterator<Item = &str> {
+        self.crates
+            .get(crate_name)
+            .into_iter()
+            .flat_map(|c| c.error_types.iter().map(String::as_str))
+    }
+
+    fn crate_index(&self, crate_name: &str) -> Option<&CrateIndex> {
+        self.crates.get(crate_name)
+    }
+}
+
+/// One lexed file staged between the index pass and the rule pass.
+struct Unit {
+    crate_name: String,
+    rel_path: String,
+    toks: Vec<Tok>,
+    allows: Vec<Allow>,
+    test_mask: Vec<bool>,
+}
+
+impl Unit {
+    fn new(crate_name: &str, rel_path: &str, source: &str) -> Unit {
+        let Lexed { toks, allows } = lex(source);
+        let test_mask = test_code_mask(&toks);
+        Unit {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            toks,
+            allows,
+            test_mask,
+        }
+    }
+}
+
+/// Pass one: scan each unit's tokens for items and the derived facts.
+fn build_index(units: &[Unit]) -> WorkspaceIndex {
+    let mut idx = WorkspaceIndex::default();
+    for unit in units {
+        let entry = idx.crates.entry(unit.crate_name.clone()).or_default();
+        entry.hash_types.insert("HashMap".to_string());
+        entry.hash_types.insert("HashSet".to_string());
+        let items = scan_items(&unit.toks);
+        // `use std::collections::HashMap as Map` makes `Map` a hash
+        // container name inside this crate.
+        for item in &items {
+            if item.kind == ItemKind::Use {
+                if let Some((path, alias)) = item.name.rsplit_once(" as ") {
+                    if path.ends_with("HashMap") || path.ends_with("HashSet") {
+                        entry.hash_types.insert(alias.trim().to_string());
+                    }
+                }
+            }
+            if matches!(item.kind, ItemKind::Struct | ItemKind::Enum)
+                && item.is_pub
+                && item.name.ends_with("Error")
+            {
+                entry.error_types.insert(item.name.clone());
+            }
+        }
+        idx.items
+            .insert((unit.crate_name.clone(), unit.rel_path.clone()), items);
+    }
+    // Hash-typed names need the alias set complete first.
+    for unit in units {
+        let hash_types = idx
+            .crates
+            .get(&unit.crate_name)
+            .map(|c| c.hash_types.clone())
+            .unwrap_or_default();
+        let named = scan_hash_named(&unit.toks, &hash_types);
+        if let Some(entry) = idx.crates.get_mut(&unit.crate_name) {
+            entry.hash_named.extend(named);
+        }
+    }
+    idx
+}
+
+/// Collects mod/use/fn/struct/enum/trait/impl items from a token stream.
+fn scan_items(toks: &[Tok]) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        let is_pub = i > 0
+            && (toks[i - 1].text == "pub"
+                || (toks[i - 1].text == ")" && pub_paren_before(toks, i)));
+        let kind = match t.text.as_str() {
+            "mod" => Some(ItemKind::Mod),
+            "use" => Some(ItemKind::Use),
+            "fn" => Some(ItemKind::Fn),
+            "struct" => Some(ItemKind::Struct),
+            "enum" => Some(ItemKind::Enum),
+            "trait" => Some(ItemKind::Trait),
+            "impl" => Some(ItemKind::Impl),
+            _ => None,
+        };
+        let Some(kind) = kind else {
+            i += 1;
+            continue;
+        };
+        match kind {
+            ItemKind::Use => {
+                // Join the path up to `;` (or a brace group) into one string.
+                let mut j = i + 1;
+                let mut path = String::new();
+                while j < toks.len() && toks[j].text != ";" && toks[j].text != "{" {
+                    if toks[j].text == "as" {
+                        path.push_str(" as ");
+                    } else {
+                        path.push_str(&toks[j].text);
+                    }
+                    j += 1;
+                }
+                items.push(Item {
+                    kind,
+                    name: path,
+                    line: t.line,
+                    is_pub,
+                });
+                i = j;
+            }
+            ItemKind::Impl => {
+                // `impl<T> Trait for Type {` / `impl Type {` — record the
+                // text between `impl` and the body brace.
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                    if !name.is_empty() {
+                        name.push(' ');
+                    }
+                    name.push_str(&toks[j].text);
+                    j += 1;
+                }
+                items.push(Item {
+                    kind,
+                    name,
+                    line: t.line,
+                    is_pub: false,
+                });
+                i = j;
+            }
+            _ => {
+                if let Some(name_tok) = toks.get(i + 1) {
+                    if name_tok.kind == Kind::Ident {
+                        items.push(Item {
+                            kind,
+                            name: name_tok.text.clone(),
+                            line: t.line,
+                            is_pub,
+                        });
+                    }
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+/// Whether the `)` at `toks[i-1]` closes a `pub(...)` qualifier.
+fn pub_paren_before(toks: &[Tok], i: usize) -> bool {
+    let mut j = i - 1;
+    let mut depth = 0;
+    while j > 0 {
+        match toks[j].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j > 0 && toks[j - 1].text == "pub";
+                }
+            }
+            _ => {}
+        }
+        j -= 1;
+    }
+    false
+}
+
+/// Field/binding names with a hash-container type: `name: HashMap<..>`
+/// (fields, params, typed lets) and `let name = HashMap::new()`.
+fn scan_hash_named(toks: &[Tok], hash_types: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut named = BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != Kind::Ident || !hash_types.contains(&tok.text) {
+            continue;
+        }
+        // `name : [path ::]* Hash… <` — walk back over the path.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == "::" {
+            j -= 2;
+        }
+        if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].kind == Kind::Ident {
+            named.insert(toks[j - 2].text.clone());
+            continue;
+        }
+        // `let [mut] name = Hash… :: new|with_capacity|from (`.
+        if j >= 2 && toks[j - 1].text == "=" && toks[j - 2].kind == Kind::Ident {
+            let target = &toks[j - 2];
+            let let_pos = j.checked_sub(3).and_then(|k| toks.get(k));
+            let is_let = let_pos.is_some_and(|t| t.text == "let" || t.text == "mut");
+            let constructed = toks.get(i + 1).is_some_and(|t| t.text == "::");
+            if is_let && constructed {
+                named.insert(target.text.clone());
+            }
+        }
+    }
+    named
+}
+
 // ------------------------------------------------------------ rule scopes
 
-/// Crates whose simulated time must stay virtual (TF001).
+/// Crates whose simulated time must stay virtual (TF001) and whose
+/// state must be deterministically ordered / free of hidden shared
+/// mutability (TF009–TF013).
 const SIM_CRATES: &[&str] = &[
     "simkit",
     "netsim",
@@ -512,24 +895,183 @@ fn recovery_scoped(rel_path: &str) -> bool {
     file.contains("chaos") || file.contains("recovery") || file.contains("retry")
 }
 
+/// The one module blessed to hold interior mutability and `std::sync`
+/// primitives: the parallel sweep harness, which proves 1-vs-N-worker
+/// bit-equality and therefore owns all cross-thread machinery
+/// (TF010/TF011).
+fn sync_blessed(crate_name: &str, rel_path: &str) -> bool {
+    crate_name == "simkit" && rel_path.ends_with("sweep.rs")
+}
+
 /// Crates with timing/credit arithmetic where `as` casts are audited (TF005).
 const CAST_CRATES: &[&str] = &["llc", "simkit"];
 
-/// Crates with stats/bandwidth float math (TF006).
+/// Crates with stats/bandwidth float math (TF006). TF012 needs no such
+/// list: it anchors on TF009 iteration sites, which already carry the
+/// sim-crate scope.
 const FLOAT_CMP_CRATES: &[&str] = &["simkit", "netsim", "dcsim", "workloads", "bench"];
 
 fn in_scope(list: &[&str], crate_name: &str) -> bool {
     list.contains(&crate_name)
 }
 
+/// Methods whose call visits a collection in storage order (TF009).
+/// Keyed access (`get`/`insert`/`remove`/`entry`/`contains_key`) is
+/// deliberately absent: O(1) lookup is the reason HashMap would be
+/// chosen, and it is order-free.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// `std::sync` primitive type/function names (TF011). `Arc` is absent
+/// on purpose: shared immutable payloads (LLC frames) are deterministic;
+/// it is synchronization that smuggles in scheduling order.
+const SYNC_PRIMITIVES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "Once",
+    "OnceLock",
+    "LazyLock",
+    "mpsc",
+];
+
+/// Interior-mutability cells (TF010). `static mut` and `thread_local!`
+/// are matched structurally in the rule itself.
+const CELL_TYPES: &[&str] = &["RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell"];
+
+/// Query-style name prefixes exempt from TF013: a `bool` from these is
+/// an answer, not a swallowed error.
+const QUERY_PREFIXES: &[&str] = &[
+    "is_", "has_", "contains", "can_", "should_", "needs_", "was_", "matches",
+];
+
 // ----------------------------------------------------------------- rules
 
 /// Lints one source file as it would appear in crate `crate_name` at
 /// `rel_path`. This is the fixture-test entry point: rules are scoped by
-/// crate name exactly as in a workspace run.
+/// crate name exactly as in a workspace run, and the cross-file index is
+/// built from this single file.
 pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let Lexed { toks, allows } = lex(source);
-    let test_mask = test_code_mask(&toks);
+    check_sources(&[(crate_name, rel_path, source)])
+}
+
+/// Lints a set of files with a shared workspace index — the multi-file
+/// fixture entry point. A `HashMap` field declared in one file is
+/// flagged when iterated from another file of the same crate.
+pub fn check_sources(files: &[(&str, &str, &str)]) -> Vec<Diagnostic> {
+    let units: Vec<Unit> = files
+        .iter()
+        .map(|(c, p, s)| Unit::new(c, p, s))
+        .collect();
+    let (diags, _) = run_units(&units);
+    diags
+}
+
+/// Audits the allow comments of a set of files: stale allows (naming a
+/// rule that suppresses nothing) and reasonless allows become ALW00x
+/// diagnostics.
+pub fn audit_sources(files: &[(&str, &str, &str)]) -> Vec<Diagnostic> {
+    let units: Vec<Unit> = files
+        .iter()
+        .map(|(c, p, s)| Unit::new(c, p, s))
+        .collect();
+    let (_, audit) = run_units(&units);
+    audit
+}
+
+/// Builds the [`WorkspaceIndex`] for a set of files without running any
+/// rules — the index-inspection entry point for tests and tooling.
+pub fn index_sources(files: &[(&str, &str, &str)]) -> WorkspaceIndex {
+    let units: Vec<Unit> = files
+        .iter()
+        .map(|(c, p, s)| Unit::new(c, p, s))
+        .collect();
+    build_index(&units)
+}
+
+/// Two-pass driver: index, per-unit rules, allow application, audit.
+/// Returns (rule diagnostics after allows, allow-audit diagnostics).
+fn run_units(units: &[Unit]) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let idx = build_index(units);
+    let mut kept = Vec::new();
+    let mut audit = Vec::new();
+    for unit in units {
+        let raw = check_unit(unit, &idx);
+        // Track, per allow comment and per named rule, whether it
+        // suppressed at least one raw finding.
+        let mut used = vec![vec![false; 0]; unit.allows.len()];
+        for (ai, a) in unit.allows.iter().enumerate() {
+            used[ai] = vec![false; a.rules.len()];
+        }
+        for d in raw {
+            let mut suppressed = false;
+            for (ai, a) in unit.allows.iter().enumerate() {
+                if a.line == d.line || a.line + 1 == d.line {
+                    for (ri, r) in a.rules.iter().enumerate() {
+                        if r == d.rule {
+                            used[ai][ri] = true;
+                            suppressed = true;
+                        }
+                    }
+                }
+            }
+            if !suppressed {
+                kept.push(d);
+            }
+        }
+        for (ai, a) in unit.allows.iter().enumerate() {
+            for (ri, r) in a.rules.iter().enumerate() {
+                if !used[ai][ri] {
+                    audit.push(Diagnostic {
+                        rule: "ALW001",
+                        file: unit.rel_path.clone(),
+                        line: a.line,
+                        col: a.col,
+                        message: format!(
+                            "stale allow: `{r}` no longer fires on line {} or {}; delete the allow (or this entry from its rule list)",
+                            a.line,
+                            a.line + 1
+                        ),
+                    });
+                }
+            }
+            if a.reason.is_none() {
+                audit.push(Diagnostic {
+                    rule: "ALW002",
+                    file: unit.rel_path.clone(),
+                    line: a.line,
+                    col: a.col,
+                    message: format!(
+                        "allow for {} carries no reason; append `: why this is sound`",
+                        a.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    kept.sort_by(|a, b| (a.file.clone(), a.line, a.col, a.rule).cmp(&(b.file.clone(), b.line, b.col, b.rule)));
+    audit.sort_by(|a, b| (a.file.clone(), a.line, a.col, a.rule).cmp(&(b.file.clone(), b.line, b.col, b.rule)));
+    (kept, audit)
+}
+
+/// Pass two for one file: every rule, no allow filtering (the caller
+/// applies allows so it can track staleness).
+fn check_unit(unit: &Unit, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
+    let crate_name = unit.crate_name.as_str();
+    let rel_path = unit.rel_path.as_str();
+    let toks = &unit.toks;
+    let test_mask = &unit.test_mask;
     let mut diags = Vec::new();
 
     let push = |diags: &mut Vec<Diagnostic>, rule: &'static str, tok: &Tok, message: String| {
@@ -543,6 +1085,12 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
     };
 
     let is_rng_home = crate_name == "simkit" && rel_path.ends_with("src/rng.rs");
+    let is_sync_home = sync_blessed(crate_name, rel_path);
+    let crate_idx = idx.crate_index(crate_name);
+    let empty_hash_named = BTreeSet::new();
+    let hash_named = crate_idx.map_or(&empty_hash_named, |c| &c.hash_named);
+    let empty_error_types = BTreeSet::new();
+    let error_types = crate_idx.map_or(&empty_error_types, |c| &c.error_types);
 
     for (i, tok) in toks.iter().enumerate() {
         let in_test = test_mask[i];
@@ -664,7 +1212,7 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
                             target.text
                         ),
                     );
-                } else if wide_int && cast_source_is_unit_like(&toks, i) {
+                } else if wide_int && cast_source_is_unit_like(toks, i) {
                     push(
                         &mut diags,
                         "TF005",
@@ -724,22 +1272,173 @@ pub fn check_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagn
                 );
             }
         }
+
+        // TF009/TF012: iteration over hash-ordered state. The receiver
+        // set comes from the whole-crate index, so a map declared in
+        // another file still trips the rule here.
+        if in_scope(SIM_CRATES, crate_name)
+            && !in_test
+            && tok.kind == Kind::Ident
+            && hash_named.contains(&tok.text)
+        {
+            let method_call = toks.get(i + 1).is_some_and(|t| t.text == ".")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+                && toks.get(i + 3).is_some_and(|t| t.text == "(");
+            let for_loop_over = toks.get(i + 1).is_some_and(|t| t.text == "{")
+                && for_in_before(toks, i);
+            if method_call || for_loop_over {
+                let how = if method_call {
+                    format!("`.{}()`", toks[i + 2].text)
+                } else {
+                    "`for … in`".to_string()
+                };
+                push(
+                    &mut diags,
+                    "TF009",
+                    tok,
+                    format!(
+                        "{how} over hash-ordered `{}` visits entries in nondeterministic order; use `BTreeMap`/`BTreeSet`, an index-keyed `Vec`, or collect-and-sort (keyed lookup stays allowed)",
+                        tok.text
+                    ),
+                );
+                if float_accumulation_after(toks, i) {
+                    push(
+                        &mut diags,
+                        "TF012",
+                        tok,
+                        format!(
+                            "float accumulation over hash-ordered `{}` re-associates rounding differently on every run; iterate a `BTreeMap`/sorted `Vec` (or sum a sorted copy)",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+        }
+
+        // TF010: interior mutability outside the blessed sweep harness.
+        // Hidden cells turn "&self is read-only" into a lie, which is
+        // exactly what the parallel engine's partitioning proof leans on.
+        if in_scope(SIM_CRATES, crate_name) && !is_sync_home && !in_test && tok.kind == Kind::Ident
+        {
+            let static_mut = tok.text == "static"
+                && toks.get(i + 1).is_some_and(|t| t.text == "mut");
+            let thread_local =
+                tok.text == "thread_local" && toks.get(i + 1).is_some_and(|t| t.text == "!");
+            let cell = CELL_TYPES.contains(&tok.text.as_str());
+            if static_mut || thread_local || cell {
+                let what = if static_mut {
+                    "`static mut`".to_string()
+                } else if thread_local {
+                    "`thread_local!`".to_string()
+                } else {
+                    format!("`{}`", tok.text)
+                };
+                push(
+                    &mut diags,
+                    "TF010",
+                    tok,
+                    format!(
+                        "{what} hides mutable state from the component graph; thread state through `&mut self` (only `simkit::sweep` is blessed to hold it)"
+                    ),
+                );
+            }
+        }
+
+        // TF011: std::sync primitives outside the sweep harness. One
+        // sanctioned parallel boundary exists; a stray Mutex anywhere
+        // else means event order can depend on lock acquisition order.
+        if in_scope(SIM_CRATES, crate_name)
+            && !is_sync_home
+            && !in_test
+            && tok.kind == Kind::Ident
+            && (SYNC_PRIMITIVES.contains(&tok.text.as_str()) || tok.text.starts_with("Atomic"))
+        {
+            push(
+                &mut diags,
+                "TF011",
+                tok,
+                format!(
+                    "`{}` outside `simkit::sweep` lets scheduling order leak into simulation state; route parallelism through the sweep harness",
+                    tok.text
+                ),
+            );
+        }
     }
 
     // TF003: bare u64/f64 params with unit-implying names in public APIs.
     if in_scope(UNIT_API_CRATES, crate_name) || fabric_scoped(crate_name, rel_path) {
-        check_tf003(&toks, &test_mask, rel_path, &mut diags);
+        check_tf003(toks, test_mask, rel_path, &mut diags);
     }
 
-    // Apply allow comments: same line or the line directly above.
-    diags.retain(|d| {
-        !allows
-            .iter()
-            .any(|a| (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule))
-    });
+    // TF013: public fallible APIs that swallow the error dimension.
+    if in_scope(SIM_CRATES, crate_name) && !error_types.is_empty() {
+        check_tf013(toks, test_mask, rel_path, error_types, &mut diags);
+    }
 
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     diags
+}
+
+/// Whether token `i` sits in `for … in <expr>` position: scanning back,
+/// we meet `in` (then eventually `for`) before any `;`, `{` or `}`.
+fn for_in_before(toks: &[Tok], i: usize) -> bool {
+    let start = i.saturating_sub(12);
+    for t in toks[start..i].iter().rev() {
+        match t.text.as_str() {
+            "in" => return true,
+            ";" | "{" | "}" | "=" => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether the statement containing the hash-iteration site `i`
+/// accumulates floats: a `sum`/`product`/`fold` call appears after the
+/// site before the statement ends, with float evidence (an `f64`/`f32`
+/// token or a float literal) anywhere in the statement — including
+/// before the site, as in `let total: f64 = m.values().sum();`.
+fn float_accumulation_after(toks: &[Tok], i: usize) -> bool {
+    let mut saw_accum = false;
+    let mut saw_float = false;
+    // Backward to the statement start for float evidence only.
+    for t in toks[i.saturating_sub(30)..i].iter().rev() {
+        match t.text.as_str() {
+            ";" | "{" | "}" => break,
+            "f64" | "f32" => saw_float = true,
+            _ => {}
+        }
+        if t.kind == Kind::Float {
+            saw_float = true;
+        }
+    }
+    // Forward to the statement end for the accumulator call (and any
+    // trailing float evidence, e.g. `.sum::<f64>()`).
+    let mut depth: i32 = 0;
+    for t in toks.iter().skip(i).take(120) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            ";" if depth == 0 => break,
+            "sum" | "product" | "fold" => saw_accum = true,
+            "f64" | "f32" => saw_float = true,
+            _ => {}
+        }
+        if t.kind == Kind::Float {
+            saw_float = true;
+        }
+        if saw_accum && saw_float {
+            return true;
+        }
+    }
+    saw_accum && saw_float
 }
 
 const UNIT_SUFFIXES: &[&str] = &["_ns", "_us", "_ps", "_bytes", "_gib", "_credits"];
@@ -824,6 +1523,118 @@ fn check_tf003(toks: &[Tok], test_mask: &[bool], rel_path: &str, diags: &mut Vec
     }
 }
 
+/// TF013: `pub fn name(&mut self, ..) -> bool` (or `-> Option<()>`)
+/// outside query-prefixed names, in a crate that already defines a typed
+/// error. A bare `bool`/`Option<()>` from a mutating call collapses
+/// every failure cause into one bit.
+fn check_tf013(
+    toks: &[Tok],
+    test_mask: &[bool],
+    rel_path: &str,
+    error_types: &BTreeSet<String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let errs: Vec<&str> = error_types.iter().map(String::as_str).collect();
+    let err_hint = errs.join("/");
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "pub" || test_mask[i] {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            // `pub(crate)` etc: not public API.
+            i += 1;
+            continue;
+        }
+        while toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern"))
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(j + 1) else {
+            break;
+        };
+        let name = name_tok.text.clone();
+        j += 2;
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 1;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.text == "(") {
+            i = j;
+            continue;
+        }
+        // Does the receiver mutate? `&mut self` (with optional lifetime).
+        let mut k = j + 1;
+        let mut mut_self = false;
+        if toks.get(k).is_some_and(|t| t.text == "&") {
+            k += 1;
+            if toks.get(k).is_some_and(|t| t.kind == Kind::Lifetime) {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.text == "mut")
+                && toks.get(k + 1).is_some_and(|t| t.text == "self")
+            {
+                mut_self = true;
+            }
+        }
+        // Skip to the closing paren of the parameter list.
+        let mut depth = 1;
+        let mut p = j + 1;
+        while p < toks.len() && depth > 0 {
+            match toks[p].text.as_str() {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                _ => {}
+            }
+            p += 1;
+        }
+        if mut_self
+            && !QUERY_PREFIXES.iter().any(|q| name.starts_with(q))
+            && toks.get(p).is_some_and(|t| t.text == "->")
+        {
+            let bare_bool = toks.get(p + 1).is_some_and(|t| t.text == "bool")
+                && toks
+                    .get(p + 2)
+                    .is_some_and(|t| t.text == "{" || t.text == "where" || t.text == ";");
+            let option_unit = toks.get(p + 1).is_some_and(|t| t.text == "Option")
+                && toks.get(p + 2).is_some_and(|t| t.text == "<")
+                && toks.get(p + 3).is_some_and(|t| t.text == "(")
+                && toks.get(p + 4).is_some_and(|t| t.text == ")")
+                && toks.get(p + 5).is_some_and(|t| t.text == ">");
+            if bare_bool || option_unit {
+                let shape = if bare_bool { "bool" } else { "Option<()>" };
+                diags.push(Diagnostic {
+                    rule: "TF013",
+                    file: rel_path.to_string(),
+                    line: name_tok.line,
+                    col: name_tok.col,
+                    message: format!(
+                        "public fallible `{name}(&mut self, ..) -> {shape}` collapses every failure cause into one bit; return `Result<_, {err_hint}>` (the crate already defines it)"
+                    ),
+                });
+            }
+        }
+        i = p;
+    }
+}
+
 /// Looks back from an `as` cast for evidence the source expression
 /// carries time/credit/byte units or is floating-point (either way, an
 /// integer cast truncates). The scan stays within the statement.
@@ -856,10 +1667,8 @@ fn cast_source_is_unit_like(toks: &[Tok], as_idx: usize) -> bool {
 
 // ------------------------------------------------------------ file walking
 
-/// Lints every `.rs` file under `crate_dir/src`. The crate name is taken
-/// from the directory name (the workspace root maps to `thymesisflow`).
-/// `tests/`, `benches/`, and `examples/` are intentionally out of scope.
-pub fn check_crate(crate_dir: &Path) -> io::Result<Vec<Diagnostic>> {
+/// Collects (crate, rel_path, source) units for one crate directory.
+fn collect_crate_units(crate_dir: &Path) -> io::Result<Vec<Unit>> {
     let crate_name = if crate_dir.join("crates").is_dir() {
         "thymesisflow".to_string()
     } else {
@@ -869,24 +1678,23 @@ pub fn check_crate(crate_dir: &Path) -> io::Result<Vec<Diagnostic>> {
             .unwrap_or("thymesisflow")
             .to_string()
     };
-    let mut diags = Vec::new();
+    let mut units = Vec::new();
     let src = crate_dir.join("src");
     if src.is_dir() {
         walk(&src, &mut |path| {
             let source = std::fs::read_to_string(path)?;
             let rel = path.to_string_lossy().into_owned();
-            diags.extend(check_source(&crate_name, &rel, &source));
+            units.push(Unit::new(&crate_name, &rel, &source));
             Ok(())
         })?;
     }
-    diags.sort_by(|a, b| (a.file.clone(), a.line, a.col).cmp(&(b.file.clone(), b.line, b.col)));
-    Ok(diags)
+    Ok(units)
 }
 
-/// Lints the whole workspace rooted at `root`: the root package plus
-/// every crate under `crates/`. `vendor/` (offline dependency stand-ins)
-/// and `target/` are never linted.
-pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+/// Collects units for the whole workspace rooted at `root`: the root
+/// package plus every crate under `crates/`. `vendor/` (offline
+/// dependency stand-ins) and `target/` are never linted.
+fn collect_workspace_units(root: &Path) -> io::Result<Vec<Unit>> {
     // A mistyped root would otherwise scan nothing and report a clean
     // workspace — a false green for CI.
     if !root.join("src").is_dir() && !root.join("crates").is_dir() {
@@ -895,7 +1703,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             format!("no src/ or crates/ under {}", root.display()),
         ));
     }
-    let mut diags = check_crate(root)?;
+    let mut units = collect_crate_units(root)?;
     let crates = root.join("crates");
     if crates.is_dir() {
         let mut dirs: Vec<_> = std::fs::read_dir(&crates)?
@@ -905,10 +1713,44 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .collect();
         dirs.sort();
         for dir in dirs {
-            diags.extend(check_crate(&dir)?);
+            units.extend(collect_crate_units(&dir)?);
         }
     }
+    Ok(units)
+}
+
+/// Lints every `.rs` file under `crate_dir/src`. The crate name is taken
+/// from the directory name (the workspace root maps to `thymesisflow`).
+/// `tests/`, `benches/`, and `examples/` are intentionally out of scope.
+/// The cross-file index covers the crate's own files.
+pub fn check_crate(crate_dir: &Path) -> io::Result<Vec<Diagnostic>> {
+    let units = collect_crate_units(crate_dir)?;
+    Ok(run_units(&units).0)
+}
+
+/// Lints one crate *and* audits its allow comments: rule findings plus
+/// ALW001 (stale allow) / ALW002 (reasonless allow). This is what the
+/// per-crate [`gate!`] test runs, so allow hygiene fails `cargo test`
+/// the same way a rule violation does.
+pub fn gate_crate(crate_dir: &Path) -> io::Result<Vec<Diagnostic>> {
+    let units = collect_crate_units(crate_dir)?;
+    let (mut diags, audit) = run_units(&units);
+    diags.extend(audit);
     Ok(diags)
+}
+
+/// Lints the whole workspace rooted at `root` with the full cross-crate
+/// index in scope.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let units = collect_workspace_units(root)?;
+    Ok(run_units(&units).0)
+}
+
+/// Audits every allow comment in the workspace: stale and reasonless
+/// allows as ALW00x diagnostics (empty when hygiene is clean).
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let units = collect_workspace_units(root)?;
+    Ok(run_units(&units).1)
 }
 
 fn walk(dir: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
@@ -925,6 +1767,23 @@ fn walk(dir: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()
         }
     }
     Ok(())
+}
+
+/// Expands to the per-crate static-analysis gate test: `cargo test`
+/// fails if the crate violates any tflint rule **or** carries a stale
+/// or reasonless `tflint::allow`. Every workspace member's
+/// `tests/tflint_gate.rs` is exactly one invocation of this macro; the
+/// `gate_coverage` test in the tflint crate asserts none is missing.
+#[macro_export]
+macro_rules! gate {
+    () => {
+        #[test]
+        fn crate_passes_tflint() {
+            let diags = $crate::gate_crate(::std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+                .expect("crate source readable");
+            assert!(diags.is_empty(), "\n{}", $crate::render(&diags));
+        }
+    };
 }
 
 #[cfg(test)]
@@ -982,10 +1841,16 @@ mod tests {
     }
 
     #[test]
-    fn allow_comments_parse_multiple_rules() {
+    fn allow_comments_parse_multiple_rules_and_reason() {
         let lexed = lex("x(); // tflint::allow(TF004, TF005) — invariant upheld by validate()\n");
         assert_eq!(lexed.allows.len(), 1);
         assert_eq!(lexed.allows[0].rules, vec!["TF004", "TF005"]);
+        assert_eq!(
+            lexed.allows[0].reason.as_deref(),
+            Some("invariant upheld by validate()")
+        );
+        let bare = lex("x(); // tflint::allow(TF004)\n");
+        assert_eq!(bare.allows[0].reason, None);
     }
 
     #[test]
@@ -995,5 +1860,44 @@ mod tests {
         assert_eq!(diags.len(), 1, "{}", render(&diags));
         assert_eq!(diags[0].line, 1);
         assert_eq!(diags[0].rule, "TF004");
+    }
+
+    #[test]
+    fn index_records_items_with_spans() {
+        let src = "use std::collections::HashMap;\npub mod api;\npub struct CoreError;\nimpl CoreError {}\nfn helper() {}\npub enum Mode { A }\n";
+        let idx = index_sources(&[("core", "src/x.rs", src)]);
+        let items = idx.items("core", "src/x.rs").expect("indexed");
+        let kinds: Vec<ItemKind> = items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Use,
+                ItemKind::Mod,
+                ItemKind::Struct,
+                ItemKind::Impl,
+                ItemKind::Fn,
+                ItemKind::Enum
+            ]
+        );
+        assert_eq!(items[1].name, "api");
+        assert!(items[1].is_pub);
+        assert_eq!(items[4].name, "helper");
+        assert!(!items[4].is_pub);
+        assert_eq!(items[2].line, 3);
+        assert!(idx.error_types("core").any(|e| e == "CoreError"));
+    }
+
+    #[test]
+    fn index_tracks_hash_aliases() {
+        let src = "use std::collections::HashMap as Map;\nstruct S { routes: Map<u32, u32> }\n";
+        let idx = index_sources(&[("netsim", "src/x.rs", src)]);
+        assert!(idx.hash_named("netsim").any(|n| n == "routes"));
+    }
+
+    #[test]
+    fn index_sees_let_bound_constructions() {
+        let src = "fn f() { let mut seen = HashMap::new(); seen.insert(1, 2); }\n";
+        let idx = index_sources(&[("core", "src/x.rs", src)]);
+        assert!(idx.hash_named("core").any(|n| n == "seen"));
     }
 }

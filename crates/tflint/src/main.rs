@@ -1,7 +1,9 @@
-//! tflint CLI: `cargo run -p tflint -- check [path]`.
+//! tflint CLI: `cargo run -p tflint -- check [--format json] [--audit-allows] [path]`.
 //!
-//! Exits non-zero when any rule fires, so CI can gate on it. `rules`
-//! prints the rule table.
+//! Exits non-zero when any rule fires, so CI can gate on it.
+//! `--format json` emits the schema-stable diagnostic report for CI
+//! artifacts; `--audit-allows` additionally fails on stale or
+//! reasonless `tflint::allow` comments. `rules` prints the rule table.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,36 +17,103 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("check") => {
-            let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
-            match tflint::check_workspace(&root) {
-                Ok(diags) if diags.is_empty() => {
-                    println!("tflint: workspace clean ({} rules)", tflint::RULES.len());
-                    ExitCode::SUCCESS
+struct CheckOpts {
+    json: bool,
+    audit: bool,
+    root: PathBuf,
+}
+
+fn parse_check_opts(args: &[String]) -> Result<CheckOpts, String> {
+    let mut json = false;
+    let mut audit = false;
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format takes `json` or `text`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
                 }
-                Ok(diags) => {
-                    println!("{}", tflint::render(&diags));
-                    println!("tflint: {} violation(s)", diags.len());
-                    ExitCode::FAILURE
-                }
-                Err(e) => {
-                    eprintln!("tflint: cannot read workspace at {}: {e}", root.display());
-                    ExitCode::FAILURE
+            },
+            "--audit-allows" => audit = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => {
+                if root.replace(PathBuf::from(path)).is_some() {
+                    return Err("more than one path given".to_string());
                 }
             }
         }
+    }
+    Ok(CheckOpts {
+        json,
+        audit,
+        root: root.unwrap_or_else(workspace_root),
+    })
+}
+
+fn run_check(opts: &CheckOpts) -> ExitCode {
+    let mut diags = match tflint::check_workspace(&opts.root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tflint: cannot read workspace at {}: {e}", opts.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.audit {
+        match tflint::audit_workspace(&opts.root) {
+            Ok(audit) => diags.extend(audit),
+            Err(e) => {
+                eprintln!("tflint: cannot audit allows at {}: {e}", opts.root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", tflint::render_json(&diags));
+    } else if diags.is_empty() {
+        println!("tflint: workspace clean ({} rules)", tflint::RULES.len());
+    } else {
+        println!("{}", tflint::render(&diags));
+        println!("tflint: {} violation(s)", diags.len());
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match parse_check_opts(&args[1..]) {
+            Ok(opts) => run_check(&opts),
+            Err(e) => {
+                eprintln!("tflint: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("rules") => {
             for (id, desc) in tflint::RULES {
                 println!("{id}  {desc}");
             }
+            for (id, desc) in tflint::AUDIT_RULES {
+                println!("{id}  {desc}  (via --audit-allows)");
+            }
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: tflint <check [path] | rules>");
+            eprintln!("usage: tflint <check [--format json|text] [--audit-allows] [path] | rules>");
             eprintln!("  check   lint the workspace (default: this repository)");
+            eprintln!("          --format json    schema-stable diagnostic report");
+            eprintln!("          --audit-allows   also fail on stale/reasonless allows");
             eprintln!("  rules   list the rule set");
             ExitCode::FAILURE
         }

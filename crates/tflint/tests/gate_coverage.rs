@@ -1,0 +1,49 @@
+//! Asserts every workspace member carries the static-analysis gate, so
+//! a newly added crate cannot silently skip tflint: each `crates/*`
+//! directory with a `Cargo.toml` (and the root package) must have a
+//! `tests/tflint_gate.rs` that invokes `tflint::gate!()`.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/tflint -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(PathBuf::from)
+        .expect("tflint lives two levels under the workspace root")
+}
+
+fn assert_gated(member: &Path, missing: &mut Vec<String>) {
+    let gate = member.join("tests").join("tflint_gate.rs");
+    let ok = std::fs::read_to_string(&gate)
+        .map(|src| src.contains("tflint::gate!"))
+        .unwrap_or(false);
+    if !ok {
+        missing.push(member.display().to_string());
+    }
+}
+
+#[test]
+fn every_workspace_member_has_a_tflint_gate() {
+    let root = workspace_root();
+    let mut missing = Vec::new();
+    assert_gated(&root, &mut missing);
+    let crates = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)
+        .expect("crates/ readable")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    assert!(!members.is_empty(), "no members under {}", crates.display());
+    for member in &members {
+        assert_gated(member, &mut missing);
+    }
+    assert!(
+        missing.is_empty(),
+        "workspace members without a tests/tflint_gate.rs invoking tflint::gate!():\n  {}",
+        missing.join("\n  ")
+    );
+}

@@ -19,7 +19,7 @@
 //!   lines reach memory — which is why its latency degrades so little
 //!   under disaggregation.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use simkit::rng::{DetRng, ZipfSampler};
@@ -46,7 +46,7 @@ use crate::loadgen::{ClosedLoopSim, RunStats, Service};
 pub struct SlabCache {
     capacity: u64,
     used: u64,
-    entries: HashMap<u64, (u32, u64)>, // key -> (size, stamp)
+    entries: BTreeMap<u64, (u32, u64)>, // key -> (size, stamp)
     lru: BTreeMap<u64, u64>,           // stamp -> key
     clock: u64,
     hits: u64,
@@ -65,7 +65,7 @@ impl SlabCache {
         SlabCache {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             lru: BTreeMap::new(),
             clock: 0,
             hits: 0,

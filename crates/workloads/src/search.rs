@@ -23,7 +23,7 @@
 //!   the synchronisation-heavy challenges degrade as shards scale, and
 //!   interconnect bandwidth caps that bite the streaming RTQ challenge.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use simkit::rng::{DetRng, ZipfSampler};
@@ -51,7 +51,7 @@ pub struct InvertedIndex {
 
 #[derive(Debug, Default)]
 struct Shard {
-    postings: HashMap<u32, Vec<u32>>, // tag -> doc ids
+    postings: BTreeMap<u32, Vec<u32>>, // tag -> doc ids
     docs: Vec<Doc>,
 }
 
