@@ -34,8 +34,15 @@ echo "==> chaos scenario smoke (link flap + donor crash, exactly-once asserts)"
 cargo test -q -p thymesisflow-core --test chaos_sweep
 cargo test -q -p llc --test prop_loss_burst
 
-echo "==> engine throughput smoke (QUICK mode, writes BENCH_engine.json)"
+echo "==> partitioned engine 1-vs-N bit-equality (point_to_point, circuit_rack, chaos)"
+cargo test -q -p thymesisflow-core --test partitioned_determinism
+cargo test -q -p simkit --test prop_partition
+
+echo "==> engine throughput smoke (QUICK mode, writes target/BENCH_engine.quick.json)"
+# The committed BENCH_engine.json holds full-mode numbers; refresh it
+# with:  cargo bench -p bench --bench engine_throughput   (no QUICK).
 QUICK=1 cargo bench -q -p bench --bench engine_throughput
-jq -e '.telemetry_overhead.overhead_frac' BENCH_engine.json > /dev/null
+jq -e '.telemetry_overhead.overhead_frac' target/BENCH_engine.quick.json > /dev/null
+jq -e '.engine_partitioned.scaling | length >= 3' target/BENCH_engine.quick.json > /dev/null
 
 echo "ci: all gates passed"

@@ -1,0 +1,118 @@
+//! Regression gates on the committed `BENCH_engine.json` artifact.
+//!
+//! The file must hold *full-mode* numbers (a `QUICK=1` smoke run writes
+//! to `target/BENCH_engine.quick.json` instead and can never clobber
+//! them), every figure sweep must have exercised the parallel harness
+//! (`workers > 1`), and the partitioned-engine record must exist with
+//! its scaling curve.
+
+use serde::Value;
+
+const REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+
+fn report() -> Value {
+    let raw = std::fs::read_to_string(REPORT)
+        .expect("BENCH_engine.json is committed at the workspace root");
+    serde_json::from_str(&raw).expect("BENCH_engine.json parses")
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+#[test]
+fn committed_report_holds_full_mode_numbers() {
+    let v = report();
+    assert_eq!(
+        v.get("quick"),
+        Some(&Value::Bool(false)),
+        "BENCH_engine.json was overwritten by a QUICK smoke run; \
+         refresh it with `cargo bench -p bench --bench engine_throughput`"
+    );
+}
+
+#[test]
+fn figure_sweeps_record_parallel_workers() {
+    let v = report();
+    let sweeps = v
+        .get("figure_sweeps")
+        .and_then(Value::as_seq)
+        .expect("figure_sweeps array");
+    assert!(!sweeps.is_empty());
+    for s in sweeps {
+        let figure = s.get("figure").and_then(Value::as_str).unwrap_or("?");
+        let workers = s
+            .get("workers")
+            .and_then(as_u64)
+            .unwrap_or_else(|| panic!("sweep {figure} lacks a workers field"));
+        assert!(
+            workers > 1,
+            "sweep {figure} recorded workers={workers}; the sweep harness \
+             must run its parallel path even on single-core boxes"
+        );
+    }
+}
+
+#[test]
+fn partitioned_engine_record_carries_the_scaling_curve() {
+    let v = report();
+    let part = v
+        .get("engine_partitioned")
+        .expect("engine_partitioned record");
+    let workers = part.get("workers").and_then(as_u64).unwrap_or(0);
+    assert!(workers >= 4, "partitioned record tops out below 4 workers");
+    assert!(part.get("events_per_sec").and_then(as_f64).unwrap_or(0.0) > 0.0);
+    let scaling = part
+        .get("scaling")
+        .and_then(Value::as_seq)
+        .expect("per-worker scaling points");
+    assert!(
+        scaling.len() >= 3,
+        "scaling curve needs at least workers = 1, 2, 4 points"
+    );
+    for point in scaling {
+        for field in ["workers", "events", "events_per_sec"] {
+            assert!(
+                point.get(field).is_some(),
+                "scaling point lacks {field}: {point:?}"
+            );
+        }
+    }
+    let at_max = part
+        .get("scaling_at_max")
+        .and_then(as_f64)
+        .expect("scaling_at_max factor");
+    assert!(
+        at_max >= 1.8,
+        "critical-path scaling at 4 workers must be >= 1.8x, got {at_max:.2}x"
+    );
+}
+
+#[test]
+fn tracing_overhead_stays_inside_the_tightened_budget() {
+    let v = report();
+    let tele = v.get("telemetry_overhead").expect("telemetry_overhead record");
+    let frac = tele
+        .get("tracing_overhead_frac")
+        .and_then(as_f64)
+        .expect("tracing_overhead_frac");
+    assert!(
+        frac <= 0.50,
+        "pooled checkpoint records should keep span tracing <= 50% \
+         wall-clock overhead; committed report says {:.1}%",
+        frac * 100.0
+    );
+}

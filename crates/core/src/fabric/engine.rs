@@ -314,6 +314,16 @@ enum Ev {
     Complete { tag: u64 },
     /// Seal whatever is staged on a direction (adaptive batching).
     Flush { link: usize, dir: Dir },
+    /// A window of same-link data frames lands as one event (wire-burst
+    /// batching, see [`Fabric::set_wire_batching`]).
+    ArriveBurst {
+        link: usize,
+        dir: Dir,
+        frames: Vec<(Frame<FabricMsg>, bool)>,
+    },
+    /// A deferred load issue lands (cross-partition injection, see
+    /// [`Fabric::schedule_read`]).
+    Inject { path: u32 },
     /// A scripted failure lands (see [`ChaosPlan`]).
     Chaos(ChaosEvent),
     /// The link-down watchdog samples a suspect link's progress.
@@ -554,6 +564,12 @@ pub struct Fabric {
     faulted: BTreeMap<u64, FaultKind>,
     /// Completions absorbed because their load had already faulted.
     late_completions: u64,
+    /// Hot-path opt-in: same-link data frames pumped back-to-back move
+    /// as one [`Ev::ArriveBurst`] at the burst's last arrival instant.
+    wire_batching: bool,
+    /// Deferred issues ([`Fabric::schedule_read`]) that landed on a
+    /// poisoned path and were refused rather than faulting the run.
+    injects_refused: u64,
 }
 
 impl fmt::Debug for Fabric {
@@ -614,6 +630,8 @@ impl Fabric {
             faults: Vec::new(),
             faulted: BTreeMap::new(),
             late_completions: 0,
+            wire_batching: false,
+            injects_refused: 0,
         }
     }
 
@@ -994,6 +1012,9 @@ impl Fabric {
 
     fn pump(&mut self, link: usize, dir: Dir) -> Result<(), FabricError> {
         let now = self.queue.now();
+        if self.wire_batching {
+            return self.pump_batched(link, dir, now);
+        }
         loop {
             let frame = {
                 let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
@@ -1012,29 +1033,99 @@ impl Fabric {
         }
     }
 
+    /// The wire-batching pump: every data frame this pump pass puts on
+    /// the wire joins one burst that lands as a single
+    /// [`Ev::ArriveBurst`] at the last frame's arrival instant, so a
+    /// window of same-link flits moves as one event instead of one event
+    /// per frame. Control frames keep the per-frame path (they carry
+    /// flow control and ride the reverse physical channel).
+    fn pump_batched(
+        &mut self,
+        link: usize,
+        dir: Dir,
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        let mut burst: Vec<(Frame<FabricMsg>, bool)> = Vec::new();
+        let mut burst_at = now;
+        loop {
+            let frame = {
+                let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                    break;
+                };
+                let tx = match dir {
+                    Dir::ToMemory => &mut slot.up.tx,
+                    Dir::ToCompute => &mut slot.down.tx,
+                };
+                match tx.next_transmittable()? {
+                    Some(f) => f,
+                    None => break,
+                }
+            };
+            if matches!(frame, Frame::Control(_)) {
+                self.transmit(link, dir, frame, now);
+                continue;
+            }
+            self.stamp_wire_tx(dir, &frame, now);
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                break;
+            };
+            let physical = match dir {
+                Dir::ToMemory => &mut slot.fwd.chan,
+                Dir::ToCompute => &mut slot.rev.chan,
+            };
+            match physical.transmit(now, frame.wire_bytes()) {
+                Delivery::Delivered { at } => {
+                    burst_at = burst_at.max(at.max(now));
+                    burst.push((frame, true));
+                }
+                Delivery::Corrupted { at } => {
+                    burst_at = burst_at.max(at.max(now));
+                    burst.push((frame, false));
+                }
+                Delivery::Dropped => self.arm_watchdog(link),
+            }
+        }
+        if !burst.is_empty() {
+            self.queue.schedule(
+                burst_at,
+                Ev::ArriveBurst {
+                    link,
+                    dir,
+                    frames: burst,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every traced transaction riding a data frame at its
+    /// wire-transmit instant; replays overwrite, so the surviving
+    /// checkpoint is the transmit that actually delivered.
+    fn stamp_wire_tx(&mut self, dir: Dir, frame: &Frame<FabricMsg>, now: SimTime) {
+        if !self.tracer.active() {
+            return;
+        }
+        if let Frame::Data { entries, .. } = frame {
+            let wd = match dir {
+                Dir::ToMemory => WireDir::Forward,
+                Dir::ToCompute => WireDir::Reverse,
+            };
+            for e in entries.iter() {
+                let tag = match e {
+                    Entry::Txn(FabricMsg::Req(r)) => r.req.tag.0,
+                    Entry::Txn(FabricMsg::Resp(r)) => r.tag.0,
+                    Entry::Nop => continue,
+                };
+                self.tracer.wire_tx(tag, wd, now);
+            }
+        }
+    }
+
     /// Puts a frame of direction `dir` on the right physical channel.
     /// Data frames travel with their direction; their control replies
     /// travel on the reverse channel but still belong to `dir`.
     fn transmit(&mut self, link: usize, dir: Dir, frame: Frame<FabricMsg>, now: SimTime) {
-        if self.tracer.active() {
-            if let Frame::Data { entries, .. } = &frame {
-                // Checkpoint every traced transaction riding the frame;
-                // replays overwrite, so the surviving checkpoint is the
-                // transmit that actually delivered.
-                let wd = match dir {
-                    Dir::ToMemory => WireDir::Forward,
-                    Dir::ToCompute => WireDir::Reverse,
-                };
-                for e in entries.iter() {
-                    let tag = match e {
-                        Entry::Txn(FabricMsg::Req(r)) => r.req.tag.0,
-                        Entry::Txn(FabricMsg::Resp(r)) => r.tag.0,
-                        Entry::Nop => continue,
-                    };
-                    self.tracer.wire_tx(tag, wd, now);
-                }
-            }
-        }
+        self.stamp_wire_tx(dir, &frame, now);
         let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
             return;
         };
@@ -1366,6 +1457,57 @@ impl Fabric {
                     self.retire(tag, &mut done)?;
                 }
             }
+            Ev::ArriveBurst {
+                link,
+                dir,
+                mut frames,
+            } => {
+                // A pre-batched window of same-link data frames: feed the
+                // whole burst through the Rx ingress in one pass, exactly
+                // like the coincident-arrival batching above.
+                let now = self.queue.now();
+                while let Some(Ev::ArriveBurst { frames: more, .. }) =
+                    self.queue.pop_coincident(|e| {
+                        matches!(
+                            e,
+                            Ev::ArriveBurst { link: l, dir: d, .. } if *l == link && *d == dir
+                        )
+                    })
+                {
+                    frames.extend(more);
+                }
+                let action = match self.links.get_mut(link).and_then(Option::as_mut) {
+                    Some(slot) => {
+                        let rx = match dir {
+                            Dir::ToMemory => &mut slot.up.rx,
+                            Dir::ToCompute => &mut slot.down.rx,
+                        };
+                        rx.enqueue_arrivals(&mut frames)?;
+                        Some(rx.drain_ingress()?)
+                    }
+                    None => None,
+                };
+                if let Some(action) = action {
+                    for c in action.replies {
+                        self.transmit(link, dir, Frame::Control(c), now);
+                    }
+                    for msg in action.delivered {
+                        self.dispatch_delivery(link, dir, msg, now)?;
+                    }
+                    self.pump(link, dir)?;
+                }
+            }
+            Ev::Inject { path } => {
+                // A deferred (possibly cross-partition) issue lands. A
+                // path poisoned since the injection was scheduled refuses
+                // the load instead of faulting the run — the sender
+                // cannot have known.
+                match self.issue_read(PathId(path)) {
+                    Ok(_) => {}
+                    Err(FabricError::PathFaulted { .. }) => self.injects_refused += 1,
+                    Err(e) => return Err(e),
+                }
+            }
             Ev::Chaos(ev) => self.apply_chaos(ev)?,
             Ev::Watchdog { link } => self.watchdog_fire(link)?,
         }
@@ -1380,6 +1522,84 @@ impl Fabric {
     pub fn drain(&mut self) -> Result<(), FabricError> {
         while self.step()?.is_some() {}
         Ok(())
+    }
+
+    /// Delivery time of the earliest pending event, if any — the value
+    /// a conservative partition runner folds into its window bound.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs every event strictly before `bound`, appending completions
+    /// to `sink`. Events at or after `bound` stay queued — this is the
+    /// partition window primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fabric::step`] failures.
+    pub fn step_until(
+        &mut self,
+        bound: SimTime,
+        sink: &mut Vec<Completion>,
+    ) -> Result<(), FabricError> {
+        while self.queue.peek_time().is_some_and(|t| t < bound) {
+            if let Some(done) = self.step()? {
+                sink.extend(done);
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules one cacheline read on `path` to issue at instant `at`
+    /// (clamped to now). This is how cross-partition traffic enters a
+    /// fabric: the remote sender picks `at` at least one boundary-link
+    /// latency ahead, and the issue replays deterministically whenever
+    /// the event pops. An issue landing on a path that a failure
+    /// poisoned in the meantime is refused and counted
+    /// ([`Fabric::injects_refused`]) instead of faulting the run.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown paths.
+    pub fn schedule_read(&mut self, path: PathId, at: SimTime) -> Result<(), FabricError> {
+        if !self.paths.contains_key(&path.0) {
+            return Err(FabricError::UnknownPath(path));
+        }
+        let at = at.max(self.queue.now());
+        self.queue.schedule(at, Ev::Inject { path: path.0 });
+        Ok(())
+    }
+
+    /// Deferred issues refused because their path was poisoned by the
+    /// time they landed.
+    pub fn injects_refused(&self) -> u64 {
+        self.injects_refused
+    }
+
+    /// The minimum in-flight latency over every live link's wire
+    /// channels — the fabric's conservative lookahead contribution: no
+    /// flit can cross a link (and hence a partition boundary cut at a
+    /// link) faster than this.
+    pub fn min_wire_latency(&self) -> Option<SimTime> {
+        self.links
+            .iter()
+            .flatten()
+            .flat_map(|slot| {
+                [
+                    slot.fwd.chan.flight_latency(),
+                    slot.rev.chan.flight_latency(),
+                ]
+            })
+            .min()
+    }
+
+    /// Opts the hot path in (or out) of wire-burst batching: data frames
+    /// pumped back-to-back on one link move as a single
+    /// [`Ev::ArriveBurst`] at the burst's last arrival instant. Fewer,
+    /// fatter events for throughput workloads, at the cost of per-frame
+    /// arrival granularity — reference trajectories keep it off.
+    pub fn set_wire_batching(&mut self, on: bool) {
+        self.wire_batching = on;
     }
 
     /// Schedules a failure script on the event queue and arms link-down

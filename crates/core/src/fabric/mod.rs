@@ -17,11 +17,13 @@
 pub mod builder;
 pub mod chaos;
 pub mod engine;
+pub mod partition;
 pub mod port;
 pub mod stage;
 pub mod trace;
 
 pub use builder::FabricBuilder;
+pub use partition::{FabricShard, PartitionedFabric, ShardDigest, ShardMsg, WorkloadSpec};
 pub use chaos::{ChaosEvent, ChaosPlan, FaultKind, LoadFault, RecoveryConfig};
 pub use engine::{Completion, Fabric, FabricError, LinkStats, PathId, PathSpec, StreamLoad};
 pub use trace::{

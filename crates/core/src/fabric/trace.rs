@@ -22,7 +22,7 @@
 //! table; [`chrome_trace`] renders traces as Chrome `trace_event` JSON
 //! (load into `chrome://tracing` or Perfetto).
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::fmt;
 
 use serde::Value;
@@ -384,10 +384,23 @@ const DEFAULT_TRACE_CAP: usize = 16_384;
 
 /// The engine-side tracer: checkpoints per in-flight tag, finished
 /// [`FlitTrace`]s after retire.
+///
+/// Checkpoint records are *pooled*: load tags are monotonic, so the
+/// live set is a dense sliding window (`tag - base` indexes a ring of
+/// recycled [`Pending`] slots). Every hot-path hook — begin, wire
+/// transmit, delivery, memory completion, finish — is an O(1) index
+/// into preallocated storage; the steady state allocates nothing per
+/// flit, where the previous `BTreeMap` paid a tree insert/remove (and
+/// its node allocations) per traced load.
 #[derive(Debug, Default)]
 pub(crate) struct FlitTracer {
     enabled: bool,
-    live: BTreeMap<u64, Pending>,
+    /// Tag of `window[0]`.
+    base: u64,
+    /// Pooled checkpoint ring; `None` slots are recycled in place.
+    window: VecDeque<Option<Pending>>,
+    /// Live (Some) records in the window.
+    live: usize,
     finished: Vec<FlitTrace>,
     cap: usize,
     dropped: u64,
@@ -401,6 +414,56 @@ impl FlitTracer {
         }
     }
 
+    /// The live record for `tag`, if any (O(1) window index).
+    fn slot(&self, tag: u64) -> Option<&Pending> {
+        let idx = tag.checked_sub(self.base)?;
+        self.window.get(idx as usize)?.as_ref()
+    }
+
+    /// Mutable variant of [`FlitTracer::slot`].
+    fn slot_mut(&mut self, tag: u64) -> Option<&mut Pending> {
+        let idx = tag.checked_sub(self.base)?;
+        self.window.get_mut(idx as usize)?.as_mut()
+    }
+
+    /// Installs a record for `tag`, growing the window as needed. An
+    /// empty window re-bases to `tag` first so late-enabled tracing
+    /// never pads from tag zero.
+    fn insert(&mut self, tag: u64, p: Pending) {
+        if self.live == 0 {
+            self.window.clear();
+            self.base = tag;
+        }
+        let Some(idx) = tag.checked_sub(self.base) else {
+            return; // Tag behind the window: stale replay, not traceable.
+        };
+        while self.window.len() <= idx as usize {
+            self.window.push_back(None);
+        }
+        if self.window[idx as usize].replace(p).is_none() {
+            self.live += 1;
+        }
+    }
+
+    /// Removes and returns `tag`'s record, advancing the window base
+    /// past any leading recycled slots.
+    fn remove(&mut self, tag: u64) -> Option<Pending> {
+        let idx = tag.checked_sub(self.base)?;
+        let p = self.window.get_mut(idx as usize)?.take()?;
+        self.live -= 1;
+        while matches!(self.window.front(), Some(None)) {
+            self.window.pop_front();
+            self.base += 1;
+        }
+        Some(p)
+    }
+
+    /// Current window footprint in slots (tests pin the recycling).
+    #[cfg(test)]
+    fn window_slots(&self) -> usize {
+        self.window.len()
+    }
+
     pub(crate) fn enabled(&self) -> bool {
         self.enabled
     }
@@ -411,14 +474,15 @@ impl FlitTracer {
     pub(crate) fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
         if !enabled {
-            self.live.clear();
+            self.window.clear();
+            self.live = 0;
         }
     }
 
     /// Whether any hot-path hook needs to run.
     #[inline]
     pub(crate) fn active(&self) -> bool {
-        self.enabled && !self.live.is_empty()
+        self.enabled && self.live > 0
     }
 
     pub(crate) fn set_capacity(&mut self, cap: usize) {
@@ -449,7 +513,7 @@ impl FlitTracer {
             self.dropped += 1;
             return;
         }
-        self.live.insert(
+        self.insert(
             tag,
             Pending {
                 path,
@@ -468,7 +532,7 @@ impl FlitTracer {
     /// Records a wire transmit of the tag's frame (replays overwrite:
     /// the surviving checkpoint is the transmit that actually delivered).
     pub(crate) fn wire_tx(&mut self, tag: u64, dir: WireDir, now: SimTime) {
-        if let Some(p) = self.live.get_mut(&tag) {
+        if let Some(p) = self.slot_mut(tag) {
             match dir {
                 WireDir::Forward => p.fwd_tx = Some(now),
                 WireDir::Reverse => p.rev_tx = Some(now),
@@ -478,7 +542,7 @@ impl FlitTracer {
 
     /// Records in-order delivery of the tag's message out of an LLC Rx.
     pub(crate) fn delivered(&mut self, tag: u64, dir: WireDir, now: SimTime) {
-        if let Some(p) = self.live.get_mut(&tag) {
+        if let Some(p) = self.slot_mut(tag) {
             match dir {
                 WireDir::Forward => p.fwd_deliver = Some(now),
                 WireDir::Reverse => p.rev_deliver = Some(now),
@@ -488,7 +552,7 @@ impl FlitTracer {
 
     /// Records when the donor's memory completion re-enters the LLC.
     pub(crate) fn memory_done(&mut self, tag: u64, at: SimTime) {
-        if let Some(p) = self.live.get_mut(&tag) {
+        if let Some(p) = self.slot_mut(tag) {
             p.mem_done = Some(at);
         }
     }
@@ -497,11 +561,11 @@ impl FlitTracer {
     /// Discards the live checkpoints of a load resolved as faulted —
     /// a half-traced load can never finalize.
     pub(crate) fn abandon(&mut self, tag: u64) {
-        self.live.remove(&tag);
+        self.remove(tag);
     }
 
     pub(crate) fn pending_link(&self, tag: u64) -> Option<usize> {
-        self.live.get(&tag).map(|p| p.link)
+        self.slot(tag).map(|p| p.link)
     }
 
     /// Finalizes the tag's trace at retire time: subdivides the
@@ -515,7 +579,7 @@ impl FlitTracer {
         retired: SimTime,
         ctx: &HopContext,
     ) -> Option<usize> {
-        let p = self.live.remove(&tag)?;
+        let p = self.remove(tag)?;
         if self.finished.len() >= self.cap {
             self.dropped += 1;
             return None;
@@ -977,6 +1041,65 @@ mod tests {
         }
         assert_eq!(tr.traces().len(), 1);
         assert_eq!(tr.dropped(), 2);
+    }
+
+    /// Drives a full synthetic round trip for `tag` starting at `issued`.
+    fn drive(tr: &mut FlitTracer, tag: u64, issued: SimTime) {
+        let edge = SimTime::from_ns(176);
+        tr.begin(tag, 0, 0, issued, issued + edge);
+        tr.wire_tx(tag, WireDir::Forward, issued + SimTime::from_ns(200));
+        tr.delivered(tag, WireDir::Forward, issued + SimTime::from_ns(330));
+        tr.memory_done(tag, issued + SimTime::from_ns(700));
+        tr.wire_tx(tag, WireDir::Reverse, issued + SimTime::from_ns(750));
+        tr.delivered(tag, WireDir::Reverse, issued + SimTime::from_ns(880));
+        tr.finish(tag, issued + SimTime::from_ns(1056), &ctx());
+    }
+
+    #[test]
+    fn checkpoint_window_recycles_slots() {
+        let mut tr = FlitTracer::new();
+        tr.set_enabled(true);
+        // Sequential loads: each finish recycles its slot, so the
+        // window never grows past the in-flight count (1).
+        for tag in 0..64u64 {
+            drive(&mut tr, tag, SimTime::from_ns(tag * 2_000));
+            assert!(tr.window_slots() <= 1, "window grew on sequential loads");
+        }
+        assert_eq!(tr.traces().len(), 64);
+        // A late-enabled tracer re-bases to the first live tag instead
+        // of padding from zero.
+        let mut late = FlitTracer::new();
+        late.set_enabled(true);
+        drive(&mut late, 1_000_000, SimTime::from_ns(5));
+        assert!(late.window_slots() <= 1, "window padded from tag zero");
+        assert_eq!(late.traces().len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_finish_keeps_checkpoints_intact() {
+        let mut tr = FlitTracer::new();
+        tr.set_enabled(true);
+        let edge = SimTime::from_ns(176);
+        // Open three overlapping loads, retire the middle one first.
+        for tag in 0..3u64 {
+            let issued = SimTime::from_ns(tag * 10);
+            tr.begin(tag, 0, 0, issued, issued + edge);
+        }
+        assert!(tr.active());
+        for tag in [1u64, 2, 0] {
+            let issued = SimTime::from_ns(tag * 10);
+            tr.wire_tx(tag, WireDir::Forward, issued + SimTime::from_ns(200));
+            tr.delivered(tag, WireDir::Forward, issued + SimTime::from_ns(330));
+            tr.memory_done(tag, issued + SimTime::from_ns(700));
+            tr.wire_tx(tag, WireDir::Reverse, issued + SimTime::from_ns(750));
+            tr.delivered(tag, WireDir::Reverse, issued + SimTime::from_ns(880));
+            assert!(tr.finish(tag, issued + SimTime::from_ns(1056), &ctx()).is_some());
+        }
+        assert_eq!(tr.traces().len(), 3);
+        assert!(!tr.active(), "window drained after the last retire");
+        for t in tr.traces() {
+            assert_eq!(t.spans_total(), t.rtt());
+        }
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The partitioned engine's non-negotiable: running the same partitioned
+//! fabric on 1 worker and on N workers is *bit-identical* — same
+//! completions (count and order-sensitive fold), same per-shard event
+//! counts, same telemetry snapshots — for the reference point-to-point
+//! topology, the circuit-switched rack, and a chaos scenario. This is
+//! the CI gate `ci.sh` runs on every push.
+
+use simkit::time::SimTime;
+use thymesisflow_core::fabric::{ChaosPlan, PartitionedFabric, ShardDigest, WorkloadSpec};
+use thymesisflow_core::params::DatapathParams;
+
+const WORKER_AXIS: [usize; 3] = [2, 3, 4];
+
+/// Runs `build()`'s fabric on one worker, then on every axis count,
+/// asserting digest equality (telemetry snapshots included).
+fn assert_bit_identical<F>(topology: &str, mut build: F)
+where
+    F: FnMut() -> PartitionedFabric,
+{
+    let mut digests = |workers: usize| -> Vec<ShardDigest> {
+        let mut pf = build();
+        pf.set_telemetry(true);
+        pf.run(workers).expect("partitioned run completes");
+        let ds = pf.digests();
+        assert!(
+            ds.iter().all(|d| d.telemetry_json.is_some()),
+            "{topology}: digests must carry telemetry snapshots"
+        );
+        ds
+    };
+    let want = digests(1);
+    assert!(
+        want.iter().map(|d| d.completions).sum::<u64>() > 0,
+        "{topology}: the workload completed nothing"
+    );
+    for workers in WORKER_AXIS {
+        assert_eq!(
+            digests(workers),
+            want,
+            "{topology}: digests diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn point_to_point_is_bit_identical_across_worker_counts() {
+    assert_bit_identical("point_to_point", || {
+        PartitionedFabric::point_to_point(
+            DatapathParams::prototype(),
+            4,
+            2,
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .expect("reference shards assemble")
+    });
+}
+
+#[test]
+fn circuit_rack_is_bit_identical_across_worker_counts() {
+    assert_bit_identical("circuit_rack", || {
+        PartitionedFabric::circuit_rack(
+            DatapathParams::prototype(),
+            3,
+            2,
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .expect("circuit-rack shards assemble")
+    });
+}
+
+#[test]
+fn chaos_scenario_is_bit_identical_across_worker_counts() {
+    // A link flap on shard 1 mid-workload: recovery, retries and
+    // refused injects must all replay identically on any worker count.
+    assert_bit_identical("point_to_point + link flap", || {
+        let mut pf = PartitionedFabric::point_to_point(
+            DatapathParams::prototype(),
+            4,
+            2,
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .expect("reference shards assemble");
+        let plan = ChaosPlan::new().link_flap(SimTime::from_ns(600), 0, SimTime::from_us(3));
+        pf.schedule_chaos_on(1, &plan).expect("shard 1 exists");
+        pf
+    });
+}
+
+#[test]
+fn chaos_effects_stay_on_the_owning_shard() {
+    let mut pf = PartitionedFabric::point_to_point(
+        DatapathParams::prototype(),
+        4,
+        2,
+        256 << 20,
+        WorkloadSpec::quick(),
+    )
+    .expect("reference shards assemble");
+    let plan = ChaosPlan::new().link_down(SimTime::from_ns(500), 0);
+    pf.schedule_chaos_on(2, &plan).expect("shard 2 exists");
+    pf.run(3).expect("chaos run completes");
+    let digests = pf.digests();
+    assert!(
+        digests[2].faults > 0 || digests[2].injects_refused > 0,
+        "owning shard shows no trace of its failure script"
+    );
+    for d in digests.iter().filter(|d| d.shard != 2) {
+        assert_eq!(d.faults, 0, "chaos leaked into shard {}", d.shard);
+        assert_eq!(
+            d.injects_refused, 0,
+            "chaos refusals leaked into shard {}",
+            d.shard
+        );
+    }
+}

@@ -16,6 +16,14 @@
 //!   as the reference implementation. Property tests assert that both
 //!   engines pop every schedule in the identical order, so simulations
 //!   are byte-for-byte reproducible on either.
+//!
+//! The calendar stores its records structure-of-arrays: each bucket (and
+//! the drain the current bucket is sorted into) keeps the `(at, seq)`
+//! sort keys in one dense array and parks the event payloads in a slot
+//! arena indexed by the keys. Ordering a bucket therefore sorts 24-byte
+//! keys instead of shuffling full event payloads (which on the fabric
+//! hot path carry whole LLC frames); a payload is moved exactly once on
+//! schedule and once on pop.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -72,6 +80,91 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// One structure-of-arrays event store backing a calendar bucket or the
+/// drain: `(at, seq, slot)` sort keys live in one dense array while the
+/// payloads sit still in a slot arena the keys index. Buckets keep keys
+/// in arrival order; the drain keeps them sorted **descending** by
+/// `(at, seq)` so the next event pops from the back.
+#[derive(Debug)]
+struct Lane<E> {
+    /// Sort keys; `slot` indexes into [`Lane::slots`].
+    keys: Vec<(SimTime, u64, u32)>,
+    /// Payload arena; a slot empties when its key pops.
+    slots: Vec<Option<E>>,
+}
+
+impl<E> Lane<E> {
+    fn new() -> Self {
+        Lane {
+            keys: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    fn slot_index(&self) -> u32 {
+        u32::try_from(self.slots.len()).expect("bucket slot index fits u32")
+    }
+
+    /// Appends in arrival order (bucket mode).
+    fn push(&mut self, at: SimTime, seq: u64, event: E) {
+        let slot = self.slot_index();
+        self.keys.push((at, seq, slot));
+        self.slots.push(Some(event));
+    }
+
+    /// Merges into the descending key order (drain mode, late schedules).
+    fn insert_sorted(&mut self, at: SimTime, seq: u64, event: E) {
+        let slot = self.slot_index();
+        self.slots.push(Some(event));
+        let key = (at, seq);
+        let pos = self.keys.partition_point(|&(a, s, _)| (a, s) > key);
+        self.keys.insert(pos, (at, seq, slot));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn last_key(&self) -> Option<(SimTime, u64)> {
+        self.keys.last().map(|&(at, seq, _)| (at, seq))
+    }
+
+    fn peek_event(&self) -> Option<&E> {
+        self.keys.last().map(|&(_, _, slot)| {
+            let slot = usize::try_from(slot).expect("slot index fits usize");
+            self.slots[slot].as_ref().expect("pending slot holds its payload")
+        })
+    }
+
+    /// Pops the backmost key's payload out of the arena. The arena is
+    /// recycled (truncated to zero, allocation kept) once every key has
+    /// popped, so a lane's slots never grow past one bucket lap.
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        let (at, seq, slot) = self.keys.pop()?;
+        let slot = usize::try_from(slot).expect("slot index fits usize");
+        let event = self.slots[slot].take().expect("pending slot holds its payload");
+        if self.keys.is_empty() {
+            self.slots.clear();
+        }
+        Some((at, seq, event))
+    }
+
+    /// Orders the keys descending by `(at, seq)` without touching the
+    /// payload arena — the structure-of-arrays layout's whole point.
+    fn sort_descending(&mut self) {
+        self.keys
+            .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+    }
+
+    fn min_time(&self) -> Option<SimTime> {
+        self.keys.iter().map(|&(at, _, _)| at).min()
+    }
+}
+
 /// A discrete-event queue over an arbitrary event type `E`.
 ///
 /// The queue tracks the current simulated instant: popping an event
@@ -101,13 +194,13 @@ pub struct EventQueue<E> {
     pending: usize,
     /// Far-future events (all events in `HeapOnly` mode).
     heap: BinaryHeap<Scheduled<E>>,
-    /// The currently ingested calendar slice, sorted **descending** by
-    /// `(at, seq)`; the next event pops from the back. Also absorbs
+    /// The currently ingested calendar slice, keys sorted **descending**
+    /// by `(at, seq)`; the next event pops from the back. Also absorbs
     /// late schedules that land inside the already-ingested window.
-    drain: Vec<Scheduled<E>>,
+    drain: Lane<E>,
     /// Unsorted calendar buckets; bucket `slot % NUM_BUCKETS` holds the
     /// events of `slot` for slots in `[cursor_slot, cursor_slot + N)`.
-    buckets: Vec<Vec<Scheduled<E>>>,
+    buckets: Vec<Lane<E>>,
     /// One bit per bucket: whether it holds any events.
     occupied: Vec<u64>,
     /// First slot not yet ingested into `drain`.
@@ -147,8 +240,8 @@ impl<E> EventQueue<E> {
             popped: 0,
             pending: 0,
             heap: BinaryHeap::new(),
-            drain: Vec::new(),
-            buckets: (0..n).map(|_| Vec::new()).collect(),
+            drain: Lane::new(),
+            buckets: (0..n).map(|_| Lane::new()).collect(),
             occupied: vec![0u64; n.div_ceil(64)],
             cursor_slot: 0,
             in_buckets: 0,
@@ -191,9 +284,8 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.pending += 1;
-        let sch = Scheduled { at, seq, event };
         if self.buckets.is_empty() {
-            self.heap.push(sch);
+            self.heap.push(Scheduled { at, seq, event });
             return;
         }
         // With the calendar empty the cursor can jump over quiet gaps,
@@ -208,17 +300,15 @@ impl<E> EventQueue<E> {
         if slot < self.cursor_slot {
             // Inside the already-ingested window: merge into the sorted
             // drain at its (at, seq) position.
-            let key = (at, seq);
-            let pos = self.drain.partition_point(|s| (s.at, s.seq) > key);
-            self.drain.insert(pos, sch);
+            self.drain.insert_sorted(at, seq, event);
         } else if slot - self.cursor_slot < self.buckets.len() as u64 {
             let idx = usize::try_from(slot % self.buckets.len() as u64)
                 .expect("bucket count fits usize");
-            self.buckets[idx].push(sch);
+            self.buckets[idx].push(at, seq, event);
             self.occupied[idx / 64] |= 1u64 << (idx % 64);
             self.in_buckets += 1;
         } else {
-            self.heap.push(sch);
+            self.heap.push(Scheduled { at, seq, event });
         }
     }
 
@@ -259,12 +349,11 @@ impl<E> EventQueue<E> {
         } else {
             n - (start - idx) as u64
         };
-        // Swap keeps the bucket's allocation alive for its next lap.
+        // Swap keeps the bucket's allocations alive for its next lap.
         std::mem::swap(&mut self.drain, &mut self.buckets[idx]);
         self.occupied[idx / 64] &= !(1u64 << (idx % 64));
         self.in_buckets -= self.drain.len();
-        self.drain
-            .sort_unstable_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+        self.drain.sort_descending();
         self.cursor_slot = self.cursor_slot + delta + 1;
     }
 
@@ -275,28 +364,30 @@ impl<E> EventQueue<E> {
     /// regresses — the ordering invariant every simulation depends on.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.ensure_drain();
-        let from_heap = match (self.drain.last(), self.heap.peek()) {
+        let from_heap = match (self.drain.last_key(), self.heap.peek()) {
             (None, None) => return None,
             (None, Some(_)) => true,
             (Some(_), None) => false,
-            (Some(d), Some(h)) => (h.at, h.seq) < (d.at, d.seq),
+            (Some(d), Some(h)) => (h.at, h.seq) < d,
         };
-        let sch = if from_heap {
-            self.heap.pop().expect("peeked event exists")
+        let (at, event) = if from_heap {
+            let sch = self.heap.pop().expect("peeked event exists");
+            (sch.at, sch.event)
         } else {
-            self.drain.pop().expect("peeked event exists")
+            let (at, _, event) = self.drain.pop().expect("peeked event exists");
+            (at, event)
         };
         #[cfg(feature = "sanitize")]
         assert!(
-            sch.at >= self.now,
+            at >= self.now,
             "sanitize: event queue clock regressed: {} -> {}",
             self.now,
-            sch.at
+            at
         );
         self.pending -= 1;
         self.popped += 1;
-        self.now = sch.at;
-        Some((sch.at, sch.event))
+        self.now = at;
+        Some((at, event))
     }
 
     /// Pops the next event only when it is due at exactly the current
@@ -312,7 +403,7 @@ impl<E> EventQueue<E> {
         F: FnOnce(&E) -> bool,
     {
         self.ensure_drain();
-        let from_heap = match (self.drain.last(), self.heap.peek()) {
+        let from_heap = match (self.drain.last_key(), self.heap.peek()) {
             (None, None) => return None,
             (None, Some(h)) => {
                 if h.at != self.now {
@@ -320,15 +411,15 @@ impl<E> EventQueue<E> {
                 }
                 true
             }
-            (Some(d), None) => {
-                if d.at != self.now {
+            (Some((at, _)), None) => {
+                if at != self.now {
                     return None;
                 }
                 false
             }
             (Some(d), Some(h)) => {
-                let heap_first = (h.at, h.seq) < (d.at, d.seq);
-                let front_at = if heap_first { h.at } else { d.at };
+                let heap_first = (h.at, h.seq) < d;
+                let front_at = if heap_first { h.at } else { d.0 };
                 if front_at != self.now {
                     return None;
                 }
@@ -338,30 +429,30 @@ impl<E> EventQueue<E> {
         let accepted = if from_heap {
             pred(&self.heap.peek().expect("peeked event exists").event)
         } else {
-            pred(&self.drain.last().expect("peeked event exists").event)
+            pred(self.drain.peek_event().expect("peeked event exists"))
         };
         if !accepted {
             return None;
         }
-        let sch = if from_heap {
-            self.heap.pop().expect("peeked event exists")
+        let event = if from_heap {
+            self.heap.pop().expect("peeked event exists").event
         } else {
-            self.drain.pop().expect("peeked event exists")
+            self.drain.pop().expect("peeked event exists").2
         };
         self.pending -= 1;
         self.popped += 1;
-        Some(sch.event)
+        Some(event)
     }
 
     /// The delivery time of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        let near = if let Some(d) = self.drain.last() {
-            Some(d.at)
+        let near = if let Some((at, _)) = self.drain.last_key() {
+            Some(at)
         } else if self.in_buckets > 0 {
             let n = self.buckets.len() as u64;
             let start = usize::try_from(self.cursor_slot % n).expect("bucket count fits usize");
             let idx = self.next_occupied(start);
-            self.buckets[idx].iter().map(|s| s.at).min()
+            self.buckets[idx].min_time()
         } else {
             None
         };
@@ -574,6 +665,24 @@ mod tests {
         // Next event is at a later instant: not coincident.
         assert_eq!(q.pop_coincident(|_| true), None);
         assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn soa_lanes_recycle_across_bucket_laps() {
+        // The slot arena truncates whenever a lane empties; pouring many
+        // laps through the same buckets must keep FIFO order intact as
+        // slots and keys are reused.
+        let mut q = EventQueue::new();
+        for lap in 0..100u64 {
+            for i in 0..64u64 {
+                q.schedule(SimTime::from_ns(lap * 10 + 1), (lap, i));
+            }
+            for i in 0..64u64 {
+                assert_eq!(q.pop().unwrap().1, (lap, i));
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.popped(), 6_400);
     }
 
     #[test]

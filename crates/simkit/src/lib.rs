@@ -13,6 +13,9 @@
 //! * [`queue`] — bounded FIFOs with occupancy accounting.
 //! * [`sweep`] — parallel sweep harness with deterministic per-point
 //!   RNG streams (worker count never changes the output).
+//! * [`partition`] — conservative time-window runner for partitioned
+//!   parallel simulation (lookahead-bounded windows, barrier-exchanged
+//!   mailboxes, bit-identical for any worker count).
 //! * [`telemetry`] — a metrics registry (counters, gauges,
 //!   histogram-backed timers) keyed by hierarchical paths, clocked by
 //!   simulated time and near-free when disabled.
@@ -32,6 +35,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod partition;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -16,8 +16,8 @@
 //! | TF007 | no wall-clock reads (`Instant::now`/`SystemTime::now`/`UNIX_EPOCH`) in simulation crates, tests included |
 //! | TF008 | no `unwrap()`/`expect()` in failure-recovery modules (chaos/recovery/retry files, any crate) |
 //! | TF009 | no iteration over `HashMap`/`HashSet` in deterministic crates (keyed lookup stays allowed) |
-//! | TF010 | no `static mut`/`thread_local!`/cell-based interior mutability in sim crates outside `simkit::sweep` |
-//! | TF011 | no `std::sync` primitives (`Mutex`/`RwLock`/atomics/...) outside `simkit::sweep` |
+//! | TF010 | no `static mut`/`thread_local!`/cell-based interior mutability in sim crates outside `simkit::{sweep, partition}` |
+//! | TF011 | no `std::sync` primitives (`Mutex`/`RwLock`/atomics/...) outside `simkit::{sweep, partition}` |
 //! | TF012 | no order-sensitive float accumulation over unordered collections |
 //! | TF013 | no public fallible `&mut self` APIs returning bare `bool`/`Option<()>` where the crate has a typed error |
 //!
@@ -64,8 +64,8 @@ pub const RULES: &[(&str, &str)] = &[
     ("TF007", "no wall-clock reads (Instant::now/SystemTime::now/UNIX_EPOCH) in simulation crates, tests included"),
     ("TF008", "no unwrap()/expect() in failure-recovery modules (chaos/recovery/retry files, any crate)"),
     ("TF009", "no iteration over HashMap/HashSet in deterministic crates (use BTreeMap/BTreeSet, an index-keyed Vec, or an explicit sort; keyed lookup stays allowed)"),
-    ("TF010", "no static mut/thread_local!/RefCell-style interior mutability in sim crates outside simkit::sweep"),
-    ("TF011", "no std::sync primitives (Mutex/RwLock/Condvar/atomics/mpsc) outside simkit::sweep"),
+    ("TF010", "no static mut/thread_local!/RefCell-style interior mutability in sim crates outside simkit::{sweep, partition}"),
+    ("TF011", "no std::sync primitives (Mutex/RwLock/Condvar/atomics/mpsc) outside simkit::{sweep, partition}"),
     ("TF012", "no order-sensitive float accumulation (sum/product/fold) over unordered hash collections"),
     ("TF013", "no public fallible &mut self API returning bare bool/Option<()> where the crate defines a typed error"),
 ];
@@ -895,12 +895,14 @@ fn recovery_scoped(rel_path: &str) -> bool {
     file.contains("chaos") || file.contains("recovery") || file.contains("retry")
 }
 
-/// The one module blessed to hold interior mutability and `std::sync`
-/// primitives: the parallel sweep harness, which proves 1-vs-N-worker
-/// bit-equality and therefore owns all cross-thread machinery
-/// (TF010/TF011).
+/// The modules blessed to hold interior mutability and `std::sync`
+/// primitives (TF010/TF011): the parallel sweep harness and the
+/// conservative partition runner. Both prove 1-vs-N-worker bit-equality
+/// and therefore own all cross-thread machinery; everything else must
+/// route parallelism through them.
 fn sync_blessed(crate_name: &str, rel_path: &str) -> bool {
-    crate_name == "simkit" && rel_path.ends_with("sweep.rs")
+    crate_name == "simkit"
+        && (rel_path.ends_with("sweep.rs") || rel_path.ends_with("partition.rs"))
 }
 
 /// Crates with timing/credit arithmetic where `as` casts are audited (TF005).
@@ -951,9 +953,11 @@ const SYNC_PRIMITIVES: &[&str] = &[
 const CELL_TYPES: &[&str] = &["RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell"];
 
 /// Query-style name prefixes exempt from TF013: a `bool` from these is
-/// an answer, not a swallowed error.
+/// an answer, not a swallowed error. `chance`/`flip`/`sample` cover
+/// random samplers (a Bernoulli draw is data, not a success flag).
 const QUERY_PREFIXES: &[&str] = &[
-    "is_", "has_", "contains", "can_", "should_", "needs_", "was_", "matches",
+    "is_", "has_", "contains", "can_", "should_", "needs_", "was_", "matches", "chance", "flip",
+    "sample",
 ];
 
 // ----------------------------------------------------------------- rules
@@ -1340,7 +1344,7 @@ fn check_unit(unit: &Unit, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
                     "TF010",
                     tok,
                     format!(
-                        "{what} hides mutable state from the component graph; thread state through `&mut self` (only `simkit::sweep` is blessed to hold it)"
+                        "{what} hides mutable state from the component graph; thread state through `&mut self` (only `simkit::sweep` and `simkit::partition` are blessed to hold it)"
                     ),
                 );
             }
@@ -1360,7 +1364,7 @@ fn check_unit(unit: &Unit, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
                 "TF011",
                 tok,
                 format!(
-                    "`{}` outside `simkit::sweep` lets scheduling order leak into simulation state; route parallelism through the sweep harness",
+                    "`{}` outside `simkit::sweep`/`simkit::partition` lets scheduling order leak into simulation state; route parallelism through the sweep harness or the partition runner",
                     tok.text
                 ),
             );

@@ -238,6 +238,45 @@ pub struct S { shared: Arc<[u8]> }
     assert!(diags.is_empty(), "\n{}", render(&diags));
 }
 
+#[test]
+fn tf010_tf011_blessed_in_simkit_partition() {
+    // The conservative partition runner legitimately owns barriers,
+    // atomics and mailbox mutexes — its whole contract is that they
+    // never leak scheduling order into simulation state.
+    let partition = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+pub struct Round {
+    mins: Vec<AtomicU64>,
+    mail: Vec<Mutex<Vec<u64>>>,
+    gate: Barrier,
+}
+";
+    assert!(check_source("simkit", "src/partition.rs", partition).is_empty());
+    let cells = "\
+use std::cell::RefCell;
+pub struct Scratch { pool: RefCell<Vec<u64>> }
+";
+    assert!(check_source("simkit", "src/partition.rs", cells).is_empty());
+}
+
+#[test]
+fn tf011_partition_blessing_is_simkit_only() {
+    // A partition.rs in any other crate gets no dispensation: the
+    // blessing keys on (crate, file), not the file name alone.
+    let src = "\
+use std::sync::Mutex;
+pub struct Shard { mail: Mutex<Vec<u64>> }
+";
+    let diags = check_source("core", "src/fabric/partition.rs", src);
+    assert_eq!(
+        rules_of(&diags),
+        ["TF011", "TF011"],
+        "\n{}",
+        render(&diags)
+    );
+}
+
 // ----------------------------------------------------------------- TF012
 
 #[test]
@@ -326,7 +365,8 @@ impl S {
 }
 ";
     assert!(check_source("workloads", "src/s.rs", no_error).is_empty());
-    // Queries, &self receivers, and value-carrying Options are fine.
+    // Queries, &self receivers, value-carrying Options, and random
+    // samplers (the bool is the draw, not a success flag) are fine.
     let fine = "\
 pub struct QueryError;
 pub struct S { armed: bool }
@@ -335,6 +375,8 @@ impl S {
     pub fn contains_state(&mut self) -> bool { self.armed }
     pub fn peek(&self) -> Option<()> { None }
     pub fn take_slot(&mut self) -> Option<u32> { None }
+    pub fn chance(&mut self, p: f64) -> bool { p > 0.5 }
+    pub fn flip(&mut self) -> bool { self.armed }
 }
 ";
     let diags = check_source("rmmu", "src/f.rs", fine);
