@@ -22,7 +22,7 @@ echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
 echo "==> example smoke loop (release)"
-for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown; do
+for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown rack_topologies; do
     echo "--> example: ${example}"
     cargo run -q --release --example "${example}" > /dev/null
 done
@@ -34,7 +34,11 @@ echo "==> chaos scenario smoke (link flap + donor crash, exactly-once asserts)"
 cargo test -q -p thymesisflow-core --test chaos_sweep
 cargo test -q -p llc --test prop_loss_burst
 
-echo "==> partitioned engine 1-vs-N bit-equality (point_to_point, circuit_rack, chaos)"
+echo "==> topology layer: degenerate parity + multi-hop properties + torus re-route"
+cargo test -q -p thymesisflow-core --test topology_parity
+cargo test -q -p thymesisflow-core --test topology_multihop
+
+echo "==> partitioned engine 1-vs-N bit-equality (point_to_point, circuit_rack, chaos, topology cut)"
 cargo test -q -p thymesisflow-core --test partitioned_determinism
 cargo test -q -p simkit --test prop_partition
 
@@ -44,5 +48,6 @@ echo "==> engine throughput smoke (QUICK mode, writes target/BENCH_engine.quick.
 QUICK=1 cargo bench -q -p bench --bench engine_throughput
 jq -e '.telemetry_overhead.overhead_frac' target/BENCH_engine.quick.json > /dev/null
 jq -e '.engine_partitioned.scaling | length >= 3' target/BENCH_engine.quick.json > /dev/null
+jq -e '.engine_topology.route_hops >= 2 and .engine_topology.per_hop_ns > 0' target/BENCH_engine.quick.json > /dev/null
 
 echo "ci: all gates passed"

@@ -38,7 +38,8 @@ use simkit::sweep::{sweep_with_workers, worker_count};
 use simkit::time::SimTime;
 use thymesisflow_core::config::SystemConfig;
 use thymesisflow_core::datapath::Datapath;
-use thymesisflow_core::fabric::{FabricBuilder, PartitionedFabric, WorkloadSpec};
+use routing::topology::Torus2D;
+use thymesisflow_core::fabric::{FabricBuilder, PartitionedFabric, PathSpec, WorkloadSpec};
 use thymesisflow_core::params::DatapathParams;
 use workloads::runner::WorkloadRunner;
 use workloads::stream::StreamBench;
@@ -422,6 +423,15 @@ fn reproduce() {
         ("scaling_at_max".to_string(), Value::Float(part_scaling)),
     ]);
 
+    // --- topology: multi-hop forwarding cost --------------------------
+    // A 4×4 torus with a cross-rack (4-hop) routed path. Three numbers
+    // pin the store-and-forward interior: the per-hop forwarding
+    // increment (derived from a 1-hop neighbour on the same torus),
+    // the idle single-load RTT, and the mean RTT under a closed burst
+    // (credit backpressure queues frames at the hop segments; every
+    // load still completes exactly once).
+    let topo_record = reproduce_topology(quick);
+
     // --- per-figure sweep wall-clocks --------------------------------
     println!("\nfigure sweep wall-clocks:");
     let configs = [
@@ -513,6 +523,7 @@ fn reproduce() {
             ]),
         ),
         ("engine_partitioned".to_string(), engine_partitioned),
+        ("engine_topology".to_string(), topo_record),
         ("figure_sweeps".to_string(), Value::Seq(sweeps)),
     ]);
     let json = serde_json::to_string(&Report(report)).expect("report serializes");
@@ -543,6 +554,78 @@ fn reproduce() {
              throughput at 4 workers, got {part_scaling:.2}x"
         );
     }
+}
+
+/// Multi-hop topology cost on a 4×4 torus: per-hop forwarding
+/// increment, idle RTT, and contended-burst RTT over the same routed
+/// path. Returns the `engine_topology` report record (pinned by
+/// `bench_report.rs`).
+fn reproduce_topology(quick: bool) -> Value {
+    let torus = Torus2D::new(4, 4).expect("4x4 torus");
+    let build_to = |dst| {
+        FabricBuilder::from_topology(DatapathParams::prototype(), &torus, torus.host_at(0, 0))
+            .path_to(dst, PathSpec::reference(256 << 20, 2))
+            .build()
+            .expect("torus fabric assembles")
+    };
+    let (mut near, near_paths) = build_to(torus.host_at(0, 1));
+    let near_rtt = near
+        .measure_load_latency(near_paths[0])
+        .expect("1-hop probe completes");
+    let (mut far, far_paths) = build_to(torus.host_at(2, 2));
+    let far_path = far_paths[0];
+    let idle_rtt = far
+        .measure_load_latency(far_path)
+        .expect("4-hop probe completes");
+    let hops = far.topology_route(far_path).expect("routed path").hops() as u64;
+    assert!(hops >= 2, "cross-rack path must be multi-hop");
+    let per_hop = SimTime::from_ps((idle_rtt - near_rtt).as_ps() / (hops - 1));
+
+    let burst: usize = if quick { 64 } else { 512 };
+    let issued: Vec<u64> = (0..burst)
+        .map(|_| far.issue_read(far_path).expect("burst issues"))
+        .collect();
+    let (mut total_ps, mut done_n) = (0u64, 0u64);
+    while let Some(done) = far.step().expect("burst drains") {
+        for c in done {
+            total_ps += c.latency.as_ps();
+            done_n += 1;
+        }
+    }
+    assert_eq!(
+        done_n as usize,
+        issued.len(),
+        "the contended burst must complete exactly once per load"
+    );
+    let contended_rtt = SimTime::from_ps(total_ps / done_n.max(1));
+    assert!(
+        contended_rtt >= idle_rtt,
+        "contention cannot make the mean RTT faster than idle"
+    );
+    println!("\ntopology (4x4 torus, {hops}-hop cross-rack path):");
+    header(&["metric", "ns"]);
+    row("per-hop increment", &[per_hop.as_ps() as f64 / 1e3]);
+    row("idle RTT", &[idle_rtt.as_ps() as f64 / 1e3]);
+    row(
+        &format!("contended RTT ({burst}-load burst)"),
+        &[contended_rtt.as_ps() as f64 / 1e3],
+    );
+    Value::Map(vec![
+        ("torus".to_string(), Value::Str("4x4".to_string())),
+        ("route_hops".to_string(), Value::UInt(hops)),
+        (
+            "per_hop_ns".to_string(),
+            Value::Float(per_hop.as_ps() as f64 / 1e3),
+        ),
+        (
+            "idle_rtt_ns".to_string(),
+            Value::Float(idle_rtt.as_ps() as f64 / 1e3),
+        ),
+        (
+            "contended_rtt_ns".to_string(),
+            Value::Float(contended_rtt.as_ps() as f64 / 1e3),
+        ),
+    ])
 }
 
 fn criterion_benches(c: &mut Criterion) {

@@ -102,6 +102,36 @@ fn partitioned_engine_record_carries_the_scaling_curve() {
 }
 
 #[test]
+fn topology_record_pins_the_multi_hop_cost_model() {
+    let v = report();
+    let topo = v
+        .get("engine_topology")
+        .expect("engine_topology record (4x4 torus multi-hop costs)");
+    assert_eq!(
+        topo.get("torus").and_then(Value::as_str),
+        Some("4x4"),
+        "topology record measures the canonical 4x4 torus"
+    );
+    let hops = topo.get("route_hops").and_then(as_u64).expect("route_hops");
+    assert!(hops >= 2, "the pinned route must be multi-hop, got {hops}");
+    let per_hop = topo.get("per_hop_ns").and_then(as_f64).expect("per_hop_ns");
+    let idle = topo.get("idle_rtt_ns").and_then(as_f64).expect("idle_rtt_ns");
+    let contended = topo
+        .get("contended_rtt_ns")
+        .and_then(as_f64)
+        .expect("contended_rtt_ns");
+    assert!(per_hop > 0.0, "forwarding a hop must cost time");
+    assert!(
+        idle > per_hop * (hops - 1) as f64,
+        "idle RTT must exceed the interior forwarding alone"
+    );
+    assert!(
+        contended >= idle,
+        "a contended burst cannot beat the idle RTT (got {contended} < {idle})"
+    );
+}
+
+#[test]
 fn tracing_overhead_stays_inside_the_tightened_budget() {
     let v = report();
     let tele = v.get("telemetry_overhead").expect("telemetry_overhead record");

@@ -1,15 +1,22 @@
 //! Wires fabric components into topologies.
 //!
 //! [`FabricBuilder`] assembles a [`Fabric`] over one shared event queue
-//! and attaches the requested paths. Three canned topologies cover the
-//! evaluation shapes:
+//! and attaches the requested paths. Since the topology layer landed,
+//! every canned shape is a thin wrapper over a degenerate
+//! [`Topology`](routing::Topology):
 //!
-//! * [`FabricBuilder::point_to_point`] — the pre-fabric monolith's
-//!   shape, preserved event-for-event as the reference topology;
-//! * [`FabricBuilder::fan_out`] — one compute node borrowing from N
-//!   donors, one network id per donor;
-//! * [`FabricBuilder::circuit_rack`] — the same fan-out through a
-//!   circuit switch, every channel on an allocated circuit.
+//! * [`FabricBuilder::point_to_point`] — a 2-node [`routing::Line`];
+//!   the pre-fabric monolith's shape, preserved event-for-event as the
+//!   reference topology;
+//! * [`FabricBuilder::fan_out`] — a 1-tier [`routing::Clos`] (one hub,
+//!   one compute node borrowing from N donors, one network id per
+//!   donor);
+//! * [`FabricBuilder::circuit_rack`] — the same 1-tier Clos through a
+//!   circuit switch, every channel on an allocated circuit;
+//! * [`FabricBuilder::from_topology`] — any [`Topology`] (Line, Ring,
+//!   Torus2D, 2-tier Clos, or a hand-built [`Mesh`]): paths attach by
+//!   destination node ([`FabricBuilder::path_to`]) and multi-hop
+//!   routes forward store-and-forward through interior nodes.
 
 use netsim::switch::CircuitSwitch;
 use simkit::event::Engine;
@@ -18,8 +25,8 @@ use crate::fabric::engine::{Fabric, FabricError, PathId, PathSpec};
 use crate::fabric::stage::{SwitchStage, WindowSpec};
 use crate::params::DatapathParams;
 
-use opencapi::pasid::Pasid;
-use rmmu::flow::NetworkId;
+use routing::plan::FlowPlan;
+use routing::topology::{Clos, Line, Mesh, NodeId, Topology};
 
 /// Builds a [`Fabric`] and its initial paths.
 #[derive(Debug)]
@@ -28,7 +35,8 @@ pub struct FabricBuilder {
     engine: Engine,
     window: WindowSpec,
     switch: Option<CircuitSwitch>,
-    paths: Vec<PathSpec>,
+    topology: Option<(Mesh, NodeId)>,
+    paths: Vec<(PathSpec, Option<NodeId>)>,
 }
 
 impl FabricBuilder {
@@ -39,8 +47,22 @@ impl FabricBuilder {
             engine: Engine::Hybrid,
             window: WindowSpec::rack_default(),
             switch: None,
+            topology: None,
             paths: Vec::new(),
         }
+    }
+
+    /// A builder wired over `topo`, with the compute endpoint on
+    /// `compute`. Paths then attach by destination node
+    /// ([`FabricBuilder::path_to`]) and derive their wiring — including
+    /// interior forwarding stages on multi-hop routes — from computed
+    /// routes.
+    pub fn from_topology(
+        params: DatapathParams,
+        topo: &dyn Topology,
+        compute: NodeId,
+    ) -> Self {
+        Self::new(params).topology(Mesh::snapshot(topo), compute)
     }
 
     /// Overrides the event engine (the engine benchmark pins
@@ -62,9 +84,26 @@ impl FabricBuilder {
         self
     }
 
-    /// Queues a path to attach at build time.
+    /// Declares the topology the fabric is wired over (a concrete
+    /// [`Mesh`], so hub markers from [`Clos::single_tier`] survive) and
+    /// the node carrying the compute endpoint.
+    pub fn topology(mut self, mesh: Mesh, compute: NodeId) -> Self {
+        self.topology = Some((mesh, compute));
+        self
+    }
+
+    /// Queues a path to attach at build time over explicit wiring (no
+    /// route computation).
     pub fn path(mut self, spec: PathSpec) -> Self {
-        self.paths.push(spec);
+        self.paths.push((spec, None));
+        self
+    }
+
+    /// Queues a path to the donor on topology node `donor` — its wiring
+    /// is derived from the computed route at build time. Requires
+    /// [`FabricBuilder::topology`].
+    pub fn path_to(mut self, donor: NodeId, spec: PathSpec) -> Self {
+        self.paths.push((spec, Some(donor)));
         self
     }
 
@@ -72,7 +111,8 @@ impl FabricBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates the first failing attach.
+    /// Propagates the first failing attach, and fails when
+    /// [`FabricBuilder::path_to`] was used without a declared topology.
     pub fn build(self) -> Result<(Fabric, Vec<PathId>), FabricError> {
         let mut fabric = Fabric::assemble(
             self.params,
@@ -80,16 +120,23 @@ impl FabricBuilder {
             self.switch.map(SwitchStage::new),
             self.engine,
         );
+        if let Some((mesh, compute)) = self.topology {
+            fabric.install_topology(mesh, compute)?;
+        }
         let mut ids = Vec::with_capacity(self.paths.len());
-        for spec in &self.paths {
-            ids.push(fabric.attach_path(spec)?);
+        for (spec, donor) in &self.paths {
+            ids.push(match donor {
+                Some(node) => fabric.attach_routed(spec, *node)?,
+                None => fabric.attach_path(spec)?,
+            });
         }
         Ok((fabric, ids))
     }
 
-    /// The reference topology: one borrower, one donor, `channels`
-    /// bonded channels over a `bytes`-sized attachment — exactly the
-    /// shape (and event trajectory) of the pre-fabric `Datapath`.
+    /// The reference topology — a 2-node [`Line`]: one borrower, one
+    /// donor, `channels` bonded channels over a `bytes`-sized
+    /// attachment — exactly the shape (and event trajectory) of the
+    /// pre-fabric `Datapath`.
     ///
     /// # Errors
     ///
@@ -113,10 +160,11 @@ impl FabricBuilder {
         bytes: u64,
         engine: Engine,
     ) -> Result<(Fabric, PathId), FabricError> {
-        let (fabric, ids) = FabricBuilder::new(params)
+        let line = Line::new(2)?;
+        let (fabric, ids) = FabricBuilder::from_topology(params, &line, NodeId(0))
             .engine(engine)
             .window(WindowSpec::reference(bytes))
-            .path(PathSpec::reference(bytes, channels))
+            .path_to(NodeId(1), PathSpec::reference(bytes, channels))
             .build()?;
         let id = ids
             .first()
@@ -125,10 +173,10 @@ impl FabricBuilder {
         Ok((fabric, id))
     }
 
-    /// One compute × N donors: each donor contributes a `share`-sized
-    /// attachment on its own network id (`d + 1`), PASID (`100 + d`) and
-    /// donor address range, all multiplexed over the shared compute-side
-    /// stages.
+    /// One compute × N donors — a 1-tier [`Clos`] (hub) topology: each
+    /// donor contributes a `share`-sized attachment on its own network
+    /// id (`d + 1`), PASID (`100 + d`) and donor address range, all
+    /// multiplexed over the shared compute-side stages.
     ///
     /// # Errors
     ///
@@ -138,12 +186,15 @@ impl FabricBuilder {
         donors: usize,
         share: u64,
     ) -> Result<(Fabric, Vec<PathId>), FabricError> {
-        let mut b = FabricBuilder::new(params).window(WindowSpec {
-            base: 0x1000_0000_0000,
-            bytes: share * donors as u64,
-        });
+        let clos = Clos::single_tier(1 + donors)?;
+        let mut b = FabricBuilder::new(params)
+            .topology(clos.mesh(), hub_host(&clos, 0)?)
+            .window(WindowSpec {
+                base: 0x1000_0000_0000,
+                bytes: share * donors as u64,
+            });
         for d in 0..donors {
-            b = b.path(donor_share(d, share));
+            b = b.path_to(hub_host(&clos, 1 + d)?, donor_share(d, share));
         }
         b.build()
     }
@@ -160,29 +211,34 @@ impl FabricBuilder {
         share: u64,
         switch: CircuitSwitch,
     ) -> Result<(Fabric, Vec<PathId>), FabricError> {
+        let clos = Clos::single_tier(1 + donors)?;
         let mut b = FabricBuilder::new(params)
+            .topology(clos.mesh(), hub_host(&clos, 0)?)
             .window(WindowSpec {
                 base: 0x1000_0000_0000,
                 bytes: share * donors as u64,
             })
             .switch(switch);
         for d in 0..donors {
-            b = b.path(donor_share(d, share).through_switch());
+            b = b.path_to(hub_host(&clos, 1 + d)?, donor_share(d, share).through_switch());
         }
         b.build()
     }
 }
 
-/// The per-donor path spec the fan-out topologies use.
+/// Host `i` of a 1-tier Clos (always present by construction; typed as
+/// a config error to keep builders panic-free).
+fn hub_host(clos: &Clos, i: usize) -> Result<NodeId, FabricError> {
+    clos.host(i)
+        .ok_or_else(|| FabricError::Config(format!("1-tier Clos has no host {i}")))
+}
+
+/// The per-donor path spec the fan-out topologies use; the flow
+/// identity (network, PASID, donor window) comes from the routing
+/// layer's [`FlowPlan`].
 fn donor_share(d: usize, share: u64) -> PathSpec {
-    // Donor counts are single digits, far below u32::MAX.
-    PathSpec::new(
-        NetworkId(d as u32 + 1),
-        Pasid(100 + d as u32),
-        0x7000_0000_0000 + d as u64 * 0x0100_0000_0000,
-        share,
-    )
-    .labelled(&format!("donor{d}"))
+    let plan = FlowPlan::donor(d);
+    PathSpec::new(plan.network, plan.pasid, plan.donor_ea, share).labelled(&plan.label)
 }
 
 #[cfg(test)]
@@ -233,5 +289,31 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, FabricError::NoSwitch);
+    }
+
+    #[test]
+    fn legacy_builders_expose_their_degenerate_topologies() {
+        let (fabric, path) =
+            FabricBuilder::point_to_point(DatapathParams::prototype(), 2, 1 << 30).unwrap();
+        let route = fabric.topology_route(path).unwrap();
+        assert_eq!(route.hops(), 1);
+        assert_eq!(fabric.topology_link_names(), vec!["h0-h1".to_string()]);
+
+        let (fabric, paths) =
+            FabricBuilder::fan_out(DatapathParams::prototype(), 2, 256 << 20).unwrap();
+        let route = fabric.topology_route(paths[1]).unwrap();
+        assert_eq!(route.hops(), 2, "fan-out routes go compute → hub → donor");
+        assert!(fabric
+            .topology_link_names()
+            .contains(&"h2-hub".to_string()));
+    }
+
+    #[test]
+    fn path_to_without_topology_is_refused() {
+        let err = FabricBuilder::new(DatapathParams::prototype())
+            .path_to(NodeId(1), PathSpec::reference(256 << 20, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FabricError::Config(_)));
     }
 }

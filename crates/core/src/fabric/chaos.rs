@@ -8,11 +8,20 @@
 //! same plan on the same topology yields the same trajectory, so chaos
 //! runs sweep and replay exactly like healthy ones.
 //!
+//! Failures target links by *topology name* ([`LinkRef::Name`], e.g.
+//! `"h0x1-h0x2"` on a torus) so a scenario file survives re-wiring; the
+//! raw slot-index form ([`LinkRef::Slot`]) remains for fabrics built
+//! without a topology. Downing a named link that a route merely
+//! *crosses* (an interior hop) exercises adaptive re-route around the
+//! failure rather than endpoint death.
+//!
 //! The contract the fabric upholds under a plan is *exactly-once or
 //! typed fault*: every load in flight when a failure lands either
 //! completes normally (the outage was shorter than the detection
 //! window, or a surviving bonded lane carried it) or resolves to one
 //! [`LoadFault`] naming the failure — never both, and never silence.
+
+use std::fmt;
 
 use simkit::time::SimTime;
 
@@ -20,25 +29,74 @@ use netsim::switch::PortId;
 
 use crate::fabric::engine::PathId;
 
+/// How a chaos event names the link it targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkRef {
+    /// A raw endpoint link-slot index (= channel id). Only meaningful
+    /// on fabrics built without a topology; slot numbering is an
+    /// artifact of attach order.
+    Slot(usize),
+    /// A topology link name (e.g. `"h0-hub"`, `"h1x2-h2x2"`). An
+    /// endpoint link resolves to every slot riding it; an interior link
+    /// downs the matching forwarding segments and triggers adaptive
+    /// re-route. A `"name#k"` suffix selects only the `k`-th riding
+    /// slot (bonded endpoints).
+    Name(String),
+}
+
+impl LinkRef {
+    /// A name reference.
+    pub fn named(name: &str) -> Self {
+        LinkRef::Name(name.to_string())
+    }
+}
+
+impl From<usize> for LinkRef {
+    fn from(slot: usize) -> Self {
+        LinkRef::Slot(slot)
+    }
+}
+
+impl From<&str> for LinkRef {
+    fn from(name: &str) -> Self {
+        LinkRef::Name(name.to_string())
+    }
+}
+
+impl From<String> for LinkRef {
+    fn from(name: String) -> Self {
+        LinkRef::Name(name)
+    }
+}
+
+impl fmt::Display for LinkRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkRef::Slot(i) => write!(f, "link {i}"),
+            LinkRef::Name(n) => write!(f, "link \"{n}\""),
+        }
+    }
+}
+
 /// One scheduled failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChaosEvent {
     /// Hard-down a link's both physical channels (a cut cable).
     LinkDown {
-        /// Global link index (= channel id).
-        link: usize,
+        /// The targeted link.
+        link: LinkRef,
     },
     /// Restore a hard-downed link. Scheduled automatically by
     /// [`ChaosEvent::LinkFlap`]; may also be scripted directly.
     LinkUp {
-        /// Global link index.
-        link: usize,
+        /// The targeted link.
+        link: LinkRef,
     },
     /// Down then up: the link is dark for `down_for`, then restored.
     /// Shorter than the detection window, a flap costs only replays.
     LinkFlap {
-        /// Global link index.
-        link: usize,
+        /// The targeted link.
+        link: LinkRef,
         /// How long the link stays dark.
         down_for: SimTime,
     },
@@ -46,8 +104,8 @@ pub enum ChaosEvent {
     /// channel keeps running at `N-1` lanes and proportionally reduced
     /// bandwidth. Failing the last lane is a [`ChaosEvent::LinkDown`].
     LaneFail {
-        /// Global link index.
-        link: usize,
+        /// The targeted link.
+        link: LinkRef,
     },
     /// The donor host dies mid-service: every path it serves loses all
     /// its links, and every in-flight load on them resolves to a fault.
@@ -62,6 +120,14 @@ pub enum ChaosEvent {
         /// The failing switch port.
         port: PortId,
     },
+    /// Fail one switch port of the circuit carrying the named link —
+    /// the topology-aware form of [`ChaosEvent::SwitchPortFail`]: the
+    /// scenario names *which link's* circuit loses a port instead of
+    /// hardcoding a port number.
+    SwitchPortFailOn {
+        /// The link whose circuit loses a port.
+        link: LinkRef,
+    },
 }
 
 /// A deterministic failure script: `(instant, event)` pairs handed to
@@ -74,7 +140,7 @@ pub enum ChaosEvent {
 /// use simkit::time::SimTime;
 ///
 /// let plan = ChaosPlan::new()
-///     .link_flap(SimTime::from_us(5), 0, SimTime::from_us(10))
+///     .link_flap_named(SimTime::from_us(5), "h0-h1", SimTime::from_us(10))
 ///     .donor_crash(SimTime::from_us(40), 0);
 /// assert_eq!(plan.events().len(), 2);
 /// ```
@@ -95,24 +161,79 @@ impl ChaosPlan {
         self
     }
 
-    /// Cuts `link` at `at`.
+    /// Cuts the topology link `name` at `at`.
+    pub fn link_down_named(self, at: SimTime, name: &str) -> Self {
+        self.at(at, ChaosEvent::LinkDown { link: LinkRef::named(name) })
+    }
+
+    /// Restores the topology link `name` at `at`.
+    pub fn link_up_named(self, at: SimTime, name: &str) -> Self {
+        self.at(at, ChaosEvent::LinkUp { link: LinkRef::named(name) })
+    }
+
+    /// Darkens the topology link `name` at `at` for `down_for`.
+    pub fn link_flap_named(self, at: SimTime, name: &str, down_for: SimTime) -> Self {
+        self.at(
+            at,
+            ChaosEvent::LinkFlap { link: LinkRef::named(name), down_for },
+        )
+    }
+
+    /// Fails one bonded lane of the topology link `name` at `at`.
+    pub fn lane_fail_named(self, at: SimTime, name: &str) -> Self {
+        self.at(at, ChaosEvent::LaneFail { link: LinkRef::named(name) })
+    }
+
+    /// Fails a port of the circuit carrying the topology link `name` at
+    /// `at`.
+    pub fn switch_port_fail_on(self, at: SimTime, name: &str) -> Self {
+        self.at(
+            at,
+            ChaosEvent::SwitchPortFailOn { link: LinkRef::named(name) },
+        )
+    }
+
+    /// Cuts slot `link` at `at`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "target links by topology name: `link_down_named`, or \
+                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
+    )]
     pub fn link_down(self, at: SimTime, link: usize) -> Self {
-        self.at(at, ChaosEvent::LinkDown { link })
+        self.at(at, ChaosEvent::LinkDown { link: LinkRef::Slot(link) })
     }
 
-    /// Restores `link` at `at`.
+    /// Restores slot `link` at `at`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "target links by topology name: `link_up_named`, or \
+                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
+    )]
     pub fn link_up(self, at: SimTime, link: usize) -> Self {
-        self.at(at, ChaosEvent::LinkUp { link })
+        self.at(at, ChaosEvent::LinkUp { link: LinkRef::Slot(link) })
     }
 
-    /// Darkens `link` at `at` for `down_for`.
+    /// Darkens slot `link` at `at` for `down_for`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "target links by topology name: `link_flap_named`, or \
+                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
+    )]
     pub fn link_flap(self, at: SimTime, link: usize, down_for: SimTime) -> Self {
-        self.at(at, ChaosEvent::LinkFlap { link, down_for })
+        self.at(
+            at,
+            ChaosEvent::LinkFlap { link: LinkRef::Slot(link), down_for },
+        )
     }
 
-    /// Fails one bonded lane of `link` at `at`.
+    /// Fails one bonded lane of slot `link` at `at`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "target links by topology name: `lane_fail_named`, or \
+                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
+    )]
     pub fn lane_fail(self, at: SimTime, link: usize) -> Self {
-        self.at(at, ChaosEvent::LaneFail { link })
+        self.at(at, ChaosEvent::LaneFail { link: LinkRef::Slot(link) })
     }
 
     /// Crashes donor `donor` at `at`.
@@ -121,6 +242,11 @@ impl ChaosPlan {
     }
 
     /// Fails switch port `port` at `at`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "name the affected link instead: `switch_port_fail_on`, or \
+                `at(..)` with an explicit `ChaosEvent::SwitchPortFail`"
+    )]
     pub fn switch_port_fail(self, at: SimTime, port: PortId) -> Self {
         self.at(at, ChaosEvent::SwitchPortFail { port })
     }
@@ -193,6 +319,11 @@ pub enum FaultKind {
         /// The failed port.
         port: PortId,
     },
+    /// An interior topology link died and no detour route survived.
+    RouteLost {
+        /// The downed topology link (index into the topology's links).
+        topo_link: usize,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -202,6 +333,9 @@ impl std::fmt::Display for FaultKind {
             FaultKind::DonorCrash { donor } => write!(f, "donor {donor} crashed"),
             FaultKind::SwitchPortFail { port } => {
                 write!(f, "switch port {} failed", port.0)
+            }
+            FaultKind::RouteLost { topo_link } => {
+                write!(f, "no surviving route around topology link {topo_link}")
             }
         }
     }
@@ -227,8 +361,8 @@ mod tests {
     #[test]
     fn plan_builder_preserves_script_order() {
         let plan = ChaosPlan::new()
-            .link_flap(SimTime::from_us(5), 0, SimTime::from_us(2))
-            .lane_fail(SimTime::from_us(5), 1)
+            .link_flap_named(SimTime::from_us(5), "h0-h1", SimTime::from_us(2))
+            .lane_fail_named(SimTime::from_us(5), "h1-h2")
             .donor_crash(SimTime::from_us(9), 0);
         let evs = plan.events();
         assert_eq!(evs.len(), 3);
@@ -237,13 +371,53 @@ mod tests {
             (
                 SimTime::from_us(5),
                 ChaosEvent::LinkFlap {
-                    link: 0,
+                    link: LinkRef::named("h0-h1"),
                     down_for: SimTime::from_us(2)
                 }
             )
         );
-        assert_eq!(evs[1], (SimTime::from_us(5), ChaosEvent::LaneFail { link: 1 }));
+        assert_eq!(
+            evs[1],
+            (
+                SimTime::from_us(5),
+                ChaosEvent::LaneFail { link: LinkRef::named("h1-h2") }
+            )
+        );
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn slot_index_shims_forward_to_linkref_slot() {
+        // The pre-topology scenario-file surface: index builders still
+        // compile and produce the same events as the explicit Slot form.
+        let shimmed = ChaosPlan::new()
+            .link_down(SimTime::from_us(1), 0)
+            .link_up(SimTime::from_us(2), 0)
+            .link_flap(SimTime::from_us(3), 1, SimTime::from_us(1))
+            .lane_fail(SimTime::from_us(4), 2)
+            .switch_port_fail(SimTime::from_us(5), PortId(3));
+        let explicit = ChaosPlan::new()
+            .at(SimTime::from_us(1), ChaosEvent::LinkDown { link: LinkRef::Slot(0) })
+            .at(SimTime::from_us(2), ChaosEvent::LinkUp { link: LinkRef::Slot(0) })
+            .at(
+                SimTime::from_us(3),
+                ChaosEvent::LinkFlap {
+                    link: LinkRef::Slot(1),
+                    down_for: SimTime::from_us(1),
+                },
+            )
+            .at(SimTime::from_us(4), ChaosEvent::LaneFail { link: LinkRef::Slot(2) })
+            .at(SimTime::from_us(5), ChaosEvent::SwitchPortFail { port: PortId(3) });
+        assert_eq!(shimmed, explicit);
+    }
+
+    #[test]
+    fn link_refs_convert_and_render() {
+        assert_eq!(LinkRef::from(3), LinkRef::Slot(3));
+        assert_eq!(LinkRef::from("h0-h1"), LinkRef::named("h0-h1"));
+        assert_eq!(LinkRef::Slot(2).to_string(), "link 2");
+        assert_eq!(LinkRef::named("h0-h1").to_string(), "link \"h0-h1\"");
     }
 
     #[test]
@@ -270,6 +444,10 @@ mod tests {
         assert_eq!(
             FaultKind::SwitchPortFail { port: PortId(7) }.to_string(),
             "switch port 7 failed"
+        );
+        assert_eq!(
+            FaultKind::RouteLost { topo_link: 9 }.to_string(),
+            "no surviving route around topology link 9"
         );
     }
 }

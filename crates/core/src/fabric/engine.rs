@@ -17,7 +17,7 @@
 //! same LLC calibration, same adaptive-batching flush policy, same
 //! event ordering under the queue's FIFO tie-break.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use llc::error::LlcError;
@@ -25,7 +25,7 @@ use llc::frame::{Entry, Frame};
 use llc::LlcConfig;
 use netsim::channel::{Channel, ChannelBuilder};
 use netsim::fault::FaultSpec;
-use netsim::switch::{PortId, SwitchError};
+use netsim::switch::{CircuitSwitch, PortId, SwitchError};
 use netsim::Delivery;
 use opencapi::m1::M1Error;
 use opencapi::pasid::{Pasid, Region};
@@ -33,6 +33,8 @@ use opencapi::transaction::{MemRequest, MemResponse};
 use rmmu::flow::NetworkId;
 use rmmu::section::{RmmuError, SectionEntry};
 use rmmu::RoutedRequest;
+use routing::plan::FlowPlan;
+use routing::topology::{Mesh, NodeId, Route as TopoRoute, Topology, TopologyError};
 use routing::{ChannelId, RouteError};
 use simkit::bandwidth::Rate;
 use simkit::event::{Engine, EventQueue};
@@ -41,7 +43,9 @@ use simkit::telemetry::{CounterId, GaugeId, Registry, Snapshot, TimerId};
 use simkit::time::SimTime;
 
 use crate::endpoint::EndpointError;
-use crate::fabric::chaos::{ChaosEvent, ChaosPlan, FaultKind, LoadFault, RecoveryConfig};
+use crate::fabric::chaos::{
+    ChaosEvent, ChaosPlan, FaultKind, LinkRef, LoadFault, RecoveryConfig,
+};
 use crate::fabric::port::{ComponentId, Connection, PortRef, PortUnit, WiringError};
 use crate::fabric::stage::{
     C1MasterDram, FabricComponent, FabricMsg, LlcPair, M1Capture, RmmuTranslate, RouterStage,
@@ -154,19 +158,21 @@ impl PathSpec {
 
     /// The exact flow the pre-fabric monolithic `Datapath` hardwired:
     /// network 1, PASID 42, donor EA `0x7000_0000_0000`, channel fault
-    /// seeds `100+i`/`200+i`, bonded iff more than one channel.
+    /// seeds `100+i`/`200+i`, bonded iff more than one channel. The
+    /// constants are owned by [`routing::plan::FlowPlan::reference`].
     pub fn reference(bytes: u64, channels: usize) -> Self {
+        let plan = FlowPlan::reference();
         PathSpec {
-            network: NetworkId(1),
-            pasid: Pasid(42),
-            donor_ea: 0x7000_0000_0000,
+            network: plan.network,
+            pasid: plan.pasid,
+            donor_ea: plan.donor_ea,
             bytes,
             channels,
             bonded: channels > 1,
-            seeds: (0..channels as u64).map(|i| (100 + i, 200 + i)).collect(),
+            seeds: FlowPlan::reference_seeds(channels),
             faults: FaultSpec::LOSSLESS,
             via_switch: false,
-            label: "reference".to_string(),
+            label: plan.label,
         }
     }
 
@@ -217,6 +223,9 @@ pub enum FabricError {
     Wiring(WiringError),
     /// The path specification is malformed.
     Config(String),
+    /// The topology layer refused the operation (unknown node, no
+    /// surviving route).
+    Topology(TopologyError),
     /// An internal protocol invariant broke (a simulator bug).
     Protocol(String),
 }
@@ -241,6 +250,7 @@ impl fmt::Display for FabricError {
             }
             FabricError::Wiring(e) => write!(f, "wiring: {e}"),
             FabricError::Config(msg) => write!(f, "bad path spec: {msg}"),
+            FabricError::Topology(e) => write!(f, "topology: {e}"),
             FabricError::Protocol(msg) => write!(f, "fabric invariant violated: {msg}"),
         }
     }
@@ -290,6 +300,12 @@ impl From<WiringError> for FabricError {
     }
 }
 
+impl From<TopologyError> for FabricError {
+    fn from(e: TopologyError) -> Self {
+        FabricError::Topology(e)
+    }
+}
+
 /// LLC direction along a link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Dir {
@@ -328,6 +344,94 @@ enum Ev {
     Chaos(ChaosEvent),
     /// The link-down watchdog samples a suspect link's progress.
     Watchdog { link: usize },
+    /// A frame reaches segment `seg` of a multi-hop forwarding chain
+    /// (store-and-forward at an interior topology node). Only exists on
+    /// multi-hop paths — single-hop fabrics never schedule it, keeping
+    /// their trajectories bit-identical to the pre-topology engine.
+    HopArrive {
+        link: usize,
+        /// Chain generation the frame was launched on; a frame from a
+        /// superseded (rerouted) chain is dropped — end-to-end replay
+        /// re-sends it down the new route.
+        gen: u32,
+        seg: usize,
+        chain_dir: ChainDir,
+        dir: Dir,
+        frame: Frame<FabricMsg>,
+        intact: bool,
+    },
+    /// A chain segment finished forwarding a frame and returns its
+    /// credit (per-link backpressure on interior hops).
+    HopCredit {
+        link: usize,
+        gen: u32,
+        chain_dir: ChainDir,
+        seg: usize,
+    },
+}
+
+/// Which physical chain of a multi-hop link a frame rides: the forward
+/// chain extends the endpoint's forward channel (compute→donor), the
+/// reverse chain extends the reverse channel (donor→compute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainDir {
+    Fwd,
+    Rev,
+}
+
+/// Forwarding credits per chain segment: how many frames an interior
+/// hop buffers before upstream arrivals queue behind its backpressure.
+const HOP_CREDITS: u32 = 8;
+
+/// One store-and-forward segment of a multi-hop chain: the wire channel
+/// crossing one interior topology link, its credit pool and the frames
+/// waiting for a credit.
+struct HopSeg {
+    chan: Channel,
+    /// The topology link (index into the mesh's links) this segment
+    /// crosses — the unit chaos targets by name.
+    topo_link: usize,
+    credits: u32,
+    queue: VecDeque<(Dir, Frame<FabricMsg>, bool)>,
+}
+
+/// The interior hops of one multi-hop link, one segment per topology
+/// link past the endpoint's own. Rebuilt (with `gen` bumped) when an
+/// interior link dies and the route detours around it; the chain keeps
+/// its own seed/fault identity so rebuilds need no original spec.
+struct HopChain {
+    fwd: Vec<HopSeg>,
+    rev: Vec<HopSeg>,
+    gen: u32,
+    fwd_seed: u64,
+    rev_seed: u64,
+    faults: FaultSpec,
+}
+
+impl HopChain {
+    fn segs(&self, dir: ChainDir) -> &[HopSeg] {
+        match dir {
+            ChainDir::Fwd => &self.fwd,
+            ChainDir::Rev => &self.rev,
+        }
+    }
+
+    fn segs_mut(&mut self, dir: ChainDir) -> &mut Vec<HopSeg> {
+        match dir {
+            ChainDir::Fwd => &mut self.fwd,
+            ChainDir::Rev => &mut self.rev,
+        }
+    }
+}
+
+/// The fabric's topology state: the mesh, which node the compute
+/// endpoint sits on, the currently-downed topology links, and each
+/// path's live route.
+struct FabricTopo {
+    mesh: Mesh,
+    compute: NodeId,
+    down: BTreeSet<usize>,
+    routes: BTreeMap<u32, TopoRoute>,
 }
 
 /// Unified per-link statistics: wire-channel, LLC and credit counters
@@ -394,6 +498,7 @@ struct FabricTele {
     loads_faulted: CounterId,
     late_completions: CounterId,
     switch_reroutes: CounterId,
+    route_reroutes: CounterId,
     detect: TimerId,
     downtime: TimerId,
 }
@@ -414,6 +519,7 @@ impl FabricTele {
             loads_faulted: r.counter("fabric.recovery.loads_faulted"),
             late_completions: r.counter("fabric.recovery.late_completions"),
             switch_reroutes: r.counter("fabric.recovery.switch_reroutes"),
+            route_reroutes: r.counter("fabric.recovery.route_reroutes"),
             detect: r.timer("fabric.recovery.detect_ns"),
             downtime: r.timer("fabric.recovery.downtime_ns"),
         }
@@ -486,6 +592,13 @@ struct LinkSlot {
     progress: (usize, usize, u64, u64),
     /// When the link went hard-down (for recovery-latency spans).
     down_since: Option<SimTime>,
+    /// Interior forwarding segments, one per topology link past the
+    /// first — `None` on single-hop links (every pre-topology fabric).
+    chain: Option<HopChain>,
+    /// The topology links the endpoint slot itself rides (one for a
+    /// direct cable, two when a hub route is collapsed onto one slot);
+    /// empty on fabrics built without a topology.
+    topo_links: Vec<usize>,
 }
 
 /// Per-path bookkeeping.
@@ -514,6 +627,7 @@ const ROUTER_ID: ComponentId = ComponentId(2);
 const SWITCH_ID: ComponentId = ComponentId(3);
 const LINK_ID_BASE: u32 = 100;
 const DONOR_ID_BASE: u32 = 10_000;
+const INTERIOR_ID_BASE: u32 = 20_000;
 
 fn up_id(link: usize) -> ComponentId {
     ComponentId(LINK_ID_BASE + 4 * link as u32)
@@ -533,6 +647,10 @@ fn rev_id(link: usize) -> ComponentId {
 
 fn donor_id(donor: usize) -> ComponentId {
     ComponentId(DONOR_ID_BASE + donor as u32)
+}
+
+fn interior_id(node: NodeId) -> ComponentId {
+    ComponentId(INTERIOR_ID_BASE + node.0)
 }
 
 /// The composable flit-level fabric.
@@ -570,6 +688,14 @@ pub struct Fabric {
     /// Deferred issues ([`Fabric::schedule_read`]) that landed on a
     /// poisoned path and were refused rather than faulting the run.
     injects_refused: u64,
+    /// The topology the fabric was built over, when one was declared.
+    /// `None` on raw [`Fabric::attach_path`] fabrics.
+    topo: Option<FabricTopo>,
+    /// Forwarding stages at interior topology nodes, keyed by node id —
+    /// one per node any multi-hop route crosses.
+    interior: BTreeMap<u32, SwitchStage>,
+    /// Times an interior link failure was detoured by re-routing.
+    route_reroutes: u64,
 }
 
 impl fmt::Debug for Fabric {
@@ -632,7 +758,41 @@ impl Fabric {
             late_completions: 0,
             wire_batching: false,
             injects_refused: 0,
+            topo: None,
+            interior: BTreeMap::new(),
+            route_reroutes: 0,
         }
+    }
+
+    /// Declares the topology the fabric is wired over: the mesh and the
+    /// node the compute endpoint sits on. Paths attached with
+    /// [`Fabric::attach_routed`] then derive their wiring from computed
+    /// routes, and chaos may target links by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the compute node is not part of the mesh or paths are
+    /// already attached.
+    pub(crate) fn install_topology(
+        &mut self,
+        mesh: Mesh,
+        compute: NodeId,
+    ) -> Result<(), FabricError> {
+        if mesh.nodes().iter().all(|n| n.id != compute) {
+            return Err(FabricError::Topology(TopologyError::UnknownNode(compute)));
+        }
+        if !self.paths.is_empty() {
+            return Err(FabricError::Config(
+                "topology must be declared before paths are attached".into(),
+            ));
+        }
+        self.topo = Some(FabricTopo {
+            mesh,
+            compute,
+            down: BTreeSet::new(),
+            routes: BTreeMap::new(),
+        });
+        Ok(())
     }
 
     /// Latency of the endpoint entry/exit path: one serDES crossing plus
@@ -664,6 +824,76 @@ impl Fabric {
     /// Fails — without touching fabric state — on malformed specs, window
     /// exhaustion, duplicate networks, or a full switch.
     pub fn attach_path(&mut self, spec: &PathSpec) -> Result<PathId, FabricError> {
+        self.attach_inner(spec, &[], &[])
+    }
+
+    /// Attaches one path whose wiring is derived from the declared
+    /// topology: the route from the compute node to `donor_node` is
+    /// computed ([`Topology::get_route_avoiding`], skipping downed
+    /// links), single-hop and hub-collapsed routes instantiate the
+    /// exact legacy endpoint wiring, and longer routes add
+    /// store-and-forward segments with per-link credit backpressure at
+    /// every interior node.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a declared topology, on unroutable donors, on
+    /// `through_switch` specs over multi-hop routes, and on everything
+    /// [`Fabric::attach_path`] rejects.
+    pub fn attach_routed(
+        &mut self,
+        spec: &PathSpec,
+        donor_node: NodeId,
+    ) -> Result<PathId, FabricError> {
+        let (route, hub) = {
+            let topo = self.topo.as_ref().ok_or_else(|| {
+                FabricError::Config(
+                    "attach_routed needs a declared topology (FabricBuilder::topology)".into(),
+                )
+            })?;
+            let route = topo
+                .mesh
+                .get_route_avoiding(topo.compute, donor_node, &topo.down)?;
+            (route, topo.mesh.hub())
+        };
+        if route.hops() == 0 {
+            return Err(FabricError::Config(
+                "donor node is the compute node itself".into(),
+            ));
+        }
+        // A direct cable, or a 1-tier Clos hub route: both collapse to
+        // one endpoint link slot — bit-for-bit the legacy wiring.
+        let collapsed =
+            route.hops() == 1 || (route.hops() == 2 && hub == Some(route.nodes[1]));
+        if !collapsed && spec.via_switch {
+            return Err(FabricError::Config(
+                "multi-hop routes forward through interior nodes; through_switch \
+                 applies only to single-hop or hub routes"
+                    .into(),
+            ));
+        }
+        let path = if collapsed {
+            self.attach_inner(spec, &route.links, &[])?
+        } else {
+            for &n in route.interior() {
+                self.interior
+                    .entry(n.0)
+                    .or_insert_with(|| SwitchStage::new(CircuitSwitch::optical(64)));
+            }
+            self.attach_inner(spec, &route.links[..1], &route.links[1..])?
+        };
+        if let Some(topo) = self.topo.as_mut() {
+            topo.routes.insert(path.0, route);
+        }
+        Ok(path)
+    }
+
+    fn attach_inner(
+        &mut self,
+        spec: &PathSpec,
+        topo_links: &[usize],
+        chain_links: &[usize],
+    ) -> Result<PathId, FabricError> {
         let section = self.translate.table().section_size();
         if spec.channels == 0 {
             return Err(FabricError::Config("a path needs at least one channel".into()));
@@ -743,6 +973,18 @@ impl Fabric {
                     .build()
             };
             let link = self.links.len();
+            let chain = if chain_links.is_empty() {
+                None
+            } else {
+                Some(Self::build_chain(
+                    &self.params,
+                    spec.faults,
+                    fwd_seed,
+                    rev_seed,
+                    chain_links,
+                    0,
+                ))
+            };
             self.links.push(Some(LinkSlot {
                 up: LlcPair::new(llc_config, PortUnit::RoutedTransaction),
                 down: LlcPair::new(llc_config, PortUnit::Response),
@@ -757,6 +999,8 @@ impl Fabric {
                 strikes: 0,
                 progress: (0, 0, 0, 0),
                 down_since: None,
+                chain,
+                topo_links: topo_links.to_vec(),
             }));
             // Link indices stay far below u32::MAX.
             chan_ids.push(ChannelId(link as u32));
@@ -798,6 +1042,61 @@ impl Fabric {
         );
         self.next_path += 1;
         Ok(PathId(path_id))
+    }
+
+    /// Deterministic per-segment channel seeds: decorrelated from the
+    /// endpoint's seeds and from each other, and bumped with the chain
+    /// generation so a rebuilt (rerouted) chain never replays the old
+    /// segment loss pattern.
+    fn hop_seed(base: u64, seg: usize, gen: u32, rev: bool) -> u64 {
+        base ^ 0x517c_c1b7_2722_0a95
+            ^ ((seg as u64 + 1) << 8)
+            ^ (u64::from(gen) << 32)
+            ^ if rev { 1 << 63 } else { 0 }
+    }
+
+    /// Builds the interior forwarding chain of one multi-hop channel:
+    /// one store-and-forward segment per topology link past the
+    /// endpoint's own, each with its own wire channel (same lane/cable
+    /// calibration as the endpoint, plus one interior-node traversal)
+    /// and [`HOP_CREDITS`] forwarding credits.
+    fn build_chain(
+        params: &DatapathParams,
+        faults: FaultSpec,
+        fwd_seed: u64,
+        rev_seed: u64,
+        links: &[usize],
+        gen: u32,
+    ) -> HopChain {
+        let traversal = CircuitSwitch::optical(2).traversal_latency();
+        let mk = |seed: u64, topo_link: usize| HopSeg {
+            chan: ChannelBuilder::thymesisflow_default()
+                .lane(params.lane())
+                .cable(params.cable)
+                .extra_latency(traversal)
+                .faults(faults)
+                .seed(seed)
+                .build(),
+            topo_link,
+            credits: HOP_CREDITS,
+            queue: VecDeque::new(),
+        };
+        HopChain {
+            fwd: links
+                .iter()
+                .enumerate()
+                .map(|(k, &l)| mk(Self::hop_seed(fwd_seed, k, gen, false), l))
+                .collect(),
+            rev: links
+                .iter()
+                .enumerate()
+                .map(|(k, &l)| mk(Self::hop_seed(rev_seed, k, gen, true), l))
+                .collect(),
+            gen,
+            fwd_seed,
+            rev_seed,
+            faults,
+        }
     }
 
     /// Records the port-level wiring of one link in the connection graph.
@@ -1012,7 +1311,15 @@ impl Fabric {
 
     fn pump(&mut self, link: usize, dir: Dir) -> Result<(), FabricError> {
         let now = self.queue.now();
-        if self.wire_batching {
+        // Batched bursts bypass the per-frame Arrive path, so a link
+        // with a forwarding chain always pumps frame-by-frame: every
+        // frame must individually enter the chain's credit machinery.
+        let chained = self
+            .links
+            .get(link)
+            .and_then(Option::as_ref)
+            .is_some_and(|s| s.chain.is_some());
+        if self.wire_batching && !chained {
             return self.pump_batched(link, dir, now);
         }
         loop {
@@ -1123,42 +1430,227 @@ impl Fabric {
 
     /// Puts a frame of direction `dir` on the right physical channel.
     /// Data frames travel with their direction; their control replies
-    /// travel on the reverse channel but still belong to `dir`.
+    /// travel on the reverse channel but still belong to `dir`. On a
+    /// multi-hop link the endpoint channel only covers the route's
+    /// first topology link: the frame then enters the forwarding chain
+    /// ([`Ev::HopArrive`]) instead of arriving directly.
     fn transmit(&mut self, link: usize, dir: Dir, frame: Frame<FabricMsg>, now: SimTime) {
         self.stamp_wire_tx(dir, &frame, now);
-        let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
-            return;
+        let (delivery, hop_gen, chain_dir) = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return;
+            };
+            let is_control = matches!(frame, Frame::Control(_));
+            let chain_dir = match (dir, is_control) {
+                (Dir::ToMemory, false) | (Dir::ToCompute, true) => ChainDir::Fwd,
+                (Dir::ToCompute, false) | (Dir::ToMemory, true) => ChainDir::Rev,
+            };
+            let physical = match chain_dir {
+                ChainDir::Fwd => &mut slot.fwd.chan,
+                ChainDir::Rev => &mut slot.rev.chan,
+            };
+            let delivery = physical.transmit(now, frame.wire_bytes());
+            let hop_gen = slot
+                .chain
+                .as_ref()
+                .and_then(|ch| (!ch.segs(chain_dir).is_empty()).then_some(ch.gen));
+            (delivery, hop_gen, chain_dir)
         };
-        let is_control = matches!(frame, Frame::Control(_));
-        let physical = match (dir, is_control) {
-            (Dir::ToMemory, false) | (Dir::ToCompute, true) => &mut slot.fwd.chan,
-            (Dir::ToCompute, false) | (Dir::ToMemory, true) => &mut slot.rev.chan,
-        };
-        match physical.transmit(now, frame.wire_bytes()) {
-            Delivery::Delivered { at } => self.queue.schedule(
-                at.max(now),
-                Ev::Arrive {
-                    link,
-                    dir,
-                    frame,
-                    intact: true,
-                },
-            ),
-            Delivery::Corrupted { at } => self.queue.schedule(
-                at.max(now),
-                Ev::Arrive {
-                    link,
-                    dir,
-                    frame,
-                    intact: false,
-                },
-            ),
+        let (at, intact) = match delivery {
+            Delivery::Delivered { at } => (at, true),
+            Delivery::Corrupted { at } => (at, false),
             // A lost frame is only silence until someone notices: with
             // recovery armed, losing a frame puts the link under watch
             // (the watchdog re-kicks replay and eventually declares the
             // link dead). Unarmed fabrics keep the historical
             // trajectory: replay alone recovers statistical loss.
-            Delivery::Dropped => self.arm_watchdog(link),
+            Delivery::Dropped => return self.arm_watchdog(link),
+        };
+        match hop_gen {
+            None => self.queue.schedule(
+                at.max(now),
+                Ev::Arrive {
+                    link,
+                    dir,
+                    frame,
+                    intact,
+                },
+            ),
+            Some(gen) => self.queue.schedule(
+                at.max(now),
+                Ev::HopArrive {
+                    link,
+                    gen,
+                    seg: 0,
+                    chain_dir,
+                    dir,
+                    frame,
+                    intact,
+                },
+            ),
+        }
+    }
+
+    /// A frame reaches one interior forwarding segment: it takes a
+    /// credit and crosses, or queues behind the segment's backpressure.
+    /// Frames from a superseded chain generation are dropped — the
+    /// route was rebuilt around a failure, and end-to-end replay
+    /// re-sends them down the new chain.
+    #[allow(clippy::too_many_arguments)]
+    fn hop_arrive(
+        &mut self,
+        link: usize,
+        gen: u32,
+        seg: usize,
+        chain_dir: ChainDir,
+        dir: Dir,
+        frame: Frame<FabricMsg>,
+        intact: bool,
+    ) {
+        let now = self.queue.now();
+        let admit = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return;
+            };
+            let Some(chain) = slot.chain.as_mut() else {
+                return;
+            };
+            if chain.gen != gen {
+                return;
+            }
+            let Some(s) = chain.segs_mut(chain_dir).get_mut(seg) else {
+                return;
+            };
+            if s.credits == 0 {
+                s.queue.push_back((dir, frame, intact));
+                None
+            } else {
+                s.credits -= 1;
+                Some(frame)
+            }
+        };
+        if let Some(frame) = admit {
+            self.hop_forward(link, gen, seg, chain_dir, dir, frame, intact, now);
+        }
+    }
+
+    /// Crosses one chain segment: transmits on the segment's channel,
+    /// returns the credit at delivery, and hands the frame to the next
+    /// segment — or to the endpoint's [`Ev::Arrive`] machinery after
+    /// the last one (the LLC link layer stays end-to-end).
+    #[allow(clippy::too_many_arguments)]
+    fn hop_forward(
+        &mut self,
+        link: usize,
+        gen: u32,
+        seg: usize,
+        chain_dir: ChainDir,
+        dir: Dir,
+        frame: Frame<FabricMsg>,
+        intact: bool,
+        now: SimTime,
+    ) {
+        let (delivery, last) = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return;
+            };
+            let Some(chain) = slot.chain.as_mut() else {
+                return;
+            };
+            if chain.gen != gen {
+                return;
+            }
+            let segs = chain.segs_mut(chain_dir);
+            let last = seg + 1 >= segs.len();
+            let Some(s) = segs.get_mut(seg) else {
+                return;
+            };
+            (s.chan.transmit(now, frame.wire_bytes()), last)
+        };
+        let (at, intact) = match delivery {
+            Delivery::Delivered { at } => (at, intact),
+            Delivery::Corrupted { at } => (at, false),
+            Delivery::Dropped => {
+                // The frame is gone mid-route: the credit returns (the
+                // segment is not congested, the fabric is broken) and
+                // the link goes under watch so replay or death resolves
+                // every stranded load.
+                self.queue.schedule(
+                    now,
+                    Ev::HopCredit {
+                        link,
+                        gen,
+                        chain_dir,
+                        seg,
+                    },
+                );
+                return self.arm_watchdog(link);
+            }
+        };
+        let t = at.max(now);
+        self.queue.schedule(
+            t,
+            Ev::HopCredit {
+                link,
+                gen,
+                chain_dir,
+                seg,
+            },
+        );
+        if last {
+            self.queue.schedule(
+                t,
+                Ev::Arrive {
+                    link,
+                    dir,
+                    frame,
+                    intact,
+                },
+            );
+        } else {
+            self.queue.schedule(
+                t,
+                Ev::HopArrive {
+                    link,
+                    gen,
+                    seg: seg + 1,
+                    chain_dir,
+                    dir,
+                    frame,
+                    intact,
+                },
+            );
+        }
+    }
+
+    /// A chain segment's credit returns; the oldest queued frame (if
+    /// any) takes it and crosses.
+    fn hop_credit(&mut self, link: usize, gen: u32, chain_dir: ChainDir, seg: usize) {
+        let now = self.queue.now();
+        let next = {
+            let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut) else {
+                return;
+            };
+            let Some(chain) = slot.chain.as_mut() else {
+                return;
+            };
+            if chain.gen != gen {
+                return;
+            }
+            let Some(s) = chain.segs_mut(chain_dir).get_mut(seg) else {
+                return;
+            };
+            s.credits += 1;
+            match s.queue.pop_front() {
+                Some(queued) => {
+                    s.credits -= 1;
+                    Some(queued)
+                }
+                None => None,
+            }
+        };
+        if let Some((dir, frame, intact)) = next {
+            self.hop_forward(link, gen, seg, chain_dir, dir, frame, intact, now);
         }
     }
 
@@ -1218,7 +1710,11 @@ impl Fabric {
     }
 
     /// The fixed per-hop latencies and component attribution of one
-    /// link, for finalizing a trace.
+    /// link, for finalizing a trace. On a multi-hop link the wire
+    /// latencies aggregate the endpoint channel plus every chain
+    /// segment, per direction — a route of L topology links reports L
+    /// crossings, L cable flights and L−1 interior traversals, so
+    /// per-hop spans still sum exactly to the measured RTT.
     fn hop_context(&self, link: usize) -> Option<HopContext> {
         let slot = self.links.get(link).and_then(Option::as_ref)?;
         let wire = |c: &Channel| WireLatency {
@@ -1227,11 +1723,26 @@ impl Fabric {
             extra: c.extra_latency(),
             flight: c.flight_latency(),
         };
+        let total = |base: WireLatency, segs: &[HopSeg]| {
+            segs.iter().fold(base, |acc, s| WireLatency {
+                crossing: acc.crossing + s.chan.crossing_latency(),
+                cable: acc.cable + s.chan.cable_latency(),
+                extra: acc.extra + s.chan.extra_latency(),
+                flight: acc.flight + s.chan.flight_latency(),
+            })
+        };
+        let (fwd, rev) = match slot.chain.as_ref() {
+            Some(chain) => (
+                total(wire(&slot.fwd.chan), &chain.fwd),
+                total(wire(&slot.rev.chan), &chain.rev),
+            ),
+            None => (wire(&slot.fwd.chan), wire(&slot.rev.chan)),
+        };
         Some(HopContext {
             serdes: SimTime::from_ns(self.params.serdes_crossing_ns),
             stack: SimTime::from_ns(self.params.stack_crossing_ns),
-            fwd: wire(&slot.fwd.chan),
-            rev: wire(&slot.rev.chan),
+            fwd,
+            rev,
             ids: SpanIds {
                 capture: CAPTURE_ID,
                 translate: TRANSLATE_ID,
@@ -1510,6 +2021,21 @@ impl Fabric {
             }
             Ev::Chaos(ev) => self.apply_chaos(ev)?,
             Ev::Watchdog { link } => self.watchdog_fire(link)?,
+            Ev::HopArrive {
+                link,
+                gen,
+                seg,
+                chain_dir,
+                dir,
+                frame,
+                intact,
+            } => self.hop_arrive(link, gen, seg, chain_dir, dir, frame, intact),
+            Ev::HopCredit {
+                link,
+                gen,
+                chain_dir,
+                seg,
+            } => self.hop_credit(link, gen, chain_dir, seg),
         }
         Ok(Some(done))
     }
@@ -1585,10 +2111,17 @@ impl Fabric {
             .iter()
             .flatten()
             .flat_map(|slot| {
+                let segs = slot
+                    .chain
+                    .iter()
+                    .flat_map(|ch| ch.fwd.iter().chain(ch.rev.iter()))
+                    .map(|s| s.chan.flight_latency());
                 [
                     slot.fwd.chan.flight_latency(),
                     slot.rev.chan.flight_latency(),
                 ]
+                .into_iter()
+                .chain(segs)
             })
             .min()
     }
@@ -1611,8 +2144,8 @@ impl Fabric {
             self.recovery = Some(RecoveryConfig::default());
         }
         let now = self.queue.now();
-        for &(at, ev) in plan.events() {
-            self.queue.schedule(at.max(now), Ev::Chaos(ev));
+        for (at, ev) in plan.events() {
+            self.queue.schedule((*at).max(now), Ev::Chaos(ev.clone()));
         }
     }
 
@@ -1679,35 +2212,313 @@ impl Fabric {
             .map(|s| s.fwd.chan.is_down() || s.rev.chan.is_down())
     }
 
+    /// Resolves a chaos link reference to the endpoint slots it touches
+    /// and (for named references) the topology link index behind it.
+    ///
+    /// A raw [`LinkRef::Slot`] targets exactly one endpoint slot. A
+    /// [`LinkRef::Name`] targets the declared topology: every endpoint
+    /// slot riding that link plus every interior chain segment crossing
+    /// it; a `"name#k"` suffix narrows the endpoint side to the k-th
+    /// riding slot.
+    fn resolve_link_ref(&self, r: &LinkRef) -> Result<(Vec<usize>, Option<usize>), FabricError> {
+        match r {
+            LinkRef::Slot(i) => Ok((vec![*i], None)),
+            LinkRef::Name(name) => {
+                let (base, pick) = match name.split_once('#') {
+                    Some((b, k)) => {
+                        let k = k.parse::<usize>().map_err(|_| {
+                            FabricError::Config(format!(
+                                "bad link selector {name:?}: the #-suffix must be a slot index"
+                            ))
+                        })?;
+                        (b, Some(k))
+                    }
+                    None => (name.as_str(), None),
+                };
+                let topo = self.topo.as_ref().ok_or_else(|| {
+                    FabricError::Config(
+                        "named chaos targets need a declared topology".into(),
+                    )
+                })?;
+                let idx = topo.mesh.link_named(base).ok_or_else(|| {
+                    FabricError::Topology(TopologyError::UnknownLink(base.to_string()))
+                })?;
+                let mut slots: Vec<usize> = self
+                    .links
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        s.as_ref()
+                            .filter(|slot| slot.topo_links.contains(&idx))
+                            .map(|_| i)
+                    })
+                    .collect();
+                if let Some(k) = pick {
+                    slots = slots.get(k).map(|&i| vec![i]).unwrap_or_default();
+                }
+                Ok((slots, Some(idx)))
+            }
+        }
+    }
+
     /// Lands one scripted failure.
     fn apply_chaos(&mut self, ev: ChaosEvent) -> Result<(), FabricError> {
         self.telemetry.inc(self.tele.chaos_events);
         let now = self.queue.now();
         match ev {
-            ChaosEvent::LinkDown { link } => self.link_down(link),
-            ChaosEvent::LinkUp { link } => self.link_up(link)?,
+            ChaosEvent::LinkDown { link } => {
+                let (slots, topo) = self.resolve_link_ref(&link)?;
+                for s in slots {
+                    self.link_down(s);
+                }
+                if let Some(idx) = topo {
+                    self.interior_link_down(idx)?;
+                }
+            }
+            ChaosEvent::LinkUp { link } => {
+                let (slots, topo) = self.resolve_link_ref(&link)?;
+                for s in slots {
+                    self.link_up(s)?;
+                }
+                if let Some(idx) = topo {
+                    self.interior_link_up(idx)?;
+                }
+            }
             ChaosEvent::LinkFlap { link, down_for } => {
-                self.link_down(link);
+                let (slots, topo) = self.resolve_link_ref(&link)?;
+                for &s in &slots {
+                    self.link_down(s);
+                }
+                if let Some(idx) = topo {
+                    self.interior_link_down(idx)?;
+                }
                 self.queue
                     .schedule(now + down_for, Ev::Chaos(ChaosEvent::LinkUp { link }));
             }
             ChaosEvent::LaneFail { link } => {
-                let left = {
-                    let Some(slot) = self.links.get_mut(link).and_then(Option::as_mut)
-                    else {
-                        return Ok(());
+                let (slots, topo) = self.resolve_link_ref(&link)?;
+                let mut touched = false;
+                for s in slots {
+                    let left = {
+                        let Some(slot) = self.links.get_mut(s).and_then(Option::as_mut)
+                        else {
+                            continue;
+                        };
+                        slot.fwd.chan.fail_lane();
+                        slot.rev.chan.fail_lane()
                     };
-                    slot.fwd.chan.fail_lane();
-                    slot.rev.chan.fail_lane()
-                };
-                self.telemetry.inc(self.tele.lanes_failed);
-                if left == 0 {
-                    // The last lane: a lane failure is now a cut cable.
-                    self.link_down(link);
+                    touched = true;
+                    if left == 0 {
+                        // The last lane: a lane failure is now a cut cable.
+                        self.link_down(s);
+                    }
+                }
+                if let Some(idx) = topo {
+                    let mut dead = false;
+                    for slot in self.links.iter_mut().flatten() {
+                        if let Some(chain) = slot.chain.as_mut() {
+                            for seg in
+                                chain.fwd.iter_mut().chain(chain.rev.iter_mut())
+                            {
+                                if seg.topo_link == idx {
+                                    touched = true;
+                                    if seg.chan.fail_lane() == 0 {
+                                        dead = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if dead {
+                        self.interior_link_down(idx)?;
+                    }
+                }
+                if touched {
+                    self.telemetry.inc(self.tele.lanes_failed);
                 }
             }
             ChaosEvent::DonorCrash { donor } => self.donor_crash(donor)?,
             ChaosEvent::SwitchPortFail { port } => self.switch_port_fail(port)?,
+            ChaosEvent::SwitchPortFailOn { link } => {
+                let (slots, _) = self.resolve_link_ref(&link)?;
+                let port = slots.iter().find_map(|&s| {
+                    self.links
+                        .get(s)
+                        .and_then(Option::as_ref)
+                        .and_then(|slot| slot.circuit)
+                        .map(|(a, _)| a)
+                });
+                match port {
+                    Some(p) => self.switch_port_fail(p)?,
+                    None => {
+                        return Err(FabricError::Config(format!(
+                            "{link} is not routed through the circuit switch"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes one interior topology link down: every chain segment
+    /// crossing it goes hard-down, and every multi-hop path routed over
+    /// it detours around the failure if the mesh still connects its
+    /// endpoints — otherwise the path fails with
+    /// [`FaultKind::RouteLost`].
+    fn interior_link_down(&mut self, idx: usize) -> Result<(), FabricError> {
+        {
+            let Some(topo) = self.topo.as_mut() else {
+                return Ok(());
+            };
+            if !topo.down.insert(idx) {
+                return Ok(()); // already down
+            }
+        }
+        // Frames in flight on the segment are lost; end-to-end replay
+        // plus the reroute below recover them.
+        for slot in self.links.iter_mut().flatten() {
+            if let Some(chain) = slot.chain.as_mut() {
+                for seg in chain.fwd.iter_mut().chain(chain.rev.iter_mut()) {
+                    if seg.topo_link == idx {
+                        seg.chan.set_down(true);
+                    }
+                }
+            }
+        }
+        let affected: Vec<u32> = self
+            .topo
+            .as_ref()
+            .map(|t| {
+                t.routes
+                    .iter()
+                    .filter(|(_, r)| r.links.len() > 1 && r.links[1..].contains(&idx))
+                    .map(|(&p, _)| p)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for p in affected {
+            self.reroute_path(p, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Restores one interior topology link. Chains still riding it
+    /// (paths that could not detour or never needed to) come back up
+    /// and get kicked; detoured routes stay on their detour.
+    fn interior_link_up(&mut self, idx: usize) -> Result<(), FabricError> {
+        let was_down = match self.topo.as_mut() {
+            Some(topo) => topo.down.remove(&idx),
+            None => return Ok(()),
+        };
+        if !was_down {
+            return Ok(());
+        }
+        let mut kick: Vec<usize> = Vec::new();
+        for (i, entry) in self.links.iter_mut().enumerate() {
+            let Some(slot) = entry.as_mut() else {
+                continue;
+            };
+            if let Some(chain) = slot.chain.as_mut() {
+                let mut rides = false;
+                for seg in chain.fwd.iter_mut().chain(chain.rev.iter_mut()) {
+                    if seg.topo_link == idx {
+                        seg.chan.set_down(false);
+                        rides = true;
+                    }
+                }
+                if rides {
+                    kick.push(i);
+                }
+            }
+        }
+        for s in kick {
+            self.kick_link(s)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds one multi-hop path's forwarding chain around the downed
+    /// topology links: the endpoint attachment (the route's first link)
+    /// is fixed, the tail detours, the chain generation bumps (frames
+    /// in flight on the old chain are dropped on arrival and replayed),
+    /// and the watchdog supervises the transition. With no surviving
+    /// detour the path fails with [`FaultKind::RouteLost`].
+    fn reroute_path(&mut self, path_id: u32, cause: usize) -> Result<(), FabricError> {
+        let slot_indices: Vec<usize> = match self.paths.get(&path_id) {
+            Some(p) => p.links.clone(),
+            None => return Ok(()),
+        };
+        // Collapsed (single-hop / hub) routes have no chains; endpoint
+        // recovery owns those failures.
+        if !slot_indices.iter().any(|&s| {
+            self.links
+                .get(s)
+                .and_then(Option::as_ref)
+                .is_some_and(|sl| sl.chain.is_some())
+        }) {
+            return Ok(());
+        }
+        let detour = {
+            let Some(topo) = self.topo.as_ref() else {
+                return Ok(());
+            };
+            let Some(route) = topo.routes.get(&path_id) else {
+                return Ok(());
+            };
+            let mut avoid: BTreeSet<usize> = topo.down.clone();
+            avoid.insert(route.links[0]);
+            let dst = route.nodes[route.nodes.len() - 1];
+            topo.mesh
+                .get_route_avoiding(route.nodes[1], dst, &avoid)
+                .map(|tail| (route.nodes[0], route.links[0], tail))
+        };
+        match detour {
+            Ok((head_node, head_link, tail)) => {
+                let mut nodes = vec![head_node];
+                nodes.extend_from_slice(&tail.nodes);
+                let mut links = vec![head_link];
+                links.extend_from_slice(&tail.links);
+                let new_route = TopoRoute { nodes, links };
+                for &n in new_route.interior() {
+                    self.interior
+                        .entry(n.0)
+                        .or_insert_with(|| SwitchStage::new(CircuitSwitch::optical(64)));
+                }
+                for &s in &slot_indices {
+                    let Some(slot) = self.links.get_mut(s).and_then(Option::as_mut)
+                    else {
+                        continue;
+                    };
+                    let Some(old) = slot.chain.as_ref() else {
+                        continue;
+                    };
+                    let (faults, fs, rs, gen) =
+                        (old.faults, old.fwd_seed, old.rev_seed, old.gen + 1);
+                    slot.chain = Some(Self::build_chain(
+                        &self.params,
+                        faults,
+                        fs,
+                        rs,
+                        &new_route.links[1..],
+                        gen,
+                    ));
+                }
+                if let Some(topo) = self.topo.as_mut() {
+                    topo.routes.insert(path_id, new_route);
+                }
+                self.route_reroutes += 1;
+                self.telemetry.inc(self.tele.route_reroutes);
+                for &s in &slot_indices {
+                    self.kick_link(s)?;
+                    self.arm_watchdog(s);
+                }
+            }
+            Err(_) => {
+                for &s in &slot_indices {
+                    self.fail_link(s, FaultKind::RouteLost { topo_link: cause })?;
+                }
+            }
         }
         Ok(())
     }
@@ -1973,8 +2784,12 @@ impl Fabric {
                     slot.circuit = Some((a, b));
                 }
                 self.link_down(link);
-                self.queue
-                    .schedule(ready.max(now), Ev::Chaos(ChaosEvent::LinkUp { link }));
+                self.queue.schedule(
+                    ready.max(now),
+                    Ev::Chaos(ChaosEvent::LinkUp {
+                        link: LinkRef::Slot(link),
+                    }),
+                );
                 self.telemetry.inc(self.tele.switch_reroutes);
                 Ok(())
             }
@@ -2296,7 +3111,31 @@ impl Fabric {
                 out.push((donor_id(d), dn.kind()));
             }
         }
+        for (&n, stage) in &self.interior {
+            out.push((interior_id(NodeId(n)), stage.kind()));
+        }
         out
+    }
+
+    /// The live route of a topology-attached path: the node/link walk
+    /// currently carrying its frames (detours included). `None` for
+    /// paths attached without a topology.
+    pub fn topology_route(&self, path: PathId) -> Option<TopoRoute> {
+        self.topo.as_ref().and_then(|t| t.routes.get(&path.0).cloned())
+    }
+
+    /// The declared topology's link names, in link-index order — the
+    /// vocabulary named chaos targets ([`LinkRef::Name`]) draw from.
+    pub fn topology_link_names(&self) -> Vec<String> {
+        self.topo
+            .as_ref()
+            .map(|t| t.mesh.links().iter().map(|l| l.name.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Multi-hop routes rebuilt around interior link failures.
+    pub fn route_reroutes(&self) -> u64 {
+        self.route_reroutes
     }
 
     /// The checked port-level wiring of the live topology.
@@ -2743,9 +3582,13 @@ mod tests {
         let mut f = fabric(WindowSpec::reference(256 << 20));
         let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
         // Dark for 10 µs — half the default 20 µs detection window.
-        f.schedule_chaos(
-            &ChaosPlan::new().link_flap(SimTime::from_ns(500), 0, SimTime::from_us(10)),
-        );
+        f.schedule_chaos(&ChaosPlan::new().at(
+            SimTime::from_ns(500),
+            ChaosEvent::LinkFlap {
+                link: LinkRef::Slot(0),
+                down_for: SimTime::from_us(10),
+            },
+        ));
         let completed = run_exactly_once(&mut f, p, 16);
         assert_eq!(completed.len(), 16, "a survivable flap costs only latency");
         assert!(f.faults().is_empty());
@@ -2762,7 +3605,12 @@ mod tests {
     fn hard_link_down_resolves_stranded_loads_to_typed_faults() {
         let mut f = fabric(WindowSpec::reference(256 << 20));
         let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
-        f.schedule_chaos(&ChaosPlan::new().link_down(SimTime::from_ns(300), 0));
+        f.schedule_chaos(&ChaosPlan::new().at(
+            SimTime::from_ns(300),
+            ChaosEvent::LinkDown {
+                link: LinkRef::Slot(0),
+            },
+        ));
         let completed = run_exactly_once(&mut f, p, 8);
         assert!(
             !f.faults().is_empty(),
@@ -2796,7 +3644,12 @@ mod tests {
                     .bonded_channels(2),
             )
             .unwrap();
-        f.schedule_chaos(&ChaosPlan::new().link_down(SimTime::from_ns(300), 0));
+        f.schedule_chaos(&ChaosPlan::new().at(
+            SimTime::from_ns(300),
+            ChaosEvent::LinkDown {
+                link: LinkRef::Slot(0),
+            },
+        ));
         run_exactly_once(&mut f, p, 8);
         // Link 0 died; link 1 carries on. The path stays issuable.
         assert_eq!(f.link_is_down(0), None, "dead links are tombstoned");
@@ -2814,7 +3667,12 @@ mod tests {
     fn lane_failure_degrades_bandwidth_without_faulting() {
         let mut f = fabric(WindowSpec::reference(256 << 20));
         let p = f.attach_path(&PathSpec::reference(256 << 20, 1)).unwrap();
-        f.schedule_chaos(&ChaosPlan::new().lane_fail(SimTime::from_ns(100), 0));
+        f.schedule_chaos(&ChaosPlan::new().at(
+            SimTime::from_ns(100),
+            ChaosEvent::LaneFail {
+                link: LinkRef::Slot(0),
+            },
+        ));
         let completed = run_exactly_once(&mut f, p, 8);
         assert_eq!(completed.len(), 8, "a lane failure is graceful degradation");
         assert!(f.faults().is_empty());
@@ -2868,7 +3726,7 @@ mod tests {
         // the two ports the path's circuit rides.
         f.measure_load_latency(p).unwrap();
         let port = PortId(0);
-        f.schedule_chaos(&ChaosPlan::new().switch_port_fail(f.now(), port));
+        f.schedule_chaos(&ChaosPlan::new().at(f.now(), ChaosEvent::SwitchPortFail { port }));
         let completed = run_exactly_once(&mut f, p, 8);
         assert_eq!(
             completed.len(),
@@ -2904,7 +3762,9 @@ mod tests {
             )
             .unwrap();
         f.measure_load_latency(p).unwrap();
-        f.schedule_chaos(&ChaosPlan::new().switch_port_fail(f.now(), PortId(0)));
+        f.schedule_chaos(
+            &ChaosPlan::new().at(f.now(), ChaosEvent::SwitchPortFail { port: PortId(0) }),
+        );
         run_exactly_once(&mut f, p, 4);
         assert_eq!(
             f.path_fault(p).unwrap(),

@@ -24,7 +24,7 @@ pub mod trace;
 
 pub use builder::FabricBuilder;
 pub use partition::{FabricShard, PartitionedFabric, ShardDigest, ShardMsg, WorkloadSpec};
-pub use chaos::{ChaosEvent, ChaosPlan, FaultKind, LoadFault, RecoveryConfig};
+pub use chaos::{ChaosEvent, ChaosPlan, FaultKind, LinkRef, LoadFault, RecoveryConfig};
 pub use engine::{Completion, Fabric, FabricError, LinkStats, PathId, PathSpec, StreamLoad};
 pub use trace::{
     chrome_trace, chrome_trace_json, BreakdownRow, FlitTrace, HopKind, LatencyBreakdown,

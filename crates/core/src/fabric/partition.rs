@@ -27,7 +27,11 @@
 //! failure lands on the event queue of the shard that owns the
 //! affected link, never on a neighbour.
 
+use std::collections::BTreeSet;
+
 use netsim::switch::CircuitSwitch;
+use routing::plan::FlowPlan;
+use routing::topology::{Mesh, NodeId, NodeKind, Topology, TopologyError};
 use simkit::partition::{
     run_conservative_timed, Outbox, Partition, PartitionError, RunStats, WindowClock,
 };
@@ -36,7 +40,7 @@ use simkit::time::SimTime;
 
 use crate::fabric::builder::FabricBuilder;
 use crate::fabric::chaos::ChaosPlan;
-use crate::fabric::engine::{Completion, Fabric, FabricError, PathId};
+use crate::fabric::engine::{Completion, Fabric, FabricError, PathId, PathSpec};
 use crate::params::DatapathParams;
 
 /// Cross-shard message: one chained load issue for the receiving shard.
@@ -280,6 +284,87 @@ impl PartitionedFabric {
         })
     }
 
+    /// Partitions a declared topology along named link cuts: every
+    /// connected component left after removing `cut_links` that still
+    /// holds two or more hosts becomes one shard — a whole routed
+    /// fabric over the component's sub-mesh (names preserved), with
+    /// the component's smallest host as the compute endpoint and every
+    /// other host donating a `share`-byte window on its own
+    /// [`FlowPlan`].
+    ///
+    /// The conservative lookahead comes from the minimum live wire
+    /// latency across the shards; with uniform `params` that is
+    /// exactly the flight latency of the cut links themselves — the
+    /// soonest a frame could have crossed the cut had it stayed wired.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown cut-link names
+    /// ([`FabricError::Topology`]), empty cuts, and cuts that leave
+    /// fewer than two multi-host components; propagates shard
+    /// construction failures.
+    pub fn from_topology_cut(
+        params: DatapathParams,
+        topo: &dyn Topology,
+        cut_links: &[&str],
+        share: u64,
+        workload: WorkloadSpec,
+    ) -> Result<Self, FabricError> {
+        if cut_links.is_empty() {
+            return Err(FabricError::Config(
+                "a topology cut needs at least one cut link".into(),
+            ));
+        }
+        let mesh = Mesh::snapshot(topo);
+        let mut cut = BTreeSet::new();
+        for name in cut_links {
+            let idx = mesh.link_named(name).ok_or_else(|| {
+                FabricError::Topology(TopologyError::UnknownLink((*name).to_string()))
+            })?;
+            cut.insert(idx);
+        }
+        let hosts_of = |comp: &BTreeSet<NodeId>| -> Vec<NodeId> {
+            mesh.nodes()
+                .iter()
+                .filter(|n| n.kind == NodeKind::Host && comp.contains(&n.id))
+                .map(|n| n.id)
+                .collect()
+        };
+        let subs: Vec<Mesh> = mesh
+            .components_without(&cut)
+            .into_iter()
+            .filter(|comp| hosts_of(comp).len() >= 2)
+            .map(|comp| mesh.subgraph(&comp))
+            .collect();
+        if subs.len() < 2 {
+            return Err(FabricError::Config(format!(
+                "cutting {cut_links:?} leaves {} multi-host component(s); \
+                 a partition needs at least two",
+                subs.len()
+            )));
+        }
+        Self::from_fn(subs.len(), workload, |i| {
+            let sub = &subs[i];
+            let hosts: Vec<NodeId> = sub
+                .nodes()
+                .iter()
+                .filter(|n| n.kind == NodeKind::Host)
+                .map(|n| n.id)
+                .collect();
+            let mut builder = FabricBuilder::new(params.clone())
+                .topology(sub.clone(), hosts[0]);
+            for (d, &donor) in hosts[1..].iter().enumerate() {
+                let plan = FlowPlan::donor(d);
+                builder = builder.path_to(
+                    donor,
+                    PathSpec::new(plan.network, plan.pasid, plan.donor_ea, share)
+                        .labelled(&plan.label),
+                );
+            }
+            builder.build()
+        })
+    }
+
     /// Builds a partitioned fabric from an arbitrary per-shard
     /// constructor: the cut is a builder-level decision, so any
     /// topology the builder can assemble can shard.
@@ -456,6 +541,7 @@ impl PartitionedFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::chaos::{ChaosEvent, LinkRef};
     use simkit::time::SimTime;
 
     fn quick_ring(shards: usize) -> PartitionedFabric {
@@ -511,7 +597,12 @@ mod tests {
     #[test]
     fn chaos_lands_only_on_the_owning_shard() {
         let mut pf = quick_ring(3);
-        let plan = ChaosPlan::new().link_down(SimTime::from_ns(400), 0);
+        let plan = ChaosPlan::new().at(
+            SimTime::from_ns(400),
+            ChaosEvent::LinkDown {
+                link: LinkRef::Slot(0),
+            },
+        );
         pf.schedule_chaos_on(1, &plan).unwrap();
         pf.run(2).unwrap();
         let digests = pf.digests();
@@ -528,13 +619,70 @@ mod tests {
     fn chaos_runs_stay_bit_identical_across_worker_counts() {
         let run = |workers: usize| {
             let mut pf = quick_ring(3);
-            let plan = ChaosPlan::new().link_flap(SimTime::from_ns(500), 0, SimTime::from_us(2));
+            let plan = ChaosPlan::new().at(
+                SimTime::from_ns(500),
+                ChaosEvent::LinkFlap {
+                    link: LinkRef::Slot(0),
+                    down_for: SimTime::from_us(2),
+                },
+            );
             pf.schedule_chaos_on(2, &plan).unwrap();
             pf.run(workers).unwrap();
             pf.digests()
         };
         let want = run(1);
         assert_eq!(run(3), want);
+    }
+
+    #[test]
+    fn topology_cut_partitions_along_named_links() {
+        // Cutting h1-h2 splits a 4-host line into two 2-host shards.
+        let line = routing::topology::Line::new(4).unwrap();
+        let mut pf = PartitionedFabric::from_topology_cut(
+            DatapathParams::prototype(),
+            &line,
+            &["h1-h2"],
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .unwrap();
+        assert_eq!(pf.shard_count(), 2);
+        pf.run(2).unwrap();
+        for d in pf.digests() {
+            assert!(d.completions > 0, "shard {} sat idle", d.shard);
+        }
+    }
+
+    #[test]
+    fn unknown_cut_link_is_a_topology_error() {
+        let line = routing::topology::Line::new(4).unwrap();
+        let err = PartitionedFabric::from_topology_cut(
+            DatapathParams::prototype(),
+            &line,
+            &["h9-h10"],
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FabricError::Topology(TopologyError::UnknownLink(_))
+        ));
+    }
+
+    #[test]
+    fn a_cut_that_does_not_disconnect_is_refused() {
+        // A ring survives any single cut; there is nothing to partition.
+        let ring = routing::topology::Ring::new(4).unwrap();
+        let err = PartitionedFabric::from_topology_cut(
+            DatapathParams::prototype(),
+            &ring,
+            &["h0-h1"],
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FabricError::Config(_)));
     }
 
     #[test]

@@ -38,6 +38,8 @@ use crate::fabric::{
 use crate::memmodel::MemoryModel;
 use crate::params::DatapathParams;
 
+use routing::topology::{Mesh, NodeId, TopologyError};
+
 /// Ports on the per-borrower fabric's circuit switch — enough for many
 /// concurrent switched leases (each channel takes an ingress+egress
 /// pair).
@@ -209,6 +211,14 @@ impl RackBuilder {
                 NodeAgent::new(HostNode::new(n.spec.clone()), "rack-secret"),
             );
         }
+        // The cable list doubles as the rack's routing topology: one
+        // mesh host per node, one topology link per cabled pair (the
+        // per-pair transceiver fan-out rides that link).
+        let mut mesh = Mesh::new();
+        let mut node_ids: BTreeMap<String, NodeId> = BTreeMap::new();
+        for n in &self.nodes {
+            node_ids.insert(n.spec.name.clone(), mesh.add_host(&n.spec.name));
+        }
         for (a, b) in &self.cables {
             let ta = self
                 .nodes
@@ -225,6 +235,7 @@ impl RackBuilder {
             for i in 0..ta.min(tb) {
                 cp.add_cable(a, i, b, i, 100.0);
             }
+            mesh.link(node_ids[a], node_ids[b]);
         }
         Ok(Rack {
             cp,
@@ -236,6 +247,8 @@ impl RackBuilder {
             fabrics: BTreeMap::new(),
             lease_paths: BTreeMap::new(),
             failed_hosts: BTreeSet::new(),
+            mesh,
+            node_ids,
         })
     }
 }
@@ -257,6 +270,11 @@ pub struct Rack {
     /// Hosts declared dead by [`Rack::crash_donor`]. They neither donate
     /// nor borrow until an operator re-provisions them.
     failed_hosts: BTreeSet<String>,
+    /// The cable graph as a routing topology: every lazily-built
+    /// borrower fabric gets a copy, so lease paths are routed (and
+    /// chaos targets named) in cable terms.
+    mesh: Mesh,
+    node_ids: BTreeMap<String, NodeId>,
 }
 
 impl Rack {
@@ -314,14 +332,27 @@ impl Rack {
         let id = LeaseId(self.next_lease);
         let spec = self.grant_path_spec(&grant, &format!("{}:{id}", req.memory));
         let params = self.params.clone();
+        let compute_node = self.node_ids[&req.compute];
+        let donor_node = self.node_ids[&req.memory];
+        let mesh = self.mesh.clone();
         let fabric = self.fabrics.entry(req.compute.clone()).or_insert_with(|| {
             let (fabric, _) = FabricBuilder::new(params)
                 .switch(CircuitSwitch::optical(FABRIC_SWITCH_PORTS))
+                .topology(mesh, compute_node)
                 .build()
                 .expect("an empty fabric always assembles");
             fabric
         });
-        let path = match fabric.attach_path(&spec) {
+        // Route along the cable graph; grants brokered through a
+        // control-plane circuit switch have no cable route and fall back
+        // to the explicit (switched) endpoint wiring.
+        let routed = match fabric.attach_routed(&spec, donor_node) {
+            Err(FabricError::Topology(TopologyError::NoRoute { .. })) => {
+                fabric.attach_path(&spec)
+            }
+            other => other,
+        };
+        let path = match routed {
             Ok(p) => p,
             Err(e) => {
                 self.agents

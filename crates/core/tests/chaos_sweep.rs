@@ -13,8 +13,8 @@
 use simkit::sweep::sweep_with_workers;
 use simkit::time::SimTime;
 use thymesisflow_core::fabric::{
-    ChaosPlan, Fabric, FabricBuilder, FabricError, FaultKind, LoadFault, PathSpec,
-    RecoveryConfig, WindowSpec,
+    ChaosEvent, ChaosPlan, Fabric, FabricBuilder, FabricError, FaultKind, LinkRef,
+    LoadFault, PathSpec, RecoveryConfig, WindowSpec,
 };
 use thymesisflow_core::params::DatapathParams;
 
@@ -73,15 +73,33 @@ fn build(scenario: Scenario, seed: u64) -> (Fabric, thymesisflow_core::fabric::P
 fn plan_for(scenario: Scenario, fabric: &Fabric, path: thymesisflow_core::fabric::PathId, jitter_ns: u64) -> ChaosPlan {
     let t0 = SimTime::from_ns(300 + jitter_ns);
     match scenario {
-        Scenario::Flap | Scenario::LossyFlap => {
-            ChaosPlan::new().link_flap(t0, 0, SimTime::from_us(10))
-        }
-        Scenario::HardDown => ChaosPlan::new().link_down(t0, 0),
-        Scenario::LaneFail => ChaosPlan::new().lane_fail(t0, 0),
+        // These fabrics are built raw (no declared topology), so the
+        // plans address endpoint slots explicitly.
+        Scenario::Flap | Scenario::LossyFlap => ChaosPlan::new().at(
+            t0,
+            ChaosEvent::LinkFlap {
+                link: LinkRef::Slot(0),
+                down_for: SimTime::from_us(10),
+            },
+        ),
+        Scenario::HardDown => ChaosPlan::new().at(
+            t0,
+            ChaosEvent::LinkDown {
+                link: LinkRef::Slot(0),
+            },
+        ),
+        Scenario::LaneFail => ChaosPlan::new().at(
+            t0,
+            ChaosEvent::LaneFail {
+                link: LinkRef::Slot(0),
+            },
+        ),
         Scenario::DonorCrash => {
             ChaosPlan::new().donor_crash(t0, fabric.path_donor(path).expect("live path"))
         }
-        Scenario::SwitchReroute => ChaosPlan::new().switch_port_fail(t0, PortId(0)),
+        Scenario::SwitchReroute => {
+            ChaosPlan::new().at(t0, ChaosEvent::SwitchPortFail { port: PortId(0) })
+        }
     }
 }
 

@@ -5,8 +5,11 @@
 //! topology, the circuit-switched rack, and a chaos scenario. This is
 //! the CI gate `ci.sh` runs on every push.
 
+use routing::topology::Torus2D;
 use simkit::time::SimTime;
-use thymesisflow_core::fabric::{ChaosPlan, PartitionedFabric, ShardDigest, WorkloadSpec};
+use thymesisflow_core::fabric::{
+    ChaosEvent, ChaosPlan, LinkRef, PartitionedFabric, ShardDigest, WorkloadSpec,
+};
 use thymesisflow_core::params::DatapathParams;
 
 const WORKER_AXIS: [usize; 3] = [2, 3, 4];
@@ -83,9 +86,38 @@ fn chaos_scenario_is_bit_identical_across_worker_counts() {
             WorkloadSpec::quick(),
         )
         .expect("reference shards assemble");
-        let plan = ChaosPlan::new().link_flap(SimTime::from_ns(600), 0, SimTime::from_us(3));
+        let plan = ChaosPlan::new().at(
+            SimTime::from_ns(600),
+            ChaosEvent::LinkFlap {
+                link: LinkRef::Slot(0),
+                down_for: SimTime::from_us(3),
+            },
+        );
         pf.schedule_chaos_on(1, &plan).expect("shard 1 exists");
         pf
+    });
+}
+
+#[test]
+fn topology_cut_is_bit_identical_across_worker_counts() {
+    // A 4×4 torus cut along both inter-half row boundaries (the r1→r2
+    // seam and the r3→r0 wraparound) falls apart into two 2×4 halves;
+    // each half becomes one shard routed over its own sub-mesh.
+    let cut: Vec<String> = (0..4)
+        .map(|c| format!("h1x{c}-h2x{c}"))
+        .chain((0..4).map(|c| format!("h3x{c}-h0x{c}")))
+        .collect();
+    assert_bit_identical("torus topology cut", || {
+        let torus = Torus2D::new(4, 4).expect("4x4 torus");
+        let cuts: Vec<&str> = cut.iter().map(String::as_str).collect();
+        PartitionedFabric::from_topology_cut(
+            DatapathParams::prototype(),
+            &torus,
+            &cuts,
+            256 << 20,
+            WorkloadSpec::quick(),
+        )
+        .expect("torus halves assemble")
     });
 }
 
@@ -99,7 +131,12 @@ fn chaos_effects_stay_on_the_owning_shard() {
         WorkloadSpec::quick(),
     )
     .expect("reference shards assemble");
-    let plan = ChaosPlan::new().link_down(SimTime::from_ns(500), 0);
+    let plan = ChaosPlan::new().at(
+        SimTime::from_ns(500),
+        ChaosEvent::LinkDown {
+            link: LinkRef::Slot(0),
+        },
+    );
     pf.schedule_chaos_on(2, &plan).expect("shard 2 exists");
     pf.run(3).expect("chaos run completes");
     let digests = pf.digests();

@@ -29,8 +29,15 @@
 //! ```
 
 pub mod arbiter;
+pub mod plan;
+pub mod topology;
 
 pub use arbiter::RoundRobin;
+pub use plan::FlowPlan;
+pub use topology::{
+    Clos, Line, Mesh, NodeId, NodeKind, Ring, Route, TopoLink, TopoNode, Topology,
+    TopologyError, Torus2D,
+};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,7 +86,7 @@ impl fmt::Display for RouteError {
 impl std::error::Error for RouteError {}
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Route {
+struct RouteEntry {
     channels: Vec<ChannelId>,
     cursor: usize,
     forwarded: u64,
@@ -88,7 +95,7 @@ struct Route {
 /// The per-endpoint routing table.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Router {
-    routes: BTreeMap<NetworkId, Route>,
+    routes: BTreeMap<NetworkId, RouteEntry>,
     per_channel: BTreeMap<ChannelId, u64>,
 }
 
@@ -117,7 +124,7 @@ impl Router {
         }
         self.routes.insert(
             network,
-            Route {
+            RouteEntry {
                 channels,
                 cursor: 0,
                 forwarded: 0,

@@ -66,6 +66,24 @@ impl S {
 }
 
 #[test]
+fn tf009_keeps_topology_route_tables_ordered() {
+    // The routing crate's topology module is route-identity ground
+    // truth: link enumeration feeds named chaos targets, partition
+    // cuts and the parity suites. A hash-ordered table there would
+    // make all three scheduling-dependent, so the module must stay in
+    // TF009 scope.
+    let src = "\
+use std::collections::HashMap;
+pub struct Mesh { links: HashMap<String, u32> }
+impl Mesh {
+    pub fn names(&self) -> Vec<String> { self.links.keys().cloned().collect() }
+}
+";
+    let diags = check_source("routing", "src/topology.rs", src);
+    assert_eq!(rules_of(&diags), ["TF009"], "\n{}", render(&diags));
+}
+
+#[test]
 fn tf009_cross_file_index_catches_remote_declaration() {
     // The map is declared in engine.rs; the iteration lives in rack.rs.
     // A per-file scanner cannot connect the two — the workspace index can.

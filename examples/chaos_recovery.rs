@@ -21,6 +21,7 @@ use thymesisflow::core::fabric::{
     ChaosPlan, FabricBuilder, FabricError, PathSpec, RecoveryConfig,
 };
 use thymesisflow::core::params::DatapathParams;
+use thymesisflow::routing::topology::{Line, NodeId};
 use thymesisflow::core::rack::{LeaseResolution, NodeConfig, RackBuilder};
 use thymesisflow::simkit::time::SimTime;
 use thymesisflow::simkit::units::GIB;
@@ -31,15 +32,21 @@ fn main() {
     // ---- act 1: a flap the replay protocol rides out -----------------
     println!("== link flap shorter than the detection window ==");
     let window = RecoveryConfig::default().detection_window();
-    let (mut fabric, paths) = FabricBuilder::new(DatapathParams::prototype())
-        .path(PathSpec::reference(256 << 20, 1).labelled("flapped"))
-        .build()
-        .expect("reference topology assembles");
+    let line = Line::new(2).expect("2-node line");
+    let (mut fabric, paths) =
+        FabricBuilder::from_topology(DatapathParams::prototype(), &line, NodeId(0))
+            .path_to(NodeId(1), PathSpec::reference(256 << 20, 1).labelled("flapped"))
+            .build()
+            .expect("reference topology assembles");
     let path = paths[0];
     fabric.set_telemetry(true);
-    fabric.schedule_chaos(
-        &ChaosPlan::new().link_flap(SimTime::from_ns(500), 0, SimTime::from_us(10)),
-    );
+    // Chaos targets the topology link by name — "h0-h1" is the line's
+    // only cable.
+    fabric.schedule_chaos(&ChaosPlan::new().link_flap_named(
+        SimTime::from_ns(500),
+        "h0-h1",
+        SimTime::from_us(10),
+    ));
     let issued: Vec<u64> = (0..LOADS)
         .map(|_| fabric.issue_read(path).expect("healthy path issues"))
         .collect();
@@ -60,13 +67,14 @@ fn main() {
 
     // ---- act 2: a hard cut the watchdog must declare -----------------
     println!("== hard link-down: typed faults, never silence ==");
-    let (mut fabric, paths) = FabricBuilder::new(DatapathParams::prototype())
-        .path(PathSpec::reference(256 << 20, 1).labelled("cut"))
-        .build()
-        .expect("reference topology assembles");
+    let (mut fabric, paths) =
+        FabricBuilder::from_topology(DatapathParams::prototype(), &line, NodeId(0))
+            .path_to(NodeId(1), PathSpec::reference(256 << 20, 1).labelled("cut"))
+            .build()
+            .expect("reference topology assembles");
     let path = paths[0];
     fabric.set_telemetry(true);
-    fabric.schedule_chaos(&ChaosPlan::new().link_down(SimTime::from_ns(500), 0));
+    fabric.schedule_chaos(&ChaosPlan::new().link_down_named(SimTime::from_ns(500), "h0-h1"));
     let issued: Vec<u64> = (0..LOADS)
         .map(|_| fabric.issue_read(path).expect("healthy path issues"))
         .collect();
