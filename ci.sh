@@ -22,13 +22,24 @@ echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
 echo "==> example smoke loop (release)"
-for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown rack_topologies; do
+for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown rack_topologies observatory; do
     echo "--> example: ${example}"
     cargo run -q --release --example "${example}" > /dev/null
 done
 
 echo "==> latency breakdown artifacts (Chrome trace_event JSON parses)"
 jq -e '.traceEvents | length > 0' target/latency_breakdown.trace.json > /dev/null
+
+echo "==> observability artifacts (journal JSONL schema v1, Prometheus exposition)"
+# Every journal line is one JSON object with the schema-v1 spine, and
+# the run that wrote it must have journaled the chaos cut, a re-route,
+# and an SLO breach.
+jq -e -s 'length > 0 and all(.[]; (.seq | type == "number") and (.at_ns | type == "number") and (.kind | type == "string") and (.detail | type == "string"))' \
+    target/observatory.journal.jsonl > /dev/null
+jq -e -s 'map(.kind) | contains(["chaos", "reroute", "slo_breach"])' \
+    target/observatory.journal.jsonl > /dev/null
+grep -q '^# TYPE fabric_loads_retired counter' target/observatory.prom
+grep -q '^# TYPE fabric_rtt_ns summary' target/observatory.prom
 
 echo "==> chaos scenario smoke (link flap + donor crash, exactly-once asserts)"
 cargo test -q -p thymesisflow-core --test chaos_sweep
@@ -47,6 +58,7 @@ echo "==> engine throughput smoke (QUICK mode, writes target/BENCH_engine.quick.
 # with:  cargo bench -p bench --bench engine_throughput   (no QUICK).
 QUICK=1 cargo bench -q -p bench --bench engine_throughput
 jq -e '.telemetry_overhead.overhead_frac' target/BENCH_engine.quick.json > /dev/null
+jq -e '.obs_overhead.overhead_frac' target/BENCH_engine.quick.json > /dev/null
 jq -e '.engine_partitioned.scaling | length >= 3' target/BENCH_engine.quick.json > /dev/null
 jq -e '.engine_topology.route_hops >= 2 and .engine_topology.per_hop_ns > 0' target/BENCH_engine.quick.json > /dev/null
 

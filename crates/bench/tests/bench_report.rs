@@ -132,6 +132,26 @@ fn topology_record_pins_the_multi_hop_cost_model() {
 }
 
 #[test]
+fn observability_plane_overhead_stays_inside_budget() {
+    let v = report();
+    let obs = v.get("obs_overhead").expect("obs_overhead record");
+    let frac = obs
+        .get("overhead_frac")
+        .and_then(as_f64)
+        .expect("overhead_frac");
+    assert!(
+        frac <= 0.10,
+        "the full observability plane (registry + journal + per-window \
+         snapshot and congestion-report polling) must cost <= 10% \
+         wall-clock; committed report says {:.1}%",
+        frac * 100.0
+    );
+    let windows = obs.get("windows").and_then(as_u64).expect("windows");
+    assert!(windows >= 2, "overhead must be measured across polled windows");
+    assert!(obs.get("events").and_then(as_u64).unwrap_or(0) > 0);
+}
+
+#[test]
 fn tracing_overhead_stays_inside_the_tightened_budget() {
     let v = report();
     let tele = v.get("telemetry_overhead").expect("telemetry_overhead record");

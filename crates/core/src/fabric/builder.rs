@@ -119,7 +119,7 @@ impl FabricBuilder {
             self.window,
             self.switch.map(SwitchStage::new),
             self.engine,
-        );
+        )?;
         if let Some((mesh, compute)) = self.topology {
             fabric.install_topology(mesh, compute)?;
         }

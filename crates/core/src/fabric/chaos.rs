@@ -193,62 +193,9 @@ impl ChaosPlan {
         )
     }
 
-    /// Cuts slot `link` at `at`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "target links by topology name: `link_down_named`, or \
-                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
-    )]
-    pub fn link_down(self, at: SimTime, link: usize) -> Self {
-        self.at(at, ChaosEvent::LinkDown { link: LinkRef::Slot(link) })
-    }
-
-    /// Restores slot `link` at `at`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "target links by topology name: `link_up_named`, or \
-                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
-    )]
-    pub fn link_up(self, at: SimTime, link: usize) -> Self {
-        self.at(at, ChaosEvent::LinkUp { link: LinkRef::Slot(link) })
-    }
-
-    /// Darkens slot `link` at `at` for `down_for`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "target links by topology name: `link_flap_named`, or \
-                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
-    )]
-    pub fn link_flap(self, at: SimTime, link: usize, down_for: SimTime) -> Self {
-        self.at(
-            at,
-            ChaosEvent::LinkFlap { link: LinkRef::Slot(link), down_for },
-        )
-    }
-
-    /// Fails one bonded lane of slot `link` at `at`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "target links by topology name: `lane_fail_named`, or \
-                `at(..)` with an explicit `LinkRef::Slot` on topology-less fabrics"
-    )]
-    pub fn lane_fail(self, at: SimTime, link: usize) -> Self {
-        self.at(at, ChaosEvent::LaneFail { link: LinkRef::Slot(link) })
-    }
-
     /// Crashes donor `donor` at `at`.
     pub fn donor_crash(self, at: SimTime, donor: usize) -> Self {
         self.at(at, ChaosEvent::DonorCrash { donor })
-    }
-
-    /// Fails switch port `port` at `at`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "name the affected link instead: `switch_port_fail_on`, or \
-                `at(..)` with an explicit `ChaosEvent::SwitchPortFail`"
-    )]
-    pub fn switch_port_fail(self, at: SimTime, port: PortId) -> Self {
-        self.at(at, ChaosEvent::SwitchPortFail { port })
     }
 
     /// The scripted `(instant, event)` pairs, in insertion order (the
@@ -384,32 +331,6 @@ mod tests {
             )
         );
         assert!(!plan.is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn slot_index_shims_forward_to_linkref_slot() {
-        // The pre-topology scenario-file surface: index builders still
-        // compile and produce the same events as the explicit Slot form.
-        let shimmed = ChaosPlan::new()
-            .link_down(SimTime::from_us(1), 0)
-            .link_up(SimTime::from_us(2), 0)
-            .link_flap(SimTime::from_us(3), 1, SimTime::from_us(1))
-            .lane_fail(SimTime::from_us(4), 2)
-            .switch_port_fail(SimTime::from_us(5), PortId(3));
-        let explicit = ChaosPlan::new()
-            .at(SimTime::from_us(1), ChaosEvent::LinkDown { link: LinkRef::Slot(0) })
-            .at(SimTime::from_us(2), ChaosEvent::LinkUp { link: LinkRef::Slot(0) })
-            .at(
-                SimTime::from_us(3),
-                ChaosEvent::LinkFlap {
-                    link: LinkRef::Slot(1),
-                    down_for: SimTime::from_us(1),
-                },
-            )
-            .at(SimTime::from_us(4), ChaosEvent::LaneFail { link: LinkRef::Slot(2) })
-            .at(SimTime::from_us(5), ChaosEvent::SwitchPortFail { port: PortId(3) });
-        assert_eq!(shimmed, explicit);
     }
 
     #[test]

@@ -39,13 +39,14 @@ use routing::{ChannelId, RouteError};
 use simkit::bandwidth::Rate;
 use simkit::event::{Engine, EventQueue};
 use simkit::stats::Histogram;
-use simkit::telemetry::{CounterId, GaugeId, Registry, Snapshot, TimerId};
+use simkit::telemetry::{CounterId, GaugeId, Registry, Snapshot, TelemetryError, TimerId};
 use simkit::time::SimTime;
 
 use crate::endpoint::EndpointError;
 use crate::fabric::chaos::{
     ChaosEvent, ChaosPlan, FaultKind, LinkRef, LoadFault, RecoveryConfig,
 };
+use crate::fabric::obs::{CongestionReport, Journal, JournalKind, JournalRecord, LinkCongestion};
 use crate::fabric::port::{ComponentId, Connection, PortRef, PortUnit, WiringError};
 use crate::fabric::stage::{
     C1MasterDram, FabricComponent, FabricMsg, LlcPair, M1Capture, RmmuTranslate, RouterStage,
@@ -226,6 +227,8 @@ pub enum FabricError {
     /// The topology layer refused the operation (unknown node, no
     /// surviving route).
     Topology(TopologyError),
+    /// The telemetry registry refused a metric registration.
+    Telemetry(TelemetryError),
     /// An internal protocol invariant broke (a simulator bug).
     Protocol(String),
 }
@@ -251,6 +254,7 @@ impl fmt::Display for FabricError {
             FabricError::Wiring(e) => write!(f, "wiring: {e}"),
             FabricError::Config(msg) => write!(f, "bad path spec: {msg}"),
             FabricError::Topology(e) => write!(f, "topology: {e}"),
+            FabricError::Telemetry(e) => write!(f, "telemetry: {e}"),
             FabricError::Protocol(msg) => write!(f, "fabric invariant violated: {msg}"),
         }
     }
@@ -285,6 +289,12 @@ impl From<RmmuError> for FabricError {
 impl From<RouteError> for FabricError {
     fn from(e: RouteError) -> Self {
         FabricError::Route(e)
+    }
+}
+
+impl From<TelemetryError> for FabricError {
+    fn from(e: TelemetryError) -> Self {
+        FabricError::Telemetry(e)
     }
 }
 
@@ -392,7 +402,18 @@ struct HopSeg {
     /// crosses — the unit chaos targets by name.
     topo_link: usize,
     credits: u32,
-    queue: VecDeque<(Dir, Frame<FabricMsg>, bool)>,
+    /// Frames waiting for a credit, each stamped with its arrival
+    /// instant so credit-stall time is exact at dequeue.
+    queue: VecDeque<(Dir, Frame<FabricMsg>, bool, SimTime)>,
+    /// Frames that crossed this segment (pure accounting — congestion
+    /// counters never alter scheduling, so observation stays free).
+    forwarded: u64,
+    /// Arrivals that found no credit and had to queue.
+    stall_events: u64,
+    /// Total simulated time frames spent queued for a credit.
+    stall_ns: u64,
+    /// Deepest the credit queue ever got.
+    queue_high_water: usize,
 }
 
 /// The interior hops of one multi-hop link, one segment per topology
@@ -504,25 +525,25 @@ struct FabricTele {
 }
 
 impl FabricTele {
-    fn register(r: &mut Registry) -> Self {
-        FabricTele {
-            issued: r.counter("fabric.loads.issued"),
-            retired: r.counter("fabric.loads.retired"),
-            rtt: r.timer("fabric.rtt_ns"),
+    fn register(r: &mut Registry) -> Result<Self, TelemetryError> {
+        Ok(FabricTele {
+            issued: r.counter("fabric.loads.issued")?,
+            retired: r.counter("fabric.loads.retired")?,
+            rtt: r.timer("fabric.rtt_ns")?,
             hops: HopKind::ALL
                 .iter()
                 .map(|k| r.timer(&format!("fabric.hop.{}", k.label())))
-                .collect(),
-            chaos_events: r.counter("fabric.chaos.events"),
-            lanes_failed: r.counter("fabric.chaos.lanes_failed"),
-            links_failed: r.counter("fabric.recovery.links_failed"),
-            loads_faulted: r.counter("fabric.recovery.loads_faulted"),
-            late_completions: r.counter("fabric.recovery.late_completions"),
-            switch_reroutes: r.counter("fabric.recovery.switch_reroutes"),
-            route_reroutes: r.counter("fabric.recovery.route_reroutes"),
-            detect: r.timer("fabric.recovery.detect_ns"),
-            downtime: r.timer("fabric.recovery.downtime_ns"),
-        }
+                .collect::<Result<Vec<_>, _>>()?,
+            chaos_events: r.counter("fabric.chaos.events")?,
+            lanes_failed: r.counter("fabric.chaos.lanes_failed")?,
+            links_failed: r.counter("fabric.recovery.links_failed")?,
+            loads_faulted: r.counter("fabric.recovery.loads_faulted")?,
+            late_completions: r.counter("fabric.recovery.late_completions")?,
+            switch_reroutes: r.counter("fabric.recovery.switch_reroutes")?,
+            route_reroutes: r.counter("fabric.recovery.route_reroutes")?,
+            detect: r.timer("fabric.recovery.detect_ns")?,
+            downtime: r.timer("fabric.recovery.downtime_ns")?,
+        })
     }
 }
 
@@ -548,26 +569,26 @@ struct LinkTele {
 }
 
 impl LinkTele {
-    fn register(r: &mut Registry, link: usize) -> Self {
+    fn register(r: &mut Registry, link: usize) -> Result<Self, TelemetryError> {
         let p = |leaf: &str| format!("fabric.link{link}.{leaf}");
-        LinkTele {
-            fwd_frames: r.counter(&p("fwd.frames")),
-            fwd_bytes: r.counter(&p("fwd.bytes")),
-            rev_frames: r.counter(&p("rev.frames")),
-            rev_bytes: r.counter(&p("rev.bytes")),
-            up_replays: r.counter(&p("up.replays")),
-            down_replays: r.counter(&p("down.replays")),
-            up_delivered: r.counter(&p("up.delivered")),
-            down_delivered: r.counter(&p("down.delivered")),
-            up_credit_stalls: r.counter(&p("up.credit_stalls")),
-            down_credit_stalls: r.counter(&p("down.credit_stalls")),
-            up_credits: r.gauge(&p("up.credits")),
-            down_credits: r.gauge(&p("down.credits")),
-            up_backlog: r.gauge(&p("up.backlog")),
-            down_backlog: r.gauge(&p("down.backlog")),
-            up_rx_high_water: r.gauge(&p("up.rx_high_water")),
-            down_rx_high_water: r.gauge(&p("down.rx_high_water")),
-        }
+        Ok(LinkTele {
+            fwd_frames: r.counter(&p("fwd.frames"))?,
+            fwd_bytes: r.counter(&p("fwd.bytes"))?,
+            rev_frames: r.counter(&p("rev.frames"))?,
+            rev_bytes: r.counter(&p("rev.bytes"))?,
+            up_replays: r.counter(&p("up.replays"))?,
+            down_replays: r.counter(&p("down.replays"))?,
+            up_delivered: r.counter(&p("up.delivered"))?,
+            down_delivered: r.counter(&p("down.delivered"))?,
+            up_credit_stalls: r.counter(&p("up.credit_stalls"))?,
+            down_credit_stalls: r.counter(&p("down.credit_stalls"))?,
+            up_credits: r.gauge(&p("up.credits"))?,
+            down_credits: r.gauge(&p("down.credits"))?,
+            up_backlog: r.gauge(&p("up.backlog"))?,
+            down_backlog: r.gauge(&p("down.backlog"))?,
+            up_rx_high_water: r.gauge(&p("up.rx_high_water"))?,
+            down_rx_high_water: r.gauge(&p("down.rx_high_water"))?,
+        })
     }
 }
 
@@ -696,6 +717,9 @@ pub struct Fabric {
     interior: BTreeMap<u32, SwitchStage>,
     /// Times an interior link failure was detoured by re-routing.
     route_reroutes: u64,
+    /// The causal event journal, when enabled ([`Fabric::set_journal`]).
+    /// `None` records nothing; recording is pure observation either way.
+    journal: Option<Journal>,
 }
 
 impl fmt::Debug for Fabric {
@@ -714,7 +738,7 @@ impl Fabric {
         window: WindowSpec,
         switch: Option<SwitchStage>,
         engine: Engine,
-    ) -> Self {
+    ) -> Result<Self, FabricError> {
         let capture = M1Capture::new(window);
         let translate = RmmuTranslate::new(window);
         let mut connections = vec![
@@ -733,8 +757,8 @@ impl Fabric {
         // Telemetry starts disabled: instrumentation is observation only
         // and costs one predicted branch per hook until switched on.
         let mut telemetry = Registry::new(false);
-        let tele = FabricTele::register(&mut telemetry);
-        Fabric {
+        let tele = FabricTele::register(&mut telemetry)?;
+        Ok(Fabric {
             params,
             window,
             capture,
@@ -761,7 +785,8 @@ impl Fabric {
             topo: None,
             interior: BTreeMap::new(),
             route_reroutes: 0,
-        }
+            journal: None,
+        })
     }
 
     /// Declares the topology the fabric is wired over: the mesh and the
@@ -994,7 +1019,7 @@ impl Fabric {
                 path: path_id,
                 flush_pending: [false; 2],
                 circuit,
-                tele: LinkTele::register(&mut self.telemetry, link),
+                tele: LinkTele::register(&mut self.telemetry, link)?,
                 watchdog_pending: false,
                 strikes: 0,
                 progress: (0, 0, 0, 0),
@@ -1036,11 +1061,24 @@ impl Fabric {
                 label: spec.label.clone(),
                 tele_rtt: self
                     .telemetry
-                    .timer(&format!("fabric.path{path_id}.rtt_ns")),
+                    .timer(&format!("fabric.path{path_id}.rtt_ns"))?,
                 poisoned: None,
             },
         );
         self.next_path += 1;
+        if self.journal.is_some() {
+            let names = self.route_link_names(path_id);
+            let at = self.queue.now();
+            self.jot(
+                JournalRecord::new(
+                    at,
+                    JournalKind::Attach,
+                    format!("{} attached ({} bytes)", spec.label, spec.bytes),
+                )
+                .path(PathId(path_id))
+                .links(names),
+            );
+        }
         Ok(PathId(path_id))
     }
 
@@ -1080,6 +1118,10 @@ impl Fabric {
             topo_link,
             credits: HOP_CREDITS,
             queue: VecDeque::new(),
+            forwarded: 0,
+            stall_events: 0,
+            stall_ns: 0,
+            queue_high_water: 0,
         };
         HopChain {
             fwd: links
@@ -1208,6 +1250,18 @@ impl Fabric {
             .and_then(Option::take);
         self.connections
             .retain(|c| !dead.contains(&c.from.component) && !dead.contains(&c.to.component));
+        if self.journal.is_some() {
+            let names = self.route_link_names(path.0);
+            self.jot(
+                JournalRecord::new(
+                    now,
+                    JournalKind::Detach,
+                    format!("{} detached", state.label),
+                )
+                .path(path)
+                .links(names),
+            );
+        }
         Ok(())
     }
 
@@ -1522,7 +1576,9 @@ impl Fabric {
                 return;
             };
             if s.credits == 0 {
-                s.queue.push_back((dir, frame, intact));
+                s.queue.push_back((dir, frame, intact, now));
+                s.stall_events += 1;
+                s.queue_high_water = s.queue_high_water.max(s.queue.len());
                 None
             } else {
                 s.credits -= 1;
@@ -1565,6 +1621,7 @@ impl Fabric {
             let Some(s) = segs.get_mut(seg) else {
                 return;
             };
+            s.forwarded += 1;
             (s.chan.transmit(now, frame.wire_bytes()), last)
         };
         let (at, intact) = match delivery {
@@ -1642,9 +1699,10 @@ impl Fabric {
             };
             s.credits += 1;
             match s.queue.pop_front() {
-                Some(queued) => {
+                Some((dir, frame, intact, enq)) => {
                     s.credits -= 1;
-                    Some(queued)
+                    s.stall_ns += now.as_ns().saturating_sub(enq.as_ns());
+                    Some((dir, frame, intact))
                 }
                 None => None,
             }
@@ -2265,6 +2323,29 @@ impl Fabric {
     fn apply_chaos(&mut self, ev: ChaosEvent) -> Result<(), FabricError> {
         self.telemetry.inc(self.tele.chaos_events);
         let now = self.queue.now();
+        if self.journal.is_some() {
+            let (detail, target) = match &ev {
+                ChaosEvent::LinkDown { link } => (format!("{link} down"), Some(link)),
+                ChaosEvent::LinkUp { link } => (format!("{link} up"), Some(link)),
+                ChaosEvent::LinkFlap { link, down_for } => {
+                    (format!("{link} flap for {down_for}"), Some(link))
+                }
+                ChaosEvent::LaneFail { link } => (format!("lane failed on {link}"), Some(link)),
+                ChaosEvent::DonorCrash { donor } => (format!("donor {donor} crash"), None),
+                ChaosEvent::SwitchPortFail { port } => {
+                    (format!("switch port {} fail", port.0), None)
+                }
+                ChaosEvent::SwitchPortFailOn { link } => {
+                    (format!("switch port fail on {link}"), Some(link))
+                }
+            };
+            let links = match target {
+                Some(LinkRef::Name(n)) => vec![n.clone()],
+                Some(LinkRef::Slot(s)) => vec![format!("slot{s}")],
+                None => Vec::new(),
+            };
+            self.jot(JournalRecord::new(now, JournalKind::Chaos, detail).links(links));
+        }
         match ev {
             ChaosEvent::LinkDown { link } => {
                 let (slots, topo) = self.resolve_link_ref(&link)?;
@@ -2485,6 +2566,7 @@ impl Fabric {
                         .entry(n.0)
                         .or_insert_with(|| SwitchStage::new(CircuitSwitch::optical(64)));
                 }
+                let mut new_gen = None;
                 for &s in &slot_indices {
                     let Some(slot) = self.links.get_mut(s).and_then(Option::as_mut)
                     else {
@@ -2495,6 +2577,7 @@ impl Fabric {
                     };
                     let (faults, fs, rs, gen) =
                         (old.faults, old.fwd_seed, old.rev_seed, old.gen + 1);
+                    new_gen = Some(gen);
                     slot.chain = Some(Self::build_chain(
                         &self.params,
                         faults,
@@ -2509,12 +2592,41 @@ impl Fabric {
                 }
                 self.route_reroutes += 1;
                 self.telemetry.inc(self.tele.route_reroutes);
+                if self.journal.is_some() {
+                    let cause_name = self.topo_link_name(cause);
+                    let names = self.route_link_names(path_id);
+                    let at = self.queue.now();
+                    let mut rec = JournalRecord::new(
+                        at,
+                        JournalKind::Reroute,
+                        format!("detoured around {cause_name}"),
+                    )
+                    .path(PathId(path_id))
+                    .links(names);
+                    if let Some(g) = new_gen {
+                        rec = rec.generation(g);
+                    }
+                    self.jot(rec);
+                }
                 for &s in &slot_indices {
                     self.kick_link(s)?;
                     self.arm_watchdog(s);
                 }
             }
             Err(_) => {
+                if self.journal.is_some() {
+                    let cause_name = self.topo_link_name(cause);
+                    let at = self.queue.now();
+                    self.jot(
+                        JournalRecord::new(
+                            at,
+                            JournalKind::RouteLost,
+                            format!("no detour around {cause_name} survives"),
+                        )
+                        .path(PathId(path_id))
+                        .links(vec![cause_name]),
+                    );
+                }
                 for &s in &slot_indices {
                     self.fail_link(s, FaultKind::RouteLost { topo_link: cause })?;
                 }
@@ -2692,6 +2804,22 @@ impl Fabric {
             }
         }
         self.telemetry.inc(self.tele.links_failed);
+        if self.journal.is_some() {
+            let names: Vec<String> = slot
+                .topo_links
+                .iter()
+                .map(|&tl| self.topo_link_name(tl))
+                .collect();
+            self.jot(
+                JournalRecord::new(
+                    now,
+                    JournalKind::LinkFailed,
+                    format!("link {link} dead: {kind}"),
+                )
+                .path(PathId(path))
+                .links(names),
+            );
+        }
         Ok(())
     }
 
@@ -2709,6 +2837,11 @@ impl Fabric {
         });
         self.tracer.abandon(tag);
         self.telemetry.inc(self.tele.loads_faulted);
+        let at = self.queue.now();
+        self.jot(
+            JournalRecord::new(at, JournalKind::LoadFaulted, format!("tag {tag}: {kind}"))
+                .path(PathId(path)),
+        );
     }
 
     /// The donor host dies: every link it serves dies with it, every
@@ -2718,6 +2851,12 @@ impl Fabric {
             return Ok(()); // already detached — nothing left to crash
         }
         let dead = donor_id(donor);
+        let at = self.queue.now();
+        self.jot(JournalRecord::new(
+            at,
+            JournalKind::DonorCrash,
+            format!("donor {donor} crashed"),
+        ));
         self.connections
             .retain(|c| c.from.component != dead && c.to.component != dead);
         let doomed: Vec<usize> = self
@@ -2791,6 +2930,21 @@ impl Fabric {
                     }),
                 );
                 self.telemetry.inc(self.tele.switch_reroutes);
+                if self.journal.is_some() {
+                    let path = self.link_path(link);
+                    let mut rec = JournalRecord::new(
+                        now,
+                        JournalKind::SwitchReroute,
+                        format!(
+                            "port {} failed; circuit re-programmed onto {}→{}",
+                            port.0, a.0, b.0
+                        ),
+                    );
+                    if let Some(p) = path {
+                        rec = rec.path(p);
+                    }
+                    self.jot(rec);
+                }
                 Ok(())
             }
             Err(_) => self.fail_link(link, FaultKind::SwitchPortFail { port }),
@@ -2914,7 +3068,7 @@ impl Fabric {
             WindowSpec::reference(bytes),
             None,
             Engine::Hybrid,
-        );
+        )?;
         let path = fabric.attach_path(&PathSpec::reference(bytes, channels))?;
         fabric.measure_load_latency(path)
     }
@@ -3125,12 +3279,124 @@ impl Fabric {
     }
 
     /// The declared topology's link names, in link-index order — the
-    /// vocabulary named chaos targets ([`LinkRef::Name`]) draw from.
+    /// vocabulary named chaos targets ([`LinkRef::Name`]), journal
+    /// records and congestion reports share.
     pub fn topology_link_names(&self) -> Vec<String> {
         self.topo
             .as_ref()
-            .map(|t| t.mesh.links().iter().map(|l| l.name.clone()).collect())
+            .map(|t| t.mesh.link_names())
             .unwrap_or_default()
+    }
+
+    /// The declared name of topology link `idx`, or `"link{idx}"` on
+    /// fabrics built without a topology.
+    fn topo_link_name(&self, idx: usize) -> String {
+        self.topo
+            .as_ref()
+            .and_then(|t| t.mesh.link_name(idx))
+            .map_or_else(|| format!("link{idx}"), str::to_string)
+    }
+
+    /// The topology link names a path's live route walks, in walk
+    /// order; empty on fabrics built without a topology.
+    fn route_link_names(&self, path: u32) -> Vec<String> {
+        self.topo
+            .as_ref()
+            .and_then(|t| t.routes.get(&path))
+            .map(|r| r.links.iter().map(|&l| self.topo_link_name(l)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Enables or disables the causal event journal. Enabling starts a
+    /// fresh journal; disabling discards it. Journaling is pure
+    /// observation — records are appended where transitions already
+    /// happen, never scheduled — so toggling cannot change a run's
+    /// event trajectory.
+    pub fn set_journal(&mut self, enabled: bool) {
+        self.journal = enabled.then(Journal::new);
+    }
+
+    /// The causal event journal, when enabled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Takes the journal, leaving journaling enabled with a fresh one.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.as_mut().map(std::mem::take)
+    }
+
+    /// Appends `rec` if the journal is enabled.
+    fn jot(&mut self, rec: JournalRecord) {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(rec);
+        }
+    }
+
+    /// A point-in-time congestion heatmap over the declared topology's
+    /// named links: endpoint channels and interior hop segments are
+    /// aggregated onto the topology links they ride. Fabrics built
+    /// without a topology report one `"link{n}"` row per live slot.
+    pub fn congestion_report(&self) -> CongestionReport {
+        let now = self.queue.now();
+        let mut rows: Vec<LinkCongestion> = match &self.topo {
+            Some(t) => t.mesh.link_names().into_iter().map(LinkCongestion::new).collect(),
+            None => (0..self.links.len())
+                .map(|i| LinkCongestion::new(format!("link{i}")))
+                .collect(),
+        };
+        if let Some(t) = &self.topo {
+            for &idx in &t.down {
+                if let Some(row) = rows.get_mut(idx) {
+                    row.down = true;
+                }
+            }
+        }
+        for (i, slot) in self.links.iter().enumerate() {
+            let Some(slot) = slot.as_ref() else {
+                continue;
+            };
+            // Endpoint channels: the slot's own topology links (the
+            // slot index itself on topology-less fabrics).
+            let targets: Vec<usize> = if self.topo.is_some() {
+                slot.topo_links.clone()
+            } else {
+                vec![i]
+            };
+            for tl in targets {
+                let Some(row) = rows.get_mut(tl) else {
+                    continue;
+                };
+                row.endpoint_frames +=
+                    slot.fwd.chan.frames_sent() + slot.rev.chan.frames_sent();
+                row.replays +=
+                    slot.up.tx.frames_replayed() + slot.down.tx.frames_replayed();
+                row.credit_stalls += slot.up.tx.credits().starvation_events()
+                    + slot.down.tx.credits().starvation_events();
+                row.utilization = row
+                    .utilization
+                    .max(slot.fwd.chan.utilization(now))
+                    .max(slot.rev.chan.utilization(now));
+                row.down |= slot.fwd.chan.is_down() || slot.rev.chan.is_down();
+            }
+            // Interior hop segments: each covers exactly one topology
+            // link past the endpoint's own.
+            if let Some(chain) = &slot.chain {
+                for seg in chain.fwd.iter().chain(chain.rev.iter()) {
+                    let Some(row) = rows.get_mut(seg.topo_link) else {
+                        continue;
+                    };
+                    row.forwarded += seg.forwarded;
+                    row.queue_depth += seg.queue.len();
+                    row.queue_high_water = row.queue_high_water.max(seg.queue_high_water);
+                    row.credit_stalls += seg.stall_events;
+                    row.stall_ns += seg.stall_ns;
+                    row.utilization = row.utilization.max(seg.chan.utilization(now));
+                    row.down |= seg.chan.is_down();
+                }
+            }
+        }
+        CongestionReport::new(now, rows)
     }
 
     /// Multi-hop routes rebuilt around interior link failures.
@@ -3361,7 +3627,7 @@ mod tests {
     }
 
     fn fabric(window: WindowSpec) -> Fabric {
-        Fabric::assemble(params(), window, None, Engine::Hybrid)
+        Fabric::assemble(params(), window, None, Engine::Hybrid).unwrap()
     }
 
     #[test]
@@ -3534,7 +3800,8 @@ mod tests {
             WindowSpec::rack_default(),
             Some(SwitchStage::new(CircuitSwitch::optical(8))),
             Engine::Hybrid,
-        );
+        )
+        .unwrap();
         let p = f
             .attach_path(
                 &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20)
@@ -3715,7 +3982,8 @@ mod tests {
             WindowSpec::rack_default(),
             Some(SwitchStage::new(CircuitSwitch::optical(8))),
             Engine::Hybrid,
-        );
+        )
+        .unwrap();
         let p = f
             .attach_path(
                 &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20)
@@ -3754,7 +4022,8 @@ mod tests {
             WindowSpec::rack_default(),
             Some(SwitchStage::new(CircuitSwitch::optical(2))),
             Engine::Hybrid,
-        );
+        )
+        .unwrap();
         let p = f
             .attach_path(
                 &PathSpec::new(NetworkId(1), Pasid(1), 0x7000_0000_0000, 256 << 20)

@@ -17,6 +17,7 @@
 pub mod builder;
 pub mod chaos;
 pub mod engine;
+pub mod obs;
 pub mod partition;
 pub mod port;
 pub mod stage;
@@ -26,6 +27,10 @@ pub use builder::FabricBuilder;
 pub use partition::{FabricShard, PartitionedFabric, ShardDigest, ShardMsg, WorkloadSpec};
 pub use chaos::{ChaosEvent, ChaosPlan, FaultKind, LinkRef, LoadFault, RecoveryConfig};
 pub use engine::{Completion, Fabric, FabricError, LinkStats, PathId, PathSpec, StreamLoad};
+pub use obs::{
+    CongestionReport, Journal, JournalKind, JournalRecord, LinkCongestion, SloBreach,
+    SloBreachKind, SloSpec,
+};
 pub use trace::{
     chrome_trace, chrome_trace_json, BreakdownRow, FlitTrace, HopKind, LatencyBreakdown,
     SerdesSite, Span, StackSite, TraceId, WireDir,

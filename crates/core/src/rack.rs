@@ -26,13 +26,15 @@ use netsim::switch::CircuitSwitch;
 use opencapi::pasid::Pasid;
 use rmmu::flow::NetworkId;
 use simkit::bandwidth::Rate;
+use simkit::stats::Histogram;
 use simkit::telemetry::Snapshot;
 use simkit::time::SimTime;
 
 use crate::attach::{AttachRequest, Lease, LeaseId};
 use crate::config::SystemConfig;
 use crate::fabric::{
-    ChaosPlan, Fabric, FabricBuilder, FabricError, FlitTrace, LatencyBreakdown, PathId, PathSpec,
+    ChaosPlan, CongestionReport, Fabric, FabricBuilder, FabricError, FlitTrace, Journal,
+    JournalKind, JournalRecord, LatencyBreakdown, PathId, PathSpec, SloBreach, SloSpec,
     StreamLoad,
 };
 use crate::memmodel::MemoryModel;
@@ -249,8 +251,21 @@ impl RackBuilder {
             failed_hosts: BTreeSet::new(),
             mesh,
             node_ids,
+            journal: Journal::new(),
+            slos: BTreeMap::new(),
+            fabric_journals: false,
         })
     }
+}
+
+/// One lease's SLO contract plus the cumulative signals already judged,
+/// so each [`Rack::evaluate_slos`] call evaluates only the *window*
+/// since the last one.
+#[derive(Debug)]
+struct SloMonitor {
+    spec: SloSpec,
+    seen: Histogram,
+    seen_faults: u64,
 }
 
 /// A built rack.
@@ -275,6 +290,15 @@ pub struct Rack {
     /// chaos targets named) in cable terms.
     mesh: Mesh,
     node_ids: BTreeMap<String, NodeId>,
+    /// The rack-level causal journal: lease attach/detach, retry
+    /// backoff, evacuations and SLO breaches. Always on — control-plane
+    /// transitions are rare and recording never touches the simulation.
+    journal: Journal,
+    /// Per-lease SLO contracts under evaluation.
+    slos: BTreeMap<LeaseId, SloMonitor>,
+    /// Whether borrower fabrics (existing and lazily created) keep
+    /// their own causal journals.
+    fabric_journals: bool,
 }
 
 impl Rack {
@@ -335,6 +359,7 @@ impl Rack {
         let compute_node = self.node_ids[&req.compute];
         let donor_node = self.node_ids[&req.memory];
         let mesh = self.mesh.clone();
+        let journal_fabrics = self.fabric_journals;
         let fabric = self.fabrics.entry(req.compute.clone()).or_insert_with(|| {
             let (fabric, _) = FabricBuilder::new(params)
                 .switch(CircuitSwitch::optical(FABRIC_SWITCH_PORTS))
@@ -343,6 +368,9 @@ impl Rack {
                 .expect("an empty fabric always assembles");
             fabric
         });
+        if journal_fabrics && fabric.journal().is_none() {
+            fabric.set_journal(true);
+        }
         // Route along the cable graph; grants brokered through a
         // control-plane circuit switch have no cable route and fall back
         // to the explicit (switched) endpoint wiring.
@@ -373,11 +401,155 @@ impl Rack {
             .path_window(path)
             .expect("path just attached")
             .base;
+        let at = fabric.now();
+        let route_links = Self::route_names(fabric, path);
         self.next_lease += 1;
         let lease = Lease::new(id, grant.flow, node, &req, window_base, spec.network.0);
         self.leases.insert(id, lease.clone());
         self.lease_paths.insert(id, (req.compute.clone(), path));
+        self.journal.record(
+            JournalRecord::new(
+                at,
+                JournalKind::Attach,
+                format!(
+                    "{} borrows {} bytes from {}",
+                    req.compute, req.bytes, req.memory
+                ),
+            )
+            .lease(id.0)
+            .path(path)
+            .links(route_links),
+        );
         Ok(lease)
+    }
+
+    /// The topology link names a path's live route walks.
+    fn route_names(fabric: &Fabric, path: PathId) -> Vec<String> {
+        let names = fabric.topology_link_names();
+        fabric
+            .topology_route(path)
+            .map(|r| {
+                r.links
+                    .iter()
+                    .filter_map(|&l| names.get(l).cloned())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// [`Rack::attach`] with a per-lease SLO contract: the lease's
+    /// load-to-use latency and availability are judged window by window
+    /// on every [`Rack::evaluate_slos`] call, and breaches land in the
+    /// rack journal as typed [`JournalKind::SloBreach`] records.
+    ///
+    /// # Errors
+    ///
+    /// As [`Rack::attach`].
+    pub fn attach_with_slo(
+        &mut self,
+        req: AttachRequest,
+        spec: SloSpec,
+    ) -> Result<Lease, RackError> {
+        let lease = self.attach(req)?;
+        self.slos.insert(
+            lease.id(),
+            SloMonitor {
+                spec,
+                seen: Histogram::new(),
+                seen_faults: 0,
+            },
+        );
+        Ok(lease)
+    }
+
+    /// Attaches or replaces the SLO contract on a live lease.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases.
+    pub fn set_lease_slo(&mut self, id: LeaseId, spec: SloSpec) -> Result<(), RackError> {
+        if !self.leases.contains_key(&id) {
+            return Err(RackError::UnknownLease(id));
+        }
+        self.slos.insert(
+            id,
+            SloMonitor {
+                spec,
+                seen: Histogram::new(),
+                seen_faults: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Evaluates every contracted lease's SLO over the window since the
+    /// last evaluation (the caller owns the cadence, exactly like
+    /// [`simkit::obs::Recorder`] polling): the window is the *delta* of
+    /// the path's completion histogram and fault count. Breaches are
+    /// returned in lease order and journaled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors reading a live path's statistics.
+    pub fn evaluate_slos(&mut self) -> Result<Vec<SloBreach>, RackError> {
+        let mut out = Vec::new();
+        let ids: Vec<LeaseId> = self.slos.keys().copied().collect();
+        for id in ids {
+            let Some((host, path)) = self.lease_paths.get(&id).cloned() else {
+                continue; // evacuated or detached since contracted
+            };
+            let Some(fabric) = self.fabrics.get(&host) else {
+                continue;
+            };
+            let cumulative = fabric.completions(path)?.clone();
+            let faults = fabric.faults().iter().filter(|f| f.path == path).count() as u64;
+            let at = fabric.now();
+            let monitor = self.slos.get_mut(&id).expect("listed above");
+            let window = cumulative.subtract(&monitor.seen);
+            let faulted = faults.saturating_sub(monitor.seen_faults);
+            let breaches = monitor.spec.evaluate(id.0, at, &window, faulted);
+            monitor.seen = cumulative;
+            monitor.seen_faults = faults;
+            for b in &breaches {
+                self.journal.record(
+                    JournalRecord::new(b.at, JournalKind::SloBreach, b.kind.to_string())
+                        .lease(id.0)
+                        .path(path),
+                );
+            }
+            out.extend(breaches);
+        }
+        Ok(out)
+    }
+
+    /// The rack-level causal journal: lease lifecycle, retry backoff,
+    /// evacuations and SLO breaches. Per-fabric transitions (chaos,
+    /// reroutes, link deaths) live in each borrower fabric's own
+    /// journal — see [`Rack::set_observability`].
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Drains the rack-level journal.
+    pub fn take_journal(&mut self) -> Journal {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Enables or disables causal journals on every borrower fabric,
+    /// current and future. Pure observation: toggling never changes a
+    /// fabric's event trajectory.
+    pub fn set_observability(&mut self, enabled: bool) {
+        self.fabric_journals = enabled;
+        for fabric in self.fabrics.values_mut() {
+            fabric.set_journal(enabled);
+        }
+    }
+
+    /// A congestion heatmap over the borrower host's fabric, keyed by
+    /// cable-graph link names. `None` if no lease ever built a fabric
+    /// there.
+    pub fn congestion_report(&self, host: &str) -> Option<CongestionReport> {
+        self.fabrics.get(host).map(Fabric::congestion_report)
     }
 
     /// Attaches with bounded retry: transient control-plane rejections
@@ -414,9 +586,38 @@ impl Rack {
                         stats.attempt_time_total + policy.attempt_timeout;
                     stats.backoff_total =
                         stats.backoff_total + policy.backoff_after(stats.attempts);
+                    self.journal.record(JournalRecord::new(
+                        stats.total_delay(),
+                        JournalKind::RetryBackoff,
+                        format!(
+                            "attempt {} for {}←{}: {e}; backing off {}",
+                            stats.attempts,
+                            req.compute,
+                            req.memory,
+                            policy.backoff_after(stats.attempts),
+                        ),
+                    ));
                     stats.transient_errors.push(e);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // Exhausted retries leave a closing record so the
+                    // journal tells the whole story, not just the
+                    // backoffs: how many attempts, which transient
+                    // errors were absorbed, and what the retrying cost.
+                    if stats.attempts > 1 {
+                        self.journal.record(JournalRecord::new(
+                            stats.total_delay(),
+                            JournalKind::RetryBackoff,
+                            format!(
+                                "{}←{} gave up after {}: {e}",
+                                req.compute,
+                                req.memory,
+                                stats.summary(),
+                            ),
+                        ));
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -510,6 +711,31 @@ impl Rack {
             }
             match self.attach(req) {
                 Ok(new) => {
+                    // The contract survives the migration: the
+                    // replacement lease is judged from a fresh window.
+                    if let Some(m) = self.slos.remove(&id) {
+                        self.slos.insert(
+                            new.id(),
+                            SloMonitor {
+                                spec: m.spec,
+                                seen: Histogram::new(),
+                                seen_faults: 0,
+                            },
+                        );
+                    }
+                    self.journal.record(
+                        JournalRecord::new(
+                            self.fabrics
+                                .get(lease.compute())
+                                .map_or(SimTime::ZERO, Fabric::now),
+                            JournalKind::Evacuation,
+                            format!(
+                                "donor {host} died; lease migrated to {candidate} as lease {}",
+                                new.id().0
+                            ),
+                        )
+                        .lease(id.0),
+                    );
                     return Ok(LeaseFault {
                         lease: id,
                         borrower: lease.compute().to_string(),
@@ -520,12 +746,23 @@ impl Rack {
                             lease: new.id(),
                             donor: candidate,
                         },
-                    })
+                    });
                 }
                 Err(RackError::ControlPlane(_) | RackError::Agent(_)) => continue,
                 Err(e) => return Err(e),
             }
         }
+        self.slos.remove(&id);
+        self.journal.record(
+            JournalRecord::new(
+                self.fabrics
+                    .get(lease.compute())
+                    .map_or(SimTime::ZERO, Fabric::now),
+                JournalKind::Evacuation,
+                format!("donor {host} died; no surviving donor — lease poisoned"),
+            )
+            .lease(id.0),
+        );
         Ok(LeaseFault {
             lease: id,
             borrower: lease.compute().to_string(),
@@ -615,6 +852,19 @@ impl Rack {
         }
         self.cp.detach(&self.admin, lease.flow())?;
         self.leases.remove(&id);
+        self.slos.remove(&id);
+        let at = self
+            .fabrics
+            .get(lease.compute())
+            .map_or(SimTime::ZERO, Fabric::now);
+        self.journal.record(
+            JournalRecord::new(
+                at,
+                JournalKind::Detach,
+                format!("{} returns {} bytes to {}", lease.compute(), lease.bytes(), lease.memory()),
+            )
+            .lease(id.0),
+        );
         Ok(())
     }
 
@@ -1115,6 +1365,15 @@ mod tests {
             .attach_with_retry(AttachRequest::new("borrower", "donor", GIB), &policy)
             .unwrap_err();
         assert!(matches!(err, RackError::ControlPlane(e) if e.is_transient()));
+        // Two backoffs plus the closing give-up record, which carries
+        // the whole retry story in one line.
+        let retries: Vec<_> = r.journal().of_kind(JournalKind::RetryBackoff).collect();
+        assert_eq!(retries.len(), 3);
+        assert!(
+            retries[2].detail.contains("gave up after 3 attempts (2 transient:"),
+            "{}",
+            retries[2].detail
+        );
         // Capacity frees; the same request now succeeds on attempt one.
         r.detach(hog.id()).unwrap();
         let (lease, stats) = r

@@ -109,6 +109,25 @@ impl RetryStats {
     pub fn total_delay(&self) -> SimTime {
         self.backoff_total + self.attempt_time_total
     }
+
+    /// One-line account of what the retries cost, shaped for journal
+    /// and log details: `"3 attempts (2 transient: donor exhausted on d
+    /// (0 B free), no path) costing 175.000us"`, or `"first try"` when
+    /// nothing was retried.
+    pub fn summary(&self) -> String {
+        if self.attempts <= 1 && self.transient_errors.is_empty() {
+            return "first try".to_string();
+        }
+        let absorbed: Vec<String> =
+            self.transient_errors.iter().map(|e| e.to_string()).collect();
+        format!(
+            "{} attempts ({} transient: {}) costing {}",
+            self.attempts,
+            absorbed.len(),
+            absorbed.join(", "),
+            self.total_delay(),
+        )
+    }
 }
 
 /// Attaches with bounded retry: transient rejections back off and try
@@ -233,6 +252,32 @@ mod tests {
         assert_eq!(stats.attempt_time_total, SimTime::from_us(50));
         assert_eq!(stats.total_delay(), SimTime::from_us(200));
         assert_eq!(grant.memory_config.len, GIB);
+    }
+
+    #[test]
+    fn summary_reads_as_one_journal_ready_line() {
+        assert_eq!(RetryStats::first_try().summary(), "first try");
+        let (mut cp, admin) = plane();
+        let (_, stats) =
+            attach_with_retry(&mut cp, &admin, spec(GIB), &RetryPolicy::default(), |_, _, _| {})
+                .unwrap();
+        assert_eq!(stats.summary(), "first try");
+        let hog = cp.attach(&admin, spec(62 * GIB)).unwrap();
+        let (_, stats) = attach_with_retry(
+            &mut cp,
+            &admin,
+            spec(2 * GIB),
+            &RetryPolicy::default(),
+            |cp, attempt, _| {
+                if attempt == 1 {
+                    cp.detach(&admin, hog.flow).unwrap();
+                }
+            },
+        )
+        .unwrap();
+        let line = stats.summary();
+        assert!(line.starts_with("2 attempts (1 transient: "), "{line}");
+        assert!(line.ends_with("costing 75.000us"), "{line}");
     }
 
     #[test]

@@ -336,6 +336,18 @@ impl Mesh {
             .map_or("?", |t| t.name.as_str())
     }
 
+    /// The declared name of link `idx`, if it exists.
+    pub fn link_name(&self, idx: usize) -> Option<&str> {
+        self.links.get(idx).map(|l| l.name.as_str())
+    }
+
+    /// Every link's declared name, in link-index order — the shared
+    /// vocabulary of named chaos targets, journal records and
+    /// congestion reports.
+    pub fn link_names(&self) -> Vec<String> {
+        self.links.iter().map(|l| l.name.clone()).collect()
+    }
+
     /// Marks `hub` as the degenerate fan-out hub (see [`Mesh`] docs).
     pub fn set_hub(&mut self, hub: NodeId) {
         self.hub = Some(hub);

@@ -19,6 +19,9 @@
 //! * [`telemetry`] — a metrics registry (counters, gauges,
 //!   histogram-backed timers) keyed by hierarchical paths, clocked by
 //!   simulated time and near-free when disabled.
+//! * [`obs`] — continuous observation on the registry: a cadence-driven
+//!   [`obs::Recorder`] ring of windowed deltas with rate queries, plus
+//!   a Prometheus-style text exposition exporter.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod obs;
 pub mod partition;
 pub mod queue;
 pub mod rng;

@@ -1,0 +1,343 @@
+//! Continuous observation on top of [`telemetry`](crate::telemetry): a
+//! [`Recorder`] that folds registry snapshots taken on a sim-time
+//! cadence into a bounded ring of windowed deltas, plus a
+//! Prometheus-style text exposition exporter.
+//!
+//! The recorder is *pull-based and passive*: the simulation loop asks
+//! [`Recorder::due`] whether the cadence has elapsed and, when it has,
+//! hands over a [`Snapshot`](crate::telemetry::Snapshot). Recording
+//! never schedules events, reads wall clocks, or touches simulation
+//! state, so an instrumented run keeps the exact trajectory of an
+//! uninstrumented one — the same determinism contract the registry
+//! itself makes.
+//!
+//! Each accepted snapshot closes a **window**: the ring keeps the
+//! cumulative snapshot plus the delta against the previous window
+//! (counters and timers subtract, gauges keep the newer reading), which
+//! is what rate queries ([`Recorder::rate`]) and windowed histograms
+//! ([`Recorder::window_timer`]) are answered from. The ring is bounded:
+//! once `capacity` windows are held, the oldest falls off.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::obs::Recorder;
+//! use simkit::telemetry::Registry;
+//! use simkit::time::SimTime;
+//!
+//! # fn main() -> Result<(), simkit::telemetry::TelemetryError> {
+//! let mut reg = Registry::new(true);
+//! let frames = reg.counter("link.frames")?;
+//! let mut rec = Recorder::new(SimTime::from_us(1), 8);
+//!
+//! // ... simulation runs; in its loop:
+//! reg.add(frames, 500);
+//! let now = SimTime::from_us(1);
+//! if rec.due(now) {
+//!     rec.record(reg.snapshot(now));
+//! }
+//! assert_eq!(rec.rate(now, "link.frames"), Some(500e6)); // per second
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::stats::Histogram;
+use crate::telemetry::{Metric, Snapshot};
+use crate::time::SimTime;
+
+/// One closed observation window in a [`Recorder`]'s ring.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Where the window opened (the previous window's close, or
+    /// [`SimTime::ZERO`] for the first).
+    pub start: SimTime,
+    /// Where the window closed (the accepted snapshot's timestamp).
+    pub end: SimTime,
+    /// Cumulative values at `end`.
+    pub cumulative: Snapshot,
+    /// Change over this window: counters/timers subtracted against the
+    /// previous cumulative snapshot, gauges as read at `end`.
+    pub delta: Snapshot,
+}
+
+impl Window {
+    /// Window length.
+    pub fn span(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Folds cadence-driven registry snapshots into a bounded ring of
+/// windowed deltas (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    period: SimTime,
+    capacity: usize,
+    next_due: SimTime,
+    last_cumulative: Option<Snapshot>,
+    last_end: SimTime,
+    windows: VecDeque<Window>,
+    accepted: u64,
+}
+
+impl Recorder {
+    /// A recorder sampling every `period` of simulated time, holding at
+    /// most `capacity` closed windows (at least one is always kept).
+    pub fn new(period: SimTime, capacity: usize) -> Self {
+        Recorder {
+            period,
+            capacity: capacity.max(1),
+            next_due: period,
+            last_cumulative: None,
+            last_end: SimTime::ZERO,
+            windows: VecDeque::new(),
+            accepted: 0,
+        }
+    }
+
+    /// The sampling cadence.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Whether the cadence has elapsed and the caller should hand over a
+    /// fresh snapshot via [`Recorder::record`].
+    pub fn due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// Closes a window with `snap` and advances the cadence. Accepts
+    /// out-of-cadence snapshots too (e.g. one final snapshot at the end
+    /// of a run) as long as time moved forward; stale snapshots (at or
+    /// before the last accepted one) are ignored so replayed polls can
+    /// never fork the ring.
+    pub fn record(&mut self, snap: Snapshot) {
+        if self.accepted > 0 && snap.at <= self.last_end {
+            return;
+        }
+        let delta = match &self.last_cumulative {
+            Some(prev) => snap.diff(prev),
+            None => snap.clone(),
+        };
+        let window = Window {
+            start: self.last_end,
+            end: snap.at,
+            cumulative: snap.clone(),
+            delta,
+        };
+        self.last_end = snap.at;
+        self.last_cumulative = Some(snap);
+        self.windows.push_back(window);
+        while self.windows.len() > self.capacity {
+            self.windows.pop_front();
+        }
+        self.accepted += 1;
+        // Re-align the cadence past the accepted timestamp so a late
+        // snapshot doesn't trigger an immediate catch-up burst.
+        while self.next_due <= self.last_end {
+            self.next_due = self.next_due + self.period;
+        }
+    }
+
+    /// Closed windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// The most recently closed window.
+    pub fn latest(&self) -> Option<&Window> {
+        self.windows.back()
+    }
+
+    /// Total snapshots accepted over the recorder's lifetime (ring
+    /// evictions included).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Counter rate over the latest window, in events per simulated
+    /// second, from the windowed delta. `None` when no window is closed,
+    /// the path is not a counter, or the window has zero span.
+    pub fn rate(&self, _now: SimTime, path: &str) -> Option<f64> {
+        let w = self.latest()?;
+        let span_ns = w.span().as_ns();
+        if span_ns == 0 {
+            return None;
+        }
+        let delta = w.delta.counter(path)?;
+        Some(delta as f64 * 1e9 / span_ns as f64)
+    }
+
+    /// Per-window counter deltas for `path`, oldest first — the discrete
+    /// derivative of the counter over the ring.
+    pub fn deltas(&self, path: &str) -> Vec<(SimTime, u64)> {
+        self.windows
+            .iter()
+            .filter_map(|w| w.delta.counter(path).map(|d| (w.end, d)))
+            .collect()
+    }
+
+    /// The latest window's timer histogram for `path` — only the
+    /// durations recorded *within* that window.
+    pub fn window_timer(&self, path: &str) -> Option<&Histogram> {
+        self.latest()?.delta.timer(path)
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): dotted paths become underscore-separated metric
+/// names, counters and gauges export their value, timers export a
+/// `summary` (quantile samples plus `_sum`/`_count`).
+pub fn prometheus_exposition(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (path, metric) in &snap.metrics {
+        let name = metric_name(path);
+        match metric {
+            Metric::Counter(n) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {n}");
+            }
+            Metric::Gauge(n) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {n}");
+            }
+            Metric::Timer(h) => {
+                let _ = writeln!(out, "# TYPE {name} summary");
+                for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+                    let v = if h.is_empty() { 0 } else { h.quantile(q) };
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+                }
+                // The histogram is log-bucketed; the sum is reconstructed
+                // from the mean, which is tracked exactly.
+                let sum = h.mean() * h.count() as f64;
+                let _ = writeln!(out, "{name}_sum {sum}");
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// A dotted telemetry path as a Prometheus metric name: every character
+/// outside `[a-zA-Z0-9_]` becomes `_`, and a leading digit gets a `_`
+/// prefix.
+fn metric_name(path: &str) -> String {
+    let mut name = String::with_capacity(path.len() + 1);
+    for (i, c) in path.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                name.push('_');
+            }
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Registry;
+
+    fn registry() -> (Registry, crate::telemetry::CounterId) {
+        let mut reg = Registry::new(true);
+        let c = reg.counter("link.frames").unwrap();
+        (reg, c)
+    }
+
+    #[test]
+    fn cadence_pulls_and_windows_close_in_order() {
+        let (mut reg, c) = registry();
+        let mut rec = Recorder::new(SimTime::from_us(1), 4);
+        assert!(!rec.due(SimTime::from_ns(999)));
+        for k in 1..=3u64 {
+            reg.add(c, 10 * k);
+            let now = SimTime::from_us(k);
+            assert!(rec.due(now));
+            rec.record(reg.snapshot(now));
+            assert!(!rec.due(now));
+        }
+        let deltas: Vec<u64> = rec.deltas("link.frames").iter().map(|(_, d)| *d).collect();
+        assert_eq!(deltas, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_rate_uses_latest_window() {
+        let (mut reg, c) = registry();
+        let mut rec = Recorder::new(SimTime::from_us(1), 2);
+        for k in 1..=5u64 {
+            reg.add(c, 100);
+            rec.record(reg.snapshot(SimTime::from_us(k)));
+        }
+        assert_eq!(rec.windows().count(), 2);
+        assert_eq!(rec.accepted(), 5);
+        // 100 frames over a 1 µs window = 1e8 per second.
+        assert_eq!(rec.rate(SimTime::from_us(5), "link.frames"), Some(1e8));
+    }
+
+    #[test]
+    fn stale_snapshots_are_ignored() {
+        let (mut reg, c) = registry();
+        let mut rec = Recorder::new(SimTime::from_us(1), 4);
+        reg.add(c, 5);
+        rec.record(reg.snapshot(SimTime::from_us(1)));
+        reg.add(c, 5);
+        rec.record(reg.snapshot(SimTime::from_us(1))); // same instant: dropped
+        assert_eq!(rec.windows().count(), 1);
+        assert_eq!(rec.accepted(), 1);
+    }
+
+    #[test]
+    fn late_snapshot_realigns_cadence_without_burst() {
+        let (reg, _) = registry();
+        let mut rec = Recorder::new(SimTime::from_us(1), 4);
+        // Poll arrives late, at 3.5 µs; next due must be 4 µs, not 2 µs.
+        rec.record(reg.snapshot(SimTime::from_ns(3_500)));
+        assert!(!rec.due(SimTime::from_ns(3_900)));
+        assert!(rec.due(SimTime::from_us(4)));
+    }
+
+    #[test]
+    fn window_timer_holds_only_the_windows_samples() {
+        let mut reg = Registry::new(true);
+        let t = reg.timer("rtt").unwrap();
+        let mut rec = Recorder::new(SimTime::from_us(1), 4);
+        reg.record_ns(t, 100);
+        rec.record(reg.snapshot(SimTime::from_us(1)));
+        reg.record_ns(t, 900);
+        rec.record(reg.snapshot(SimTime::from_us(2)));
+        let h = rec.window_timer("rtt").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 900);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        let mut reg = Registry::new(true);
+        let c = reg.counter("fabric.link0.fwd.frames").unwrap();
+        let g = reg.gauge("fabric.link0.up.credits").unwrap();
+        let t = reg.timer("fabric.path0.rtt_ns").unwrap();
+        reg.add(c, 42);
+        reg.set_gauge(g, 7);
+        reg.record_ns(t, 950);
+        let text = prometheus_exposition(&reg.snapshot(SimTime::from_us(1)));
+        assert!(text.contains("# TYPE fabric_link0_fwd_frames counter"));
+        assert!(text.contains("fabric_link0_fwd_frames 42"));
+        assert!(text.contains("# TYPE fabric_link0_up_credits gauge"));
+        assert!(text.contains("fabric_link0_up_credits 7"));
+        assert!(text.contains("# TYPE fabric_path0_rtt_ns summary"));
+        assert!(text.contains("fabric_path0_rtt_ns{quantile=\"0.99\"} 950"));
+        assert!(text.contains("fabric_path0_rtt_ns_count 1"));
+    }
+
+    #[test]
+    fn metric_names_sanitize_and_never_start_with_a_digit() {
+        assert_eq!(metric_name("fabric.link-0.frames"), "fabric_link_0_frames");
+        assert_eq!(metric_name("9lives"), "_9lives");
+    }
+}

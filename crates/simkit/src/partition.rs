@@ -219,6 +219,18 @@ pub struct RunStats {
     /// stamps, excluding barrier waits. The maximum entry is the
     /// parallel critical path.
     pub busy: Vec<u64>,
+    /// Per-worker time spent waiting at the round barriers, in
+    /// [`WindowClock`] units — the synchronization overhead the busy
+    /// sums exclude. All zeros under [`NullClock`] and on the
+    /// single-worker path (which has no barriers).
+    pub barrier_stall: Vec<u64>,
+    /// Per-*partition* window occupancy: in how many windows each
+    /// partition had work admitted (its earliest event fell before the
+    /// bound). Derived purely from event times, so the counts are
+    /// bit-identical for every worker count — a shard whose occupancy
+    /// tracks `windows` is saturated; one far below it mostly idles at
+    /// the barrier.
+    pub occupancy: Vec<u64>,
 }
 
 impl RunStats {
@@ -226,6 +238,20 @@ impl RunStats {
     /// [`WindowClock`] units.
     pub fn critical_path(&self) -> u64 {
         self.busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The longest per-worker barrier stall in [`WindowClock`] units.
+    pub fn max_barrier_stall(&self) -> u64 {
+        self.barrier_stall.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of windows partition `i` had work in (1.0 = saturated),
+    /// or 0.0 before any window closed.
+    pub fn occupancy_frac(&self, i: usize) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.occupancy.get(i).map_or(0.0, |&o| o as f64 / self.windows as f64)
     }
 }
 
@@ -344,6 +370,8 @@ where
         windows: 0,
         messages: 0,
         busy: vec![0],
+        barrier_stall: vec![0],
+        occupancy: vec![0; n],
     };
     loop {
         let Some(bound) = window_bound(parts.iter().map(Partition::next_event_time), lookahead)
@@ -352,7 +380,10 @@ where
         };
         stats.windows += 1;
         let t0 = clock.stamp();
-        for (part, outbox) in parts.iter_mut().zip(outboxes.iter_mut()) {
+        for (i, (part, outbox)) in parts.iter_mut().zip(outboxes.iter_mut()).enumerate() {
+            if part.next_event_time().is_some_and(|t| t < bound) {
+                stats.occupancy[i] += 1;
+            }
             part.run_window(bound, outbox)
                 .map_err(PartitionError::Partition)?;
         }
@@ -398,6 +429,8 @@ where
 
     let mins: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(IDLE)).collect();
     let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let stall: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let occupancy: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     // Destination-worker mailboxes: senders append under the lock at
     // window end; the owner drains its own box after the barrier.
     let mail: Vec<Mutex<Vec<Envelope<P::Msg>>>> =
@@ -409,6 +442,8 @@ where
 
     let mins = &mins;
     let busy = &busy;
+    let stall = &stall;
+    let occupancy = &occupancy;
     let mail = &mail;
     let barrier = &barrier;
     let fail = &fail;
@@ -439,7 +474,9 @@ where
                         .min()
                         .map_or(IDLE, SimTime::as_ps);
                     mins[w].store(local_min, Ordering::SeqCst);
+                    let b0 = clock.stamp();
                     barrier.wait();
+                    stall[w].fetch_add(clock.stamp().saturating_sub(b0), Ordering::Relaxed);
 
                     // Phase B: agree on the round. Every worker reads the
                     // same published slots, so all take the same branch.
@@ -461,7 +498,10 @@ where
                     // Phase C: run the window, then post outgoing mail to
                     // each destination worker's box.
                     let t0 = clock.stamp();
-                    for (_, part, outbox) in &mut local {
+                    for (idx, part, outbox) in &mut local {
+                        if part.next_event_time().is_some_and(|t| t < bound) {
+                            occupancy[*idx].fetch_add(1, Ordering::Relaxed);
+                        }
                         if let Err(e) = part.run_window(bound, outbox) {
                             let mut slot =
                                 fail.lock().expect("partition failure lock poisoned");
@@ -487,7 +527,9 @@ where
                                 .push(env);
                         }
                     }
+                    let b1 = clock.stamp();
                     barrier.wait();
+                    stall[w].fetch_add(clock.stamp().saturating_sub(b1), Ordering::Relaxed);
 
                     // Phase D: drain own mail in the canonical order and
                     // deliver. (dest, at, src, seq) is a total order, so
@@ -507,7 +549,9 @@ where
                             slot.get_or_insert(PartitionError::Partition(e));
                         }
                     }
+                    let b2 = clock.stamp();
                     barrier.wait();
+                    stall[w].fetch_add(clock.stamp().saturating_sub(b2), Ordering::Relaxed);
                 }
             });
         }
@@ -524,6 +568,8 @@ where
         windows: windows.load(Ordering::Relaxed),
         messages: messages.load(Ordering::Relaxed),
         busy: busy.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        barrier_stall: stall.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+        occupancy: occupancy.iter().map(|o| o.load(Ordering::Relaxed)).collect(),
     })
 }
 
@@ -615,7 +661,27 @@ mod tests {
             assert_eq!(digest(&parts), digest(&reference), "workers={workers}");
             assert_eq!(stats.windows, ref_stats.windows, "workers={workers}");
             assert_eq!(stats.messages, ref_stats.messages, "workers={workers}");
+            assert_eq!(stats.occupancy, ref_stats.occupancy, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn occupancy_counts_admitted_windows_and_null_clock_stalls_are_zero() {
+        let hop = SimTime::from_ns(50);
+        let mut parts = ring(4, hop, 10);
+        let stats = run_conservative(&mut parts, hop, 2).expect("run succeeds");
+        assert_eq!(stats.occupancy.len(), 4);
+        // Every node seeds events, so each occupies at least one window,
+        // and no count can exceed the number of windows run.
+        for (i, &o) in stats.occupancy.iter().enumerate() {
+            assert!(o >= 1, "partition {i} never occupied a window");
+            assert!(o <= stats.windows);
+            assert!(stats.occupancy_frac(i) > 0.0);
+        }
+        // NullClock: busy and barrier-stall sums must all read zero.
+        assert!(stats.busy.iter().all(|&b| b == 0));
+        assert!(stats.barrier_stall.iter().all(|&s| s == 0));
+        assert_eq!(stats.max_barrier_stall(), 0);
     }
 
     #[test]

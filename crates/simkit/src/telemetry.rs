@@ -23,12 +23,13 @@
 //! # Example
 //!
 //! ```
-//! use simkit::telemetry::{Metric, Registry};
+//! use simkit::telemetry::{Metric, Registry, TelemetryError};
 //! use simkit::time::SimTime;
 //!
+//! # fn main() -> Result<(), TelemetryError> {
 //! let mut reg = Registry::new(true);
-//! let sent = reg.counter("fabric.link0.frames_sent");
-//! let rtt = reg.timer("fabric.path0.rtt_ns");
+//! let sent = reg.counter("fabric.link0.frames_sent")?;
+//! let rtt = reg.timer("fabric.path0.rtt_ns")?;
 //! reg.inc(sent);
 //! reg.record_ns(rtt, 950);
 //! let snap = reg.snapshot(SimTime::from_ns(1_000));
@@ -37,6 +38,8 @@
 //!     Some(Metric::Timer(h)) => assert_eq!(h.count(), 1),
 //!     other => panic!("expected timer, got {other:?}"),
 //! }
+//! # Ok(())
+//! # }
 //! ```
 
 use std::collections::BTreeMap;
@@ -78,11 +81,44 @@ impl Slot {
     }
 }
 
+/// Typed registration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The path is already registered as a different metric kind.
+    KindMismatch {
+        /// The colliding path.
+        path: String,
+        /// What the path is already registered as.
+        registered: &'static str,
+        /// What the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::KindMismatch {
+                path,
+                registered,
+                requested,
+            } => write!(
+                f,
+                "telemetry path {path:?} already registered as {registered}, \
+                 requested {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
 /// A metrics registry keyed by hierarchical dotted paths.
 ///
 /// Registration is idempotent: registering the same path twice with the
 /// same kind returns the same handle. Registering an existing path as a
-/// *different* kind is a programming error and panics.
+/// *different* kind is refused with a typed
+/// [`TelemetryError::KindMismatch`].
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     enabled: bool,
@@ -123,50 +159,62 @@ impl Registry {
 
     /// Registers (or looks up) a counter at `path`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `path` is already registered as a different kind.
-    pub fn counter(&mut self, path: &str) -> CounterId {
+    /// Fails if `path` is already registered as a different kind.
+    pub fn counter(&mut self, path: &str) -> Result<CounterId, TelemetryError> {
         let slot = self.register(path, |r| {
             r.counters.push(0);
             Slot::Counter(r.counters.len() - 1)
         });
         match slot {
-            Slot::Counter(i) => CounterId(i),
-            other => panic!("telemetry path {path:?} already registered as {}", other.kind()),
+            Slot::Counter(i) => Ok(CounterId(i)),
+            other => Err(TelemetryError::KindMismatch {
+                path: path.to_string(),
+                registered: other.kind(),
+                requested: "counter",
+            }),
         }
     }
 
     /// Registers (or looks up) a gauge at `path`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `path` is already registered as a different kind.
-    pub fn gauge(&mut self, path: &str) -> GaugeId {
+    /// Fails if `path` is already registered as a different kind.
+    pub fn gauge(&mut self, path: &str) -> Result<GaugeId, TelemetryError> {
         let slot = self.register(path, |r| {
             r.gauges.push(0);
             Slot::Gauge(r.gauges.len() - 1)
         });
         match slot {
-            Slot::Gauge(i) => GaugeId(i),
-            other => panic!("telemetry path {path:?} already registered as {}", other.kind()),
+            Slot::Gauge(i) => Ok(GaugeId(i)),
+            other => Err(TelemetryError::KindMismatch {
+                path: path.to_string(),
+                registered: other.kind(),
+                requested: "gauge",
+            }),
         }
     }
 
     /// Registers (or looks up) a timer at `path`. Timers record durations
     /// in nanoseconds into a [`Histogram`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `path` is already registered as a different kind.
-    pub fn timer(&mut self, path: &str) -> TimerId {
+    /// Fails if `path` is already registered as a different kind.
+    pub fn timer(&mut self, path: &str) -> Result<TimerId, TelemetryError> {
         let slot = self.register(path, |r| {
             r.timers.push(Histogram::new());
             Slot::Timer(r.timers.len() - 1)
         });
         match slot {
-            Slot::Timer(i) => TimerId(i),
-            other => panic!("telemetry path {path:?} already registered as {}", other.kind()),
+            Slot::Timer(i) => Ok(TimerId(i)),
+            other => Err(TelemetryError::KindMismatch {
+                path: path.to_string(),
+                registered: other.kind(),
+                requested: "timer",
+            }),
         }
     }
 
@@ -398,26 +446,36 @@ mod tests {
     #[test]
     fn registration_is_idempotent() {
         let mut reg = Registry::new(true);
-        let a = reg.counter("a.b");
-        let b = reg.counter("a.b");
+        let a = reg.counter("a.b").unwrap();
+        let b = reg.counter("a.b").unwrap();
         assert_eq!(a, b);
         assert_eq!(reg.snapshot(SimTime::ZERO).metrics.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_is_a_typed_error() {
         let mut reg = Registry::new(true);
-        reg.counter("a.b");
-        reg.gauge("a.b");
+        reg.counter("a.b").unwrap();
+        let err = reg.gauge("a.b").unwrap_err();
+        assert_eq!(
+            err,
+            TelemetryError::KindMismatch {
+                path: "a.b".to_string(),
+                registered: "counter",
+                requested: "gauge",
+            }
+        );
+        assert!(err.to_string().contains("already registered as counter"));
+        // The failed registration must not leave a stray slot behind.
+        assert_eq!(reg.snapshot(SimTime::ZERO).metrics.len(), 1);
     }
 
     #[test]
     fn disabled_registry_records_nothing() {
         let mut reg = Registry::new(false);
-        let c = reg.counter("c");
-        let g = reg.gauge("g");
-        let t = reg.timer("t");
+        let c = reg.counter("c").unwrap();
+        let g = reg.gauge("g").unwrap();
+        let t = reg.timer("t").unwrap();
         reg.add(c, 5);
         reg.set_gauge(g, 7);
         reg.record_ns(t, 100);
@@ -430,7 +488,7 @@ mod tests {
     #[test]
     fn enable_disable_toggles_recording() {
         let mut reg = Registry::new(false);
-        let c = reg.counter("c");
+        let c = reg.counter("c").unwrap();
         reg.inc(c);
         reg.set_enabled(true);
         reg.inc(c);
@@ -443,7 +501,7 @@ mod tests {
     #[test]
     fn record_span_uses_sim_time() {
         let mut reg = Registry::new(true);
-        let t = reg.timer("rtt");
+        let t = reg.timer("rtt").unwrap();
         reg.record_span(t, SimTime::from_ns(100), SimTime::from_ns(1_050));
         let snap = reg.snapshot(SimTime::from_ns(2_000));
         let h = snap.timer("rtt").expect("timer registered");
@@ -454,9 +512,9 @@ mod tests {
     #[test]
     fn snapshot_diff_subtracts_counters_and_timers() {
         let mut reg = Registry::new(true);
-        let c = reg.counter("frames");
-        let g = reg.gauge("occupancy");
-        let t = reg.timer("lat");
+        let c = reg.counter("frames").unwrap();
+        let g = reg.gauge("occupancy").unwrap();
+        let t = reg.timer("lat").unwrap();
         reg.add(c, 3);
         reg.set_gauge(g, 9);
         reg.record_ns(t, 100);
@@ -476,8 +534,8 @@ mod tests {
     #[test]
     fn snapshot_json_round_trips_through_serde_json() {
         let mut reg = Registry::new(true);
-        let c = reg.counter("fabric.link0.frames_sent");
-        let t = reg.timer("fabric.path0.rtt_ns");
+        let c = reg.counter("fabric.link0.frames_sent").unwrap();
+        let t = reg.timer("fabric.path0.rtt_ns").unwrap();
         reg.add(c, 11);
         reg.record_ns(t, 950);
         let json = reg.snapshot(SimTime::from_ns(5)).to_json();
@@ -498,9 +556,9 @@ mod tests {
     #[test]
     fn snapshot_paths_sort_lexicographically() {
         let mut reg = Registry::new(true);
-        reg.counter("z.last");
-        reg.counter("a.first");
-        reg.counter("m.middle");
+        reg.counter("z.last").unwrap();
+        reg.counter("a.first").unwrap();
+        reg.counter("m.middle").unwrap();
         let snap = reg.snapshot(SimTime::ZERO);
         let paths: Vec<&str> = snap.metrics.keys().map(String::as_str).collect();
         assert_eq!(paths, ["a.first", "m.middle", "z.last"]);

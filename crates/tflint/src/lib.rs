@@ -20,6 +20,7 @@
 //! | TF011 | no `std::sync` primitives (`Mutex`/`RwLock`/atomics/...) outside `simkit::{sweep, partition}` |
 //! | TF012 | no order-sensitive float accumulation over unordered collections |
 //! | TF013 | no public fallible `&mut self` APIs returning bare `bool`/`Option<()>` where the crate has a typed error |
+//! | TF014 | no `println!`/`eprintln!` (or `print!`/`eprint!`) in simulation crate library code |
 //!
 //! A finding is suppressed by a `// tflint::allow(TFnnn): reason`
 //! comment on the same line or the line directly above; the reason is
@@ -68,6 +69,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("TF011", "no std::sync primitives (Mutex/RwLock/Condvar/atomics/mpsc) outside simkit::{sweep, partition}"),
     ("TF012", "no order-sensitive float accumulation (sum/product/fold) over unordered hash collections"),
     ("TF013", "no public fallible &mut self API returning bare bool/Option<()> where the crate defines a typed error"),
+    ("TF014", "no println!/eprintln!/print!/eprint! in simulation crate library code (examples and benches own the console; observations export through the telemetry registry or the journal)"),
 ];
 
 /// Allow-audit rule IDs (reported by `--audit-allows` and the gates).
@@ -83,7 +85,7 @@ pub const JSON_SCHEMA_VERSION: u64 = 1;
 /// One lint finding, anchored to a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule ID (`TF001`..`TF013`, or `ALW001`/`ALW002` from the audit).
+    /// Rule ID (`TF001`..`TF014`, or `ALW001`/`ALW002` from the audit).
     pub rule: &'static str,
     /// Path of the offending file, as given to the checker.
     pub file: String,
@@ -1254,6 +1256,31 @@ fn check_unit(unit: &Unit, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
                     ),
                 );
             }
+        }
+
+        // TF014: console writes in simulation library code. `src/` of a
+        // sim crate is headless: anything worth reporting flows through
+        // the telemetry registry, the congestion report, or the causal
+        // journal, where it stays queryable and diffable. Examples and
+        // benches (never linted here) own stdout.
+        if in_scope(SIM_CRATES, crate_name)
+            && !in_test
+            && tok.kind == Kind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "println" | "eprintln" | "print" | "eprint"
+            )
+            && toks.get(i + 1).is_some_and(|t| t.text == "!")
+        {
+            push(
+                &mut diags,
+                "TF014",
+                tok,
+                format!(
+                    "`{}!` writes to the console from simulation library code; record through the telemetry registry or the causal journal instead (examples and benches own stdout)",
+                    tok.text
+                ),
+            );
         }
 
         // TF006: float equality.

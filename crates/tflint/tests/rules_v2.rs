@@ -1,4 +1,4 @@
-//! Fixture tests for the workspace-aware determinism rules TF009–TF013,
+//! Fixture tests for the workspace-aware determinism rules TF009–TF014,
 //! the allow audit (ALW001/ALW002), the cross-file index, and the JSON
 //! report. Each rule gets a positive (fires, pinned count), an allowed
 //! (suppressed by a reasoned allow), and a negative (must stay silent)
@@ -412,6 +412,72 @@ impl S {
 }
 ";
     let files = [("llc", "src/s.rs", src)];
+    assert!(check_sources(&files).is_empty());
+    assert!(audit_sources(&files).is_empty());
+}
+
+// ----------------------------------------------------------------- TF014
+
+#[test]
+fn tf014_flags_console_macros_in_sim_library_code() {
+    let src = "\
+pub fn tick(now: u64) {
+    println!(\"tick {now}\");
+    eprintln!(\"warn {now}\");
+    print!(\"raw\");
+    eprint!(\"raw-err\");
+}
+";
+    let diags = check_source("simkit", "src/engine.rs", src);
+    assert_eq!(
+        rules_of(&diags),
+        ["TF014", "TF014", "TF014", "TF014"],
+        "\n{}",
+        render(&diags)
+    );
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("telemetry registry"));
+}
+
+#[test]
+fn tf014_silent_in_tests_non_sim_crates_and_for_string_formatting() {
+    // #[cfg(test)] code may print freely (test output is the console's
+    // job), non-sim crates (the linter itself, the bench harness) own
+    // their stdout, and `format!`/`writeln!`-to-a-String are not
+    // console writes.
+    let test_code = "\
+pub fn quiet() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!(\"debugging a trajectory\"); }
+}
+";
+    assert!(check_source("core", "src/fabric/engine.rs", test_code).is_empty());
+    let cli = "pub fn report() { println!(\"workspace clean\"); }\n";
+    assert!(check_source("tflint", "src/main.rs", cli).is_empty());
+    assert!(check_source("bench", "src/lib.rs", cli).is_empty());
+    let formatting = "\
+use std::fmt::Write;
+pub fn render(out: &mut String) {
+    let _ = writeln!(out, \"row\");
+    let s = format!(\"row\");
+    let _ = s;
+}
+";
+    let diags = check_source("routing", "src/topology.rs", formatting);
+    assert!(diags.is_empty(), "\n{}", render(&diags));
+}
+
+#[test]
+fn tf014_reasoned_allow_suppresses() {
+    let src = "\
+pub fn panic_hook() {
+    // tflint::allow(TF014): last-ditch diagnostics on abort, past the registry's lifetime.
+    eprintln!(\"fabric aborted\");
+}
+";
+    let files = [("netsim", "src/switch.rs", src)];
     assert!(check_sources(&files).is_empty());
     assert!(audit_sources(&files).is_empty());
 }

@@ -1,11 +1,19 @@
-//! Telemetry must be a pure observer: enabling the registry and the
-//! flit tracer may not change a single event the simulator processes.
-//! These tests run the same load sequence with telemetry on and off
-//! and compare the completion trajectories bit for bit.
+//! Observability must be a pure observer: enabling the metrics
+//! registry, the flit tracer, the causal journal, or polling the
+//! congestion heatmap may not change a single event the simulator
+//! processes. These tests run the same load sequence with observation
+//! on and off and compare the completion trajectories bit for bit —
+//! on point-to-point and circuit-rack shapes, over a multi-hop torus
+//! under chaos, and across partitioned 1-vs-4-worker runs.
 
-use thymesisflow::core::fabric::{Fabric, FabricBuilder, PathId};
+use thymesisflow::core::fabric::{
+    ChaosPlan, Fabric, FabricBuilder, PartitionedFabric, PathId, PathSpec, WorkloadSpec,
+};
 use thymesisflow::core::params::DatapathParams;
 use thymesisflow::netsim::switch::CircuitSwitch;
+use thymesisflow::routing::plan::FlowPlan;
+use thymesisflow::routing::topology::Torus2D;
+use thymesisflow::simkit::time::SimTime;
 
 const SECTION: u64 = 256 << 20;
 
@@ -93,6 +101,171 @@ fn circuit_rack_is_bit_identical_with_telemetry() {
     let on = run(fabric, &paths, 12, true);
     assert_eq!(off, on, "telemetry perturbed the circuit-rack trajectory");
     assert_eq!(off.completions.len(), 12 * 3);
+}
+
+/// Like [`run`], but with the whole observability plane on: registry,
+/// tracer, causal journal, and mid-run congestion-report polling.
+fn run_observed(mut fabric: Fabric, paths: &[PathId], per_path: usize) -> Trajectory {
+    fabric.set_telemetry(true);
+    fabric.set_journal(true);
+    let mut completions = Vec::new();
+    let mut issued = 0usize;
+    while issued < per_path {
+        let burst = (per_path - issued).min(4);
+        for _ in 0..burst {
+            for &p in paths {
+                fabric.issue_read(p).expect("issue");
+            }
+        }
+        issued += burst;
+        for _ in 0..3 {
+            match fabric.step().expect("step") {
+                Some(done) => {
+                    completions
+                        .extend(done.iter().map(|c| (c.tag, c.path.0, c.latency.as_ps())));
+                }
+                None => break,
+            }
+        }
+        // Observation mid-flight: a snapshot and a heatmap per burst.
+        let snap = fabric.telemetry_snapshot();
+        assert!(snap.counter("fabric.loads.issued").unwrap_or(0) >= 1);
+        let _ = fabric.congestion_report();
+    }
+    while let Some(done) = fabric.step().expect("step") {
+        completions.extend(done.iter().map(|c| (c.tag, c.path.0, c.latency.as_ps())));
+    }
+    Trajectory {
+        completions,
+        events: fabric.events_processed(),
+        now_ps: fabric.now().as_ps(),
+    }
+}
+
+#[test]
+fn torus_multihop_is_bit_identical_with_full_observability() {
+    // Two multi-hop routes across a 4x4 torus, with a chaos cut that
+    // forces a mid-run re-route (journal traffic on the observed run).
+    let build = || {
+        let torus = Torus2D::new(4, 4).unwrap();
+        let spec = |d: usize| {
+            let plan = FlowPlan::donor(d);
+            PathSpec::new(plan.network, plan.pasid, plan.donor_ea, SECTION)
+        };
+        let (mut fabric, paths) = FabricBuilder::from_topology(
+            DatapathParams::prototype(),
+            &torus,
+            torus.host_at(0, 0),
+        )
+        .path_to(torus.host_at(2, 2), spec(0))
+        .path_to(torus.host_at(0, 2), spec(1))
+        .build()
+        .unwrap();
+        let victim = fabric.topology_route(paths[0]).unwrap().links[1];
+        let name = fabric.topology_link_names()[victim].clone();
+        fabric.schedule_chaos(&ChaosPlan::new().link_down_named(SimTime::from_ns(900), &name));
+        (fabric, paths)
+    };
+    let (fabric, paths) = build();
+    assert!(fabric.journal().is_none(), "journal must be off by default");
+    let off = run(fabric, &paths, 20, false);
+    let (fabric, paths) = build();
+    let on = run_observed(fabric, &paths, 20);
+    assert_eq!(off, on, "observability perturbed the torus trajectory");
+    assert_eq!(off.completions.len(), 20 * 2, "the detour must strand nothing");
+}
+
+#[test]
+fn observed_torus_run_journals_the_reroute() {
+    // Guard against the torus test passing vacuously: the observed run
+    // must have journaled the chaos cut and the resulting re-route.
+    let torus = Torus2D::new(4, 4).unwrap();
+    let (mut fabric, paths) = FabricBuilder::from_topology(
+        DatapathParams::prototype(),
+        &torus,
+        torus.host_at(0, 0),
+    )
+    .path_to(torus.host_at(2, 2), PathSpec::reference(SECTION, 2))
+    .build()
+    .unwrap();
+    fabric.set_journal(true);
+    let victim = fabric.topology_route(paths[0]).unwrap().links[1];
+    let name = fabric.topology_link_names()[victim].clone();
+    fabric.schedule_chaos(&ChaosPlan::new().link_down_named(SimTime::from_ns(900), &name));
+    for _ in 0..20 {
+        fabric.issue_read(paths[0]).unwrap();
+    }
+    fabric.drain().unwrap();
+    let journal = fabric.journal().expect("journal enabled");
+    use thymesisflow::core::fabric::JournalKind;
+    assert!(journal.of_kind(JournalKind::Chaos).next().is_some());
+    let reroute = journal
+        .of_kind(JournalKind::Reroute)
+        .next()
+        .expect("the cut re-routed");
+    assert!(
+        !reroute.links.is_empty() && !reroute.links.contains(&name),
+        "the journaled detour must avoid the cut link {name}: {:?}",
+        reroute.links,
+    );
+}
+
+#[test]
+fn partitioned_torus_is_bit_identical_with_observability_and_workers() {
+    // The same torus workload, partitioned along its row seams, run
+    // with 1 and 4 workers, observed and unobserved: all four runs
+    // must produce identical shard digests and event counts.
+    let cut: Vec<String> = (0..4)
+        .map(|c| format!("h1x{c}-h2x{c}"))
+        .chain((0..4).map(|c| format!("h3x{c}-h0x{c}")))
+        .collect();
+    let run = |workers: usize, observed: bool| {
+        let torus = Torus2D::new(4, 4).unwrap();
+        let cuts: Vec<&str> = cut.iter().map(String::as_str).collect();
+        let mut pf = PartitionedFabric::from_topology_cut(
+            DatapathParams::prototype(),
+            &torus,
+            &cuts,
+            SECTION,
+            WorkloadSpec::quick(),
+        )
+        .unwrap();
+        if observed {
+            pf.set_telemetry(true);
+            for shard in 0.. {
+                match pf.shard_mut(shard) {
+                    Some(s) => s.fabric_mut().set_journal(true),
+                    None => break,
+                }
+            }
+        }
+        pf.run(workers).unwrap();
+        if observed {
+            // Post-run observation: snapshots, heatmaps and journals
+            // exist on every shard (and reading them costs nothing).
+            for shard in 0..pf.shard_count() {
+                assert!(pf.shard_snapshot(shard).is_some());
+                let s = pf.shard_mut(shard).unwrap();
+                let _ = s.fabric().congestion_report();
+                assert!(s.fabric().journal().is_some());
+            }
+        }
+        // The digest's telemetry_json field legitimately differs when
+        // observation is on; the *trajectory* fields must not.
+        let trajectory: Vec<_> = pf
+            .digests()
+            .into_iter()
+            .map(|d| {
+                (d.shard, d.completions, d.completion_fold, d.events_processed,
+                 d.injects_refused, d.faults)
+            })
+            .collect();
+        (trajectory, pf.total_events())
+    };
+    let baseline = run(1, false);
+    assert_eq!(baseline, run(4, false), "worker count changed the digests");
+    assert_eq!(baseline, run(1, true), "observability changed a 1-worker run");
+    assert_eq!(baseline, run(4, true), "observability changed a 4-worker run");
 }
 
 #[test]
