@@ -22,7 +22,7 @@ echo "==> sanitize feature (runtime conservation checkers)"
 cargo test --features sanitize -p llc -p simkit -q
 
 echo "==> example smoke loop (release)"
-for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown rack_topologies observatory; do
+for example in quickstart rack_orchestration failure_injection chaos_recovery cloud_workloads datacentre_motivation latency_breakdown rack_topologies observatory fleet_slo; do
     echo "--> example: ${example}"
     cargo run -q --release --example "${example}" > /dev/null
 done
@@ -40,6 +40,25 @@ jq -e -s 'map(.kind) | contains(["chaos", "reroute", "slo_breach"])' \
     target/observatory.journal.jsonl > /dev/null
 grep -q '^# TYPE fabric_loads_retired counter' target/observatory.prom
 grep -q '^# TYPE fabric_rtt_ns summary' target/observatory.prom
+
+echo "==> fleet SLO artifacts (schema v1, closed breach vocabulary, calibrated breaches)"
+# The chaos arm's report: schema-v1 spine, every breach kind from the
+# closed {p99, p999, availability} vocabulary, at least one breach
+# (the ladder is built to blow contracts), none of them in the
+# pre-chaos steady phase, and all three chaos rungs on record.
+jq -e '.schema == 1 and .topology == "4x4-torus" and (.clients >= 1000) and (.leases | length == 8) and (.phases | length == 3)' \
+    target/fleet_slo.json > /dev/null
+jq -e '[.breaches[].kind] | length > 0 and (all(.[]; . == "p99" or . == "p999" or . == "availability"))' \
+    target/fleet_slo.json > /dev/null
+jq -e '[.breaches[] | select(.phase == "steady")] | length == 0' \
+    target/fleet_slo.json > /dev/null
+jq -e '[.phases[] | select(.phase == "peak") | .chaos[]] | length == 3' \
+    target/fleet_slo.json > /dev/null
+jq -e '.hottest_link.frames > 0 and (.breaches | map(select(.kind == "availability")) | length >= 1)' \
+    target/fleet_slo.json > /dev/null
+
+echo "==> fleet scenario harness (control zero-breach, chaos calibrated breach, 1-vs-4 worker identity)"
+cargo test -q -p workloads --test fleet_scenario
 
 echo "==> chaos scenario smoke (link flap + donor crash, exactly-once asserts)"
 cargo test -q -p thymesisflow-core --test chaos_sweep
@@ -61,5 +80,6 @@ jq -e '.telemetry_overhead.overhead_frac' target/BENCH_engine.quick.json > /dev/
 jq -e '.obs_overhead.overhead_frac' target/BENCH_engine.quick.json > /dev/null
 jq -e '.engine_partitioned.scaling | length >= 3' target/BENCH_engine.quick.json > /dev/null
 jq -e '.engine_topology.route_hops >= 2 and .engine_topology.per_hop_ns > 0' target/BENCH_engine.quick.json > /dev/null
+jq -e '.fleet_slo.clients >= 1000 and .fleet_slo.breaches >= 1 and .fleet_slo.identical_across_workers == true' target/BENCH_engine.quick.json > /dev/null
 
 echo "ci: all gates passed"

@@ -41,6 +41,7 @@ use thymesisflow_core::datapath::Datapath;
 use routing::topology::Torus2D;
 use thymesisflow_core::fabric::{FabricBuilder, PartitionedFabric, PathSpec, WorkloadSpec};
 use thymesisflow_core::params::DatapathParams;
+use workloads::fleet::FleetScenario;
 use workloads::runner::WorkloadRunner;
 use workloads::stream::StreamBench;
 use workloads::ycsb::YcsbWorkload;
@@ -496,6 +497,74 @@ fn reproduce() {
     // load still completes exactly once).
     let topo_record = reproduce_topology(quick);
 
+    // --- fleet SLO scenario harness ----------------------------------
+    // Thousands of zipf-skewed clients on a 4×4 torus, walked through
+    // the steady → peak-with-chaos → recovery ladder. Scored on
+    // wall-clock per worker count and pinned on shape: the chaos arm
+    // must breach its calibrated contracts, and the whole structured
+    // report must be byte-identical between 1 and 4 partition workers
+    // — the bench doubles as the fleet determinism gate.
+    let fleet_scenario = if quick {
+        FleetScenario::quick(42)
+    } else {
+        FleetScenario::standard(42)
+    };
+    let fleet_start = Instant::now();
+    let fleet_solo = fleet_scenario.run(1).expect("fleet scenario runs");
+    let fleet_solo_wall = fleet_start.elapsed().as_secs_f64();
+    let fleet_start = Instant::now();
+    let fleet_four = fleet_scenario.run(4).expect("fleet scenario runs");
+    let fleet_four_wall = fleet_start.elapsed().as_secs_f64();
+    assert_eq!(
+        fleet_solo.to_json(),
+        fleet_four.to_json(),
+        "fleet report diverged across worker counts"
+    );
+    assert!(
+        !fleet_solo.breaches.is_empty(),
+        "the fleet chaos ladder must breach its calibrated contracts"
+    );
+    assert!(
+        fleet_solo.breaches.iter().any(|b| b.kind == "availability"),
+        "the donor crash must cost availability"
+    );
+    let fleet_completed: u64 = fleet_solo.phases.iter().map(|p| p.completed).sum();
+    println!(
+        "\nfleet SLO scenario ({} clients, {} phases): {} loads, {} breaches; \
+         1 worker {:.1} ms, 4 workers {:.1} ms, reports identical",
+        fleet_solo.clients,
+        fleet_solo.phases.len(),
+        fleet_completed,
+        fleet_solo.breaches.len(),
+        fleet_solo_wall * 1e3,
+        fleet_four_wall * 1e3
+    );
+    let fleet_record = Value::Map(vec![
+        (
+            "scenario".to_string(),
+            Value::Str(fleet_solo.scenario.clone()),
+        ),
+        (
+            "clients".to_string(),
+            Value::UInt(u64::from(fleet_solo.clients)),
+        ),
+        (
+            "phases".to_string(),
+            Value::UInt(fleet_solo.phases.len() as u64),
+        ),
+        ("completed".to_string(), Value::UInt(fleet_completed)),
+        (
+            "breaches".to_string(),
+            Value::UInt(fleet_solo.breaches.len() as u64),
+        ),
+        ("wall_s_1_worker".to_string(), Value::Float(fleet_solo_wall)),
+        (
+            "wall_s_4_workers".to_string(),
+            Value::Float(fleet_four_wall),
+        ),
+        ("identical_across_workers".to_string(), Value::Bool(true)),
+    ]);
+
     // --- per-figure sweep wall-clocks --------------------------------
     println!("\nfigure sweep wall-clocks:");
     let configs = [
@@ -599,6 +668,7 @@ fn reproduce() {
         ),
         ("engine_partitioned".to_string(), engine_partitioned),
         ("engine_topology".to_string(), topo_record),
+        ("fleet_slo".to_string(), fleet_record),
         ("figure_sweeps".to_string(), Value::Seq(sweeps)),
     ]);
     let json = serde_json::to_string(&Report(report)).expect("report serializes");

@@ -132,6 +132,47 @@ fn topology_record_pins_the_multi_hop_cost_model() {
 }
 
 #[test]
+fn fleet_slo_record_pins_the_scenario_shape() {
+    let v = report();
+    let fleet = v
+        .get("fleet_slo")
+        .expect("fleet_slo record (fleet-scale SLO scenario harness)");
+    assert_eq!(
+        fleet.get("scenario").and_then(Value::as_str),
+        Some("fleet-slo"),
+        "the committed record holds the standard (full) scenario"
+    );
+    let clients = fleet.get("clients").and_then(as_u64).expect("clients");
+    assert!(
+        clients >= 1_000,
+        "the fleet floor is 1000 simulated clients, got {clients}"
+    );
+    assert!(
+        fleet.get("phases").and_then(as_u64).unwrap_or(0) >= 3,
+        "the diurnal ladder runs steady, peak and recovery"
+    );
+    assert!(
+        fleet.get("completed").and_then(as_u64).unwrap_or(0) > 0,
+        "the fleet must complete loads"
+    );
+    assert!(
+        fleet.get("breaches").and_then(as_u64).unwrap_or(0) >= 1,
+        "the chaos ladder must blow at least one calibrated contract"
+    );
+    assert_eq!(
+        fleet.get("identical_across_workers"),
+        Some(&Value::Bool(true)),
+        "1-vs-4 partition workers must produce byte-identical reports"
+    );
+    for field in ["wall_s_1_worker", "wall_s_4_workers"] {
+        assert!(
+            fleet.get(field).and_then(as_f64).unwrap_or(0.0) > 0.0,
+            "fleet record lacks {field}"
+        );
+    }
+}
+
+#[test]
 fn observability_plane_overhead_stays_inside_budget() {
     let v = report();
     let obs = v.get("obs_overhead").expect("obs_overhead record");

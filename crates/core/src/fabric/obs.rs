@@ -399,7 +399,11 @@ impl SloSpec {
     /// Evaluates one window: the latency histogram *delta* for the
     /// window plus the loads completed and faulted within it. Empty
     /// windows (no completions, no faults) never breach — there is
-    /// nothing to judge.
+    /// nothing to judge. Latency budgets are judged only against
+    /// windows that completed at least one load (an empty histogram's
+    /// quantile reads 0, which is a gap, not a measurement);
+    /// availability is judged whenever the window saw traffic, so a
+    /// window of nothing *but* faults still counts as 0% available.
     pub fn evaluate(
         &self,
         lease: u64,
@@ -407,6 +411,9 @@ impl SloSpec {
         window: &Histogram,
         faulted: u64,
     ) -> Vec<SloBreach> {
+        if window.is_empty() && faulted == 0 {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         if !window.is_empty() {
             if let Some(budget) = self.p99 {
@@ -479,6 +486,19 @@ pub enum SloBreachKind {
         /// The contracted floor.
         floor: f64,
     },
+}
+
+impl SloBreachKind {
+    /// The breach kind's stable schema name — the closed vocabulary
+    /// (`p99`, `p999`, `availability`) that fleet reports emit and CI
+    /// gates validate against.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            SloBreachKind::P99 { .. } => "p99",
+            SloBreachKind::P999 { .. } => "p999",
+            SloBreachKind::Availability { .. } => "availability",
+        }
+    }
 }
 
 impl fmt::Display for SloBreachKind {
@@ -593,5 +613,59 @@ mod tests {
         assert!(spec
             .evaluate(7, SimTime::from_us(2), &Histogram::new(), 0)
             .is_empty());
+    }
+
+    #[test]
+    fn idle_windows_never_breach_any_contract() {
+        // The tightest contract there is: 1 ns budgets, 100% floor.
+        // An idle lease (zero completions, zero faults) must still
+        // sail through every evaluation — an empty histogram's
+        // quantile-0 reading is a gap, not a 0 ns latency.
+        let spec = SloSpec::new()
+            .p99(SimTime::from_ns(1))
+            .p999(SimTime::from_ns(1))
+            .availability(1.0);
+        let idle = Histogram::new();
+        for at_us in 1..=5 {
+            assert!(
+                spec.evaluate(3, SimTime::from_us(at_us), &idle, 0).is_empty(),
+                "idle window at {at_us} µs breached"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_only_windows_judge_availability_but_not_latency() {
+        // Every load faulted: no latency samples exist, so the p99
+        // budgets must stay silent — but availability is genuinely 0.
+        let spec = SloSpec::new()
+            .p99(SimTime::from_ns(1))
+            .p999(SimTime::from_ns(1))
+            .availability(0.99);
+        let breaches = spec.evaluate(3, SimTime::from_us(1), &Histogram::new(), 4);
+        assert_eq!(breaches.len(), 1, "{breaches:?}");
+        assert!(matches!(
+            breaches[0].kind,
+            SloBreachKind::Availability { observed, .. } if observed == 0.0
+        ));
+    }
+
+    #[test]
+    fn breach_kind_names_form_the_closed_schema_vocabulary() {
+        let p99 = SloBreachKind::P99 {
+            observed_ns: 2,
+            budget_ns: 1,
+        };
+        let p999 = SloBreachKind::P999 {
+            observed_ns: 2,
+            budget_ns: 1,
+        };
+        let avail = SloBreachKind::Availability {
+            observed: 0.5,
+            floor: 0.9,
+        };
+        assert_eq!(p99.name(), "p99");
+        assert_eq!(p999.name(), "p999");
+        assert_eq!(avail.name(), "availability");
     }
 }

@@ -27,6 +27,7 @@ use opencapi::pasid::Pasid;
 use rmmu::flow::NetworkId;
 use simkit::bandwidth::Rate;
 use simkit::stats::Histogram;
+use simkit::sweep::sweep_with_workers;
 use simkit::telemetry::Snapshot;
 use simkit::time::SimTime;
 
@@ -34,8 +35,8 @@ use crate::attach::{AttachRequest, Lease, LeaseId};
 use crate::config::SystemConfig;
 use crate::fabric::{
     ChaosPlan, CongestionReport, Fabric, FabricBuilder, FabricError, FlitTrace, Journal,
-    JournalKind, JournalRecord, LatencyBreakdown, PathId, PathSpec, SloBreach, SloSpec,
-    StreamLoad,
+    JournalKind, JournalRecord, LatencyBreakdown, LinkCongestion, PathId, PathSpec, SloBreach,
+    SloSpec, StreamLoad,
 };
 use crate::memmodel::MemoryModel;
 use crate::params::DatapathParams;
@@ -253,6 +254,7 @@ impl RackBuilder {
             node_ids,
             journal: Journal::new(),
             slos: BTreeMap::new(),
+            pending_breaches: Vec::new(),
             fabric_journals: false,
         })
     }
@@ -296,6 +298,12 @@ pub struct Rack {
     journal: Journal,
     /// Per-lease SLO contracts under evaluation.
     slos: BTreeMap<LeaseId, SloMonitor>,
+    /// Final-window breaches judged outside [`Rack::evaluate_slos`] —
+    /// today only a dying lease's last judgement during evacuation.
+    /// The next `evaluate_slos` call drains them, so callers polling
+    /// on a window cadence never miss a breach whose lease no longer
+    /// exists.
+    pending_breaches: Vec<SloBreach>,
     /// Whether borrower fabrics (existing and lazily created) keep
     /// their own causal journals.
     fabric_journals: bool,
@@ -492,7 +500,9 @@ impl Rack {
     ///
     /// Propagates fabric errors reading a live path's statistics.
     pub fn evaluate_slos(&mut self) -> Result<Vec<SloBreach>, RackError> {
-        let mut out = Vec::new();
+        // Breaches judged out of band (a dying lease's final window
+        // during evacuation) surface first, in judgement order.
+        let mut out = std::mem::take(&mut self.pending_breaches);
         let ids: Vec<LeaseId> = self.slos.keys().copied().collect();
         for id in ids {
             let Some((host, path)) = self.lease_paths.get(&id).cloned() else {
@@ -680,6 +690,28 @@ impl Rack {
                 fabric.schedule_chaos(&ChaosPlan::new().donor_crash(fabric.now(), donor));
                 fabric.drain()?;
                 loads_faulted = fabric.faults().len() - before;
+                // The dying lease gets one final judgement before the
+                // contract migrates: loads the crash faulted are an
+                // availability violation, and evacuating must not
+                // launder it. The breaches surface from the next
+                // `evaluate_slos` call.
+                if let Some(monitor) = self.slos.get_mut(&id) {
+                    let cumulative = fabric.completions(path)?.clone();
+                    let faults =
+                        fabric.faults().iter().filter(|f| f.path == path).count() as u64;
+                    let window = cumulative.subtract(&monitor.seen);
+                    let faulted = faults.saturating_sub(monitor.seen_faults);
+                    let breaches =
+                        monitor.spec.evaluate(id.0, fabric.now(), &window, faulted);
+                    for b in &breaches {
+                        self.journal.record(
+                            JournalRecord::new(b.at, JournalKind::SloBreach, b.kind.to_string())
+                                .lease(id.0)
+                                .path(path),
+                        );
+                    }
+                    self.pending_breaches.extend(breaches);
+                }
                 fabric.detach_path(path)?;
             }
         }
@@ -1050,6 +1082,172 @@ impl Rack {
         Ok(fabric.run_closed_loop(&streams, duration)?)
     }
 
+    /// Runs concurrent closed-loop streams across *every* borrower
+    /// fabric at once — the fleet-scale sibling of
+    /// [`Rack::run_lease_streams`], which insists on a single host.
+    ///
+    /// Loads are grouped by borrower host and each group runs on its
+    /// own fabric. A borrower fabric is an independent event queue with
+    /// its own clock, so the groups share no state and execute
+    /// concurrently on up to `workers` threads (via the same
+    /// deterministic harness the figure sweeps use). Because each
+    /// fabric's run is sequential and isolated, every returned rate —
+    /// and every statistic, journal record and congestion counter the
+    /// run leaves behind — is bit-identical at any worker count.
+    ///
+    /// Each window drains after its deadline, so in-flight loads retire
+    /// instead of piling onto the next call: latency measures
+    /// contention, not carried-over backlog. Use
+    /// [`Rack::run_fleet_streams_undrained`] when the backlog is the
+    /// point.
+    ///
+    /// Returns per-lease rates in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown leases, on an empty load list, or on a fabric
+    /// protocol violation in any group (the first failing host in
+    /// `BTreeMap` order wins; all fabrics are restored regardless).
+    pub fn run_fleet_streams(
+        &mut self,
+        loads: &[(LeaseId, u32, u32)],
+        duration: SimTime,
+        workers: usize,
+    ) -> Result<Vec<Rate>, RackError> {
+        self.run_fleet_streams_inner(loads, duration, workers, true)
+    }
+
+    /// [`Rack::run_fleet_streams`] without the post-deadline drain:
+    /// loads still in flight at the deadline stay queued on their
+    /// fabrics. That is how a scenario lands chaos *mid-burst* — e.g.
+    /// crash a donor while its leases still owe loads, so the faults
+    /// are judged against the availability contract.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Rack::run_fleet_streams`].
+    pub fn run_fleet_streams_undrained(
+        &mut self,
+        loads: &[(LeaseId, u32, u32)],
+        duration: SimTime,
+        workers: usize,
+    ) -> Result<Vec<Rate>, RackError> {
+        self.run_fleet_streams_inner(loads, duration, workers, false)
+    }
+
+    fn run_fleet_streams_inner(
+        &mut self,
+        loads: &[(LeaseId, u32, u32)],
+        duration: SimTime,
+        workers: usize,
+        drain: bool,
+    ) -> Result<Vec<Rate>, RackError> {
+        // Group loads by borrower host, remembering each load's
+        // original slot so rates come back in caller order.
+        let mut groups: BTreeMap<String, (Vec<StreamLoad>, Vec<usize>)> = BTreeMap::new();
+        for (slot, &(id, threads, window)) in loads.iter().enumerate() {
+            let (host, path) = self
+                .lease_paths
+                .get(&id)
+                .cloned()
+                .ok_or(RackError::UnknownLease(id))?;
+            let group = groups.entry(host).or_default();
+            group.0.push(StreamLoad {
+                path,
+                threads,
+                window,
+            });
+            group.1.push(slot);
+        }
+        if groups.is_empty() {
+            return Err(RackError::BadTopology("no streams given".into()));
+        }
+        // Move each group's fabric out of the rack so the runs can
+        // migrate to worker threads; every fabric is put back below,
+        // error or not.
+        let mut work = Vec::with_capacity(groups.len());
+        for (host, (streams, slots)) in groups {
+            let fabric = self
+                .fabrics
+                .remove(&host)
+                .expect("lease paths point at live fabrics");
+            work.push((host, fabric, streams, slots));
+        }
+        let results = sweep_with_workers(
+            0,
+            work,
+            workers.max(1),
+            move |_i, (host, mut fabric, streams, slots), _rng| {
+                let rates = fabric.run_closed_loop(&streams, duration).and_then(|r| {
+                    if drain {
+                        fabric.drain()?;
+                    }
+                    Ok(r)
+                });
+                (host, fabric, rates, slots)
+            },
+        );
+        let mut rates: Vec<Option<Rate>> = vec![None; loads.len()];
+        let mut first_err: Option<FabricError> = None;
+        for (host, fabric, result, slots) in results {
+            self.fabrics.insert(host, fabric);
+            match result {
+                Ok(group_rates) => {
+                    for (slot, rate) in slots.into_iter().zip(group_rates) {
+                        rates[slot] = Some(rate);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e.into());
+        }
+        Ok(rates
+            .into_iter()
+            .map(|r| r.expect("every load slot was grouped"))
+            .collect())
+    }
+
+    /// Congestion heatmaps for every borrower fabric in the rack, in
+    /// host order — the fleet-wide view [`Rack::congestion_report`]
+    /// gives per host. Hosts that never built a fabric are absent.
+    pub fn fleet_congestion(&self) -> BTreeMap<String, CongestionReport> {
+        self.fabrics
+            .iter()
+            .map(|(host, fabric)| (host.clone(), fabric.congestion_report()))
+            .collect()
+    }
+
+    /// The single hottest link across every borrower fabric, as
+    /// `(host, link)` — the headline of a fleet report's congestion
+    /// snapshot. Ranks by the same (utilization, stall, frames) order
+    /// [`CongestionReport::hottest`] uses; ties resolve to the first
+    /// host in `BTreeMap` order, so the answer is deterministic.
+    pub fn hottest_link(&self) -> Option<(String, LinkCongestion)> {
+        let mut best: Option<(String, LinkCongestion)> = None;
+        for (host, report) in self.fleet_congestion() {
+            let Some(link) = report.hottest().cloned() else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((_, current)) => {
+                    (link.utilization, link.stall_ns, link.frames())
+                        > (current.utilization, current.stall_ns, current.frames())
+                }
+            };
+            if better {
+                best = Some((host, link));
+            }
+        }
+        best
+    }
+
     /// The calibrated memory model for a system configuration. The
     /// remote load latency is *measured* on a reference point-to-point
     /// fabric rather than taken from the closed-form budget, so the
@@ -1350,6 +1548,84 @@ mod tests {
     }
 
     #[test]
+    fn evacuation_judges_the_dying_leases_final_window() {
+        let mut r = RackBuilder::new()
+            .node(NodeConfig::ac922("n1"))
+            .node(NodeConfig::ac922("n2"))
+            .node(NodeConfig::ac922("n3"))
+            .cable("n1", "n2")
+            .cable("n1", "n3")
+            .build()
+            .unwrap();
+        let lease = r
+            .attach_with_slo(
+                AttachRequest::new("n1", "n2", 8 * GIB),
+                SloSpec::new().availability(0.999),
+            )
+            .unwrap();
+        let path = r.lease_path(lease.id()).unwrap();
+        let fabric = r.fabric_mut("n1").unwrap();
+        for _ in 0..4 {
+            fabric.issue_read(path).unwrap();
+        }
+        // Kill the donor mid-service: the four in-flight loads fault
+        // and the dying lease is judged one final time instead of the
+        // migration laundering the availability violation.
+        let faults = r.crash_donor("n2").unwrap();
+        assert_eq!(faults[0].loads_faulted, 4);
+        let breaches = r.evaluate_slos().unwrap();
+        let fatal = breaches
+            .iter()
+            .find(|b| b.lease == lease.id().0)
+            .expect("the dying lease's final window is judged");
+        assert!(matches!(
+            fatal.kind,
+            crate::fabric::SloBreachKind::Availability { .. }
+        ));
+        // The judgement is one-shot: the next evaluation starts clean
+        // (the replacement lease has a fresh window and no traffic).
+        assert!(r.evaluate_slos().unwrap().is_empty());
+    }
+
+    #[test]
+    fn fleet_streams_match_per_host_runs_exactly() {
+        let build = || {
+            RackBuilder::new()
+                .node(NodeConfig::ac922("n1"))
+                .node(NodeConfig::ac922("n2"))
+                .node(NodeConfig::ac922("n3"))
+                .node(NodeConfig::ac922("n4"))
+                .cable("n1", "n2")
+                .cable("n3", "n4")
+                .build()
+                .unwrap()
+        };
+        let duration = simkit::time::SimTime::from_us(10);
+        // Arm A: both borrower fabrics at once through the fleet path.
+        let mut fleet = build();
+        let a = fleet.attach(AttachRequest::new("n1", "n2", 4 * GIB)).unwrap();
+        let b = fleet.attach(AttachRequest::new("n3", "n4", 4 * GIB)).unwrap();
+        let fleet_rates = fleet
+            .run_fleet_streams(&[(a.id(), 4, 8), (b.id(), 2, 4)], duration, 4)
+            .unwrap();
+        // Arm B: the same loads, one host at a time.
+        let mut solo = build();
+        let a2 = solo.attach(AttachRequest::new("n1", "n2", 4 * GIB)).unwrap();
+        let b2 = solo.attach(AttachRequest::new("n3", "n4", 4 * GIB)).unwrap();
+        let ra = solo.run_lease_streams(&[(a2.id(), 4, 8)], duration).unwrap();
+        let rb = solo.run_lease_streams(&[(b2.id(), 2, 4)], duration).unwrap();
+        // Independent event queues: the fleet run is the per-host runs,
+        // in caller order, except the fleet path also drains (so its
+        // byte counts can only be higher).
+        assert_eq!(fleet_rates.len(), 2);
+        assert!(fleet_rates[0].bytes_per_sec() >= ra[0].bytes_per_sec());
+        assert!(fleet_rates[1].bytes_per_sec() >= rb[0].bytes_per_sec());
+        // And the fleet-wide congestion view covers both fabrics.
+        assert_eq!(fleet.fleet_congestion().len(), 2);
+        assert!(fleet.hottest_link().is_some());
+    }
+
+    #[test]
     fn attach_with_retry_rides_through_transient_exhaustion() {
         let mut r = rack();
         // Reserve the whole donor so the next attach is transient-busy.
@@ -1360,6 +1636,7 @@ mod tests {
             max_attempts: 3,
             base_backoff: simkit::time::SimTime::from_us(10),
             attempt_timeout: simkit::time::SimTime::from_us(5),
+            ..RetryPolicy::default()
         };
         let err = r
             .attach_with_retry(AttachRequest::new("borrower", "donor", GIB), &policy)

@@ -50,30 +50,45 @@ pub struct RetryPolicy {
     /// caller must plan for: a failed attach burns at most
     /// `attempt_timeout`, then its backoff.
     pub attempt_timeout: SimTime,
+    /// Ceiling on any single backoff. Doubling saturates here instead
+    /// of growing without bound: at attempt 47 an unchecked
+    /// `50 µs << 46` already overflows the picosecond clock, so every
+    /// policy must name the plateau it is willing to wait at.
+    pub max_backoff: SimTime,
 }
 
 impl Default for RetryPolicy {
     /// Four attempts backing off 50 µs, 100 µs, 200 µs — well above the
     /// 25 µs switch reconfiguration the paper measures, so a retry never
     /// races the reroute that would satisfy it. Each attempt gets a
-    /// 25 µs budget of its own.
+    /// 25 µs budget of its own, and no backoff ever exceeds 10 ms (far
+    /// past any recovery the fabric models).
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 4,
             base_backoff: SimTime::from_us(50),
             attempt_timeout: SimTime::from_us(25),
+            max_backoff: SimTime::from_ms(10),
         }
     }
 }
 
 impl RetryPolicy {
     /// The backoff to wait after failed attempt `attempt` (1-based):
-    /// `base_backoff << (attempt - 1)`.
+    /// `min(base_backoff << (attempt - 1), max_backoff)`.
+    ///
+    /// Doubling is saturating and clamped, so arbitrarily large attempt
+    /// numbers plateau at `max_backoff` instead of wrapping the
+    /// picosecond clock. A `max_backoff` below `base_backoff` clamps
+    /// the very first backoff too.
     pub fn backoff_after(&self, attempt: u32) -> SimTime {
-        let mut b = self.base_backoff;
+        let mut b = self.base_backoff.min(self.max_backoff);
         let mut i = 1;
         while i < attempt {
-            b = b + b;
+            if b >= self.max_backoff {
+                return self.max_backoff;
+            }
+            b = b.saturating_add(b).min(self.max_backoff);
             i += 1;
         }
         b
@@ -288,6 +303,7 @@ mod tests {
             max_attempts: 3,
             base_backoff: SimTime::from_us(10),
             attempt_timeout: SimTime::from_us(5),
+            ..RetryPolicy::default()
         };
         let (err, stats) =
             attach_with_retry(&mut cp, &admin, spec(GIB), &policy, |_, _, _| {}).unwrap_err();
@@ -324,9 +340,42 @@ mod tests {
             max_attempts: 5,
             base_backoff: SimTime::from_us(50),
             attempt_timeout: SimTime::from_us(25),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_after(1), SimTime::from_us(50));
         assert_eq!(p.backoff_after(2), SimTime::from_us(100));
         assert_eq!(p.backoff_after(3), SimTime::from_us(200));
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_instead_of_overflowing() {
+        // Unchecked doubling of 50 µs overflows u64 picoseconds at
+        // attempt 47; deep retry loops must plateau, not wrap or panic.
+        let p = RetryPolicy {
+            max_attempts: 128,
+            base_backoff: SimTime::from_us(50),
+            attempt_timeout: SimTime::from_us(25),
+            max_backoff: SimTime::from_us(400),
+        };
+        // 50, 100, 200, then the 400 µs plateau forever after.
+        assert_eq!(p.backoff_after(3), SimTime::from_us(200));
+        assert_eq!(p.backoff_after(4), SimTime::from_us(400));
+        assert_eq!(p.backoff_after(5), SimTime::from_us(400));
+        assert_eq!(p.backoff_after(64), SimTime::from_us(400));
+        assert_eq!(p.backoff_after(u32::MAX), SimTime::from_us(400));
+        // The default cap holds at depth too.
+        let d = RetryPolicy::default();
+        assert_eq!(d.backoff_after(64), SimTime::from_ms(10));
+        assert_eq!(d.backoff_after(200), SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn cap_below_base_clamps_the_first_backoff() {
+        let p = RetryPolicy {
+            max_backoff: SimTime::from_us(20),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_after(1), SimTime::from_us(20));
+        assert_eq!(p.backoff_after(64), SimTime::from_us(20));
     }
 }

@@ -22,11 +22,13 @@
 //! * **resources off** — units completely unused that could be powered
 //!   down (higher is better).
 
+pub mod churn;
 pub mod metrics;
 pub mod model;
 pub mod scheduler;
 pub mod trace;
 
+pub use churn::{phase_churn, ChurnTenant};
 pub use metrics::Figure1;
 pub use model::{DisaggregatedDataCentre, FixedDataCentre};
 pub use trace::{TraceEvent, TraceGenerator, TraceParams};

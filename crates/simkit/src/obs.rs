@@ -36,7 +36,7 @@
 //! if rec.due(now) {
 //!     rec.record(reg.snapshot(now));
 //! }
-//! assert_eq!(rec.rate(now, "link.frames"), Some(500e6)); // per second
+//! assert_eq!(rec.rate("link.frames"), Some(500e6)); // per second
 //! # Ok(())
 //! # }
 //! ```
@@ -161,7 +161,13 @@ impl Recorder {
     /// Counter rate over the latest window, in events per simulated
     /// second, from the windowed delta. `None` when no window is closed,
     /// the path is not a counter, or the window has zero span.
-    pub fn rate(&self, _now: SimTime, path: &str) -> Option<f64> {
+    ///
+    /// Answered purely from the ring: the latest *closed* window is the
+    /// freshest data the recorder can have, and [`Recorder::record`]
+    /// already refuses snapshots that would rewind it, so there is no
+    /// staleness decision left for a caller-supplied clock to make.
+    /// (Earlier revisions took an unused `now` parameter here.)
+    pub fn rate(&self, path: &str) -> Option<f64> {
         let w = self.latest()?;
         let span_ns = w.span().as_ns();
         if span_ns == 0 {
@@ -187,6 +193,95 @@ impl Recorder {
     }
 }
 
+/// One named segment of a [`PhaseClock`]'s ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// The phase's name (e.g. `"steady"`, `"peak"`).
+    pub name: String,
+    /// Where the phase opens on the scenario clock (inclusive).
+    pub start: SimTime,
+    /// Where the phase closes (exclusive; the next phase's start).
+    pub end: SimTime,
+}
+
+impl Phase {
+    /// Phase length.
+    pub fn span(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A scenario's phase ladder on the simulated clock: an ordered list
+/// of named segments (steady → peak → recovery, a diurnal cycle, a
+/// chaos ladder) laid end to end from [`SimTime::ZERO`].
+///
+/// Like the [`Recorder`], the clock is passive: it never schedules
+/// events, it only answers *which phase an instant belongs to*, so a
+/// scenario driver can segment one continuous simulation into
+/// windows-per-phase without perturbing the trajectory. Phases are
+/// half-open `[start, end)`; instants at or past the ladder's total
+/// belong to no phase (the scenario is over).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseClock {
+    phases: Vec<Phase>,
+}
+
+impl PhaseClock {
+    /// Lays the `(name, duration)` segments end to end from zero.
+    /// Zero-duration segments are dropped (they could never own an
+    /// instant).
+    pub fn new<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = (S, SimTime)>,
+        S: Into<String>,
+    {
+        let mut phases = Vec::new();
+        let mut cursor = SimTime::ZERO;
+        for (name, duration) in segments {
+            if duration.is_zero() {
+                continue;
+            }
+            let start = cursor;
+            cursor = cursor + duration;
+            phases.push(Phase {
+                name: name.into(),
+                start,
+                end: cursor,
+            });
+        }
+        PhaseClock { phases }
+    }
+
+    /// The ladder's segments, in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the ladder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total ladder length (the last phase's end).
+    pub fn total(&self) -> SimTime {
+        self.phases.last().map(|p| p.end).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The phase owning instant `now`, with its index — `None` once the
+    /// ladder is over (or before it exists).
+    pub fn phase_at(&self, now: SimTime) -> Option<(usize, &Phase)> {
+        self.phases
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.start <= now && now < p.end)
+    }
+}
+
 /// Renders a snapshot in the Prometheus text exposition format
 /// (version 0.0.4): dotted paths become underscore-separated metric
 /// names, counters and gauges export their value, timers export a
@@ -207,8 +302,14 @@ pub fn prometheus_exposition(snap: &Snapshot) -> String {
             Metric::Timer(h) => {
                 let _ = writeln!(out, "# TYPE {name} summary");
                 for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
-                    let v = if h.is_empty() { 0 } else { h.quantile(q) };
-                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+                    // An empty summary has no quantiles; Prometheus
+                    // renders that as NaN, never as a fake 0 that a
+                    // dashboard would read as "instant".
+                    if h.is_empty() {
+                        let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} NaN");
+                    } else {
+                        let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                    }
                 }
                 // The histogram is log-bucketed; the sum is reconstructed
                 // from the mean, which is tracked exactly.
@@ -277,7 +378,7 @@ mod tests {
         assert_eq!(rec.windows().count(), 2);
         assert_eq!(rec.accepted(), 5);
         // 100 frames over a 1 µs window = 1e8 per second.
-        assert_eq!(rec.rate(SimTime::from_us(5), "link.frames"), Some(1e8));
+        assert_eq!(rec.rate("link.frames"), Some(1e8));
     }
 
     #[test]
@@ -333,6 +434,43 @@ mod tests {
         assert!(text.contains("# TYPE fabric_path0_rtt_ns summary"));
         assert!(text.contains("fabric_path0_rtt_ns{quantile=\"0.99\"} 950"));
         assert!(text.contains("fabric_path0_rtt_ns_count 1"));
+    }
+
+    #[test]
+    fn phase_clock_segments_the_ladder_half_open() {
+        let clock = PhaseClock::new([
+            ("steady", SimTime::from_us(100)),
+            ("idle", SimTime::ZERO), // dropped
+            ("peak", SimTime::from_us(200)),
+            ("recovery", SimTime::from_us(100)),
+        ]);
+        assert_eq!(clock.len(), 3);
+        assert_eq!(clock.total(), SimTime::from_us(400));
+        let (i, p) = clock.phase_at(SimTime::ZERO).unwrap();
+        assert_eq!((i, p.name.as_str()), (0, "steady"));
+        // Boundaries belong to the opening phase.
+        let (i, p) = clock.phase_at(SimTime::from_us(100)).unwrap();
+        assert_eq!((i, p.name.as_str()), (1, "peak"));
+        assert_eq!(p.span(), SimTime::from_us(200));
+        let (i, _) = clock.phase_at(SimTime::from_ns(399_999)).unwrap();
+        assert_eq!(i, 2);
+        // The ladder's end belongs to no phase.
+        assert!(clock.phase_at(SimTime::from_us(400)).is_none());
+        assert!(PhaseClock::new(Vec::<(String, SimTime)>::new()).is_empty());
+    }
+
+    #[test]
+    fn empty_summary_renders_nan_quantiles_not_zero() {
+        let mut reg = Registry::new(true);
+        let _t = reg.timer("idle.path.rtt_ns").unwrap();
+        let text = prometheus_exposition(&reg.snapshot(SimTime::from_us(1)));
+        assert!(text.contains("# TYPE idle_path_rtt_ns summary"));
+        assert!(text.contains("idle_path_rtt_ns{quantile=\"0.99\"} NaN"));
+        assert!(text.contains("idle_path_rtt_ns_count 0"));
+        assert!(
+            !text.contains("idle_path_rtt_ns{quantile=\"0.99\"} 0"),
+            "an idle summary must not report a 0 ns quantile:\n{text}"
+        );
     }
 
     #[test]

@@ -335,6 +335,49 @@ mod tests {
     }
 
     #[test]
+    fn zipf_head_key_share_matches_the_closed_form() {
+        // The sampler inverts the truncated continuous power law, so
+        // the hottest key's share has a closed form: with theta=1 over
+        // [1, n], P(key 0) = P(x < 2) = ln(2)/ln(n). The fleet
+        // scenarios lean on this share to place hotspots; pin it to
+        // within a percentage point so a regression in the inverse-CDF
+        // can't silently flatten (or sharpen) every hotspot.
+        let mut rng = DetRng::new(11);
+        let n = 10_000u64;
+        let zipf = ZipfSampler::new(n, 1.0);
+        let trials = 200_000u64;
+        let mut head = 0u64;
+        for _ in 0..trials {
+            if zipf.sample(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        let expected = 2f64.ln() / (n as f64).ln(); // ~0.0753
+        let observed = head as f64 / trials as f64;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "head key share {observed:.4}, closed form {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn zipf_streams_are_bit_identical_across_sweep_workers() {
+        // Fleet scenarios deal zipf keys to clients through the sweep
+        // harness; the deal must not depend on how many workers ran
+        // the sweep. Each point draws its keys from the stream split
+        // by (seed, point index), so 1 worker and 4 workers must
+        // produce byte-for-byte the same key sequences.
+        let sample_point = |_i: usize, client: u64, mut rng: DetRng| -> Vec<u64> {
+            let zipf = ZipfSampler::new(1 << 20, 0.99);
+            (0..512).map(|_| zipf.sample(&mut rng) ^ client).collect()
+        };
+        let points: Vec<u64> = (0..16).collect();
+        let one = crate::sweep::sweep_with_workers(1234, points.clone(), 1, sample_point);
+        let four = crate::sweep::sweep_with_workers(1234, points, 4, sample_point);
+        assert_eq!(one, four, "zipf sample streams diverged across worker counts");
+    }
+
+    #[test]
     fn zipf_non_unit_exponent() {
         let mut rng = DetRng::new(9);
         let zipf = ZipfSampler::new(1000, 0.99);

@@ -118,6 +118,13 @@ impl SimTime {
         self.0.checked_add(rhs.0).map(SimTime)
     }
 
+    /// Saturating addition; clamps at [`SimTime::MAX`] instead of
+    /// overflowing. The clamp is what makes exponential-backoff
+    /// doubling safe at arbitrary attempt counts.
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
     /// Returns the larger of two instants.
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {
@@ -238,6 +245,8 @@ mod tests {
         assert_eq!((a * 3).as_ns(), 30);
         assert_eq!((a / 2).as_ns(), 5);
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+        assert_eq!(a.saturating_add(b).as_ns(), 14);
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
     }

@@ -16,7 +16,13 @@
 //! the five system configurations of §VI-A; [`loadgen`] provides the
 //! shared closed-loop client + multi-worker server queueing simulator,
 //! and [`runner`] the convenience front end.
+//!
+//! [`fleet`] scales the mix to rack reality: thousands of zipf-skewed
+//! clients dealt across contracted leases on a 4×4 torus, with diurnal
+//! load phases, tenant churn, a calibrated chaos ladder, and a
+//! deterministic schema-v1 fleet report (see `DESIGN.md` §16).
 
+pub mod fleet;
 pub mod loadgen;
 pub mod memcached;
 pub mod runner;

@@ -1,0 +1,96 @@
+//! Fleet SLO harness: thousands of simulated clients on a 4×4 torus,
+//! walked through a diurnal steady → peak → recovery ladder with a
+//! chaos ladder (hot-route cut, bonded-lane degradation, donor crash)
+//! injected at the peak.
+//!
+//! Two arms run back to back:
+//!
+//! 1. **chaos** — [`FleetScenario::standard`]: clients are dealt to
+//!    eight SLO-contracted leases with zipf hotspot skew, churn tenants
+//!    arrive and leave between phases, budgets are calibrated from an
+//!    undisturbed slice, then the peak phase cuts the hot route's
+//!    interior link, fails one bonded lane and crashes donor `n23`.
+//!    The run must end with breaches — that is the point.
+//! 2. **control** — [`FleetScenario::control`]: the identical fleet
+//!    with every chaos rung removed. It must end with zero breaches,
+//!    proving the calibrated budgets are not trigger-happy.
+//!
+//! The chaos arm's structured report lands in `target/fleet_slo.json`
+//! where `ci.sh` gates its schema and breach vocabulary.
+//!
+//! ```text
+//! cargo run --example fleet_slo
+//! ```
+
+use thymesisflow::workloads::fleet::FleetScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+
+    // ---- chaos arm ----------------------------------------------------
+    let scenario = FleetScenario::standard(seed);
+    let report = scenario.run(4)?;
+    println!(
+        "fleet '{}': {} clients on a {}, {} phases, {} breaches",
+        report.scenario,
+        report.clients,
+        report.topology,
+        report.phases.len(),
+        report.breaches.len(),
+    );
+    for phase in &report.phases {
+        println!(
+            "  phase {:<9} load {:>4.2}  windows {:>3}  completed {:>7}  breaches {:>3}  chaos {:?}",
+            phase.name, phase.load, phase.windows, phase.completed, phase.breaches, phase.chaos,
+        );
+    }
+    for lease in &report.leases {
+        println!(
+            "  lease {:>2} {:<9} {}<-{}  clients {:>4}  p99 {:>6} ns  p99.9 {:>6} ns  avail {:.4}",
+            lease.lease,
+            lease.class,
+            lease.borrower,
+            lease.donor,
+            lease.clients,
+            lease.p99_ns,
+            lease.p999_ns,
+            lease.availability,
+        );
+    }
+    if let Some(h) = &report.hottest {
+        println!(
+            "  hottest link {} on {}: {:.0}% busy, {} ns stalled, {} frames",
+            h.link,
+            h.host,
+            h.utilization * 100.0,
+            h.stall_ns,
+            h.frames,
+        );
+    }
+    assert!(
+        !report.breaches.is_empty(),
+        "the chaos ladder must blow at least one calibrated contract"
+    );
+    assert!(
+        report.breaches_in("steady").is_empty(),
+        "the pre-chaos phase must hold its contracts"
+    );
+
+    // ---- control arm --------------------------------------------------
+    let control = FleetScenario::control(seed).run(4)?;
+    println!(
+        "control '{}': {} breaches (must be 0)",
+        control.scenario,
+        control.breaches.len(),
+    );
+    assert!(
+        control.breaches.is_empty(),
+        "the undisturbed control arm must not breach"
+    );
+
+    // ---- export -------------------------------------------------------
+    std::fs::create_dir_all("target")?;
+    std::fs::write("target/fleet_slo.json", report.to_json())?;
+    println!("wrote target/fleet_slo.json");
+    Ok(())
+}
